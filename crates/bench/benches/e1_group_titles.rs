@@ -1,0 +1,32 @@
+//! E1 (Sec. 6, first experiment): Query 1 with title output — direct
+//! join plan vs GROUPBY plan. The paper reports 323.966 s vs 178.607 s
+//! (≈1.81×) on DBLP Journals; the benchmark checks the same ordering and
+//! a comparable factor on the synthetic bibliography.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use timber::PlanMode;
+use timber_bench::{build_db, QUERY_TITLES};
+
+fn bench_e1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_group_titles");
+    group.sample_size(10);
+    for &articles in &[1_000usize, 4_000] {
+        let db = build_db(articles, None, false);
+        for (name, mode) in [
+            ("direct", PlanMode::Direct),
+            ("groupby", PlanMode::GroupByRewrite),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, articles), &articles, |b, _| {
+                b.iter(|| {
+                    let r = db.query(QUERY_TITLES, mode).expect("query");
+                    let xml = r.to_xml_on(db.store()).expect("serialize");
+                    std::hint::black_box(xml.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

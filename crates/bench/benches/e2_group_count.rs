@@ -1,0 +1,32 @@
+//! E2 (Sec. 6, second experiment): the `count($t)` variant — direct vs
+//! GROUPBY. The paper reports 155.564 s vs 23.033 s (≈6.75×): the gap
+//! widens because the GROUPBY plan confines data look-ups to author
+//! content while the direct plan still builds the whole join result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use timber::PlanMode;
+use timber_bench::{build_db, QUERY_COUNT};
+
+fn bench_e2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_group_count");
+    group.sample_size(10);
+    for &articles in &[1_000usize, 4_000] {
+        let db = build_db(articles, None, false);
+        for (name, mode) in [
+            ("direct", PlanMode::Direct),
+            ("groupby", PlanMode::GroupByRewrite),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, articles), &articles, |b, _| {
+                b.iter(|| {
+                    let r = db.query(QUERY_COUNT, mode).expect("query");
+                    let xml = r.to_xml_on(db.store()).expect("serialize");
+                    std::hint::black_box(xml.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! X3: pattern-tree matching strategies (Sec. 5.2).
+//!
+//! * index-driven matching with sorted containment joins (TIMBER's way)
+//!   vs the full-database-scan matcher;
+//! * the binary structural join itself: single-pass stack-tree join vs
+//!   nested loops, on the (article, author) lists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tax::matching::structural::{nested_loop_join, stack_tree_join, JoinAxis};
+use tax::matching::{match_db, naive::match_db_scan};
+use tax::pattern::{Axis, PatternTree, Pred};
+use timber_bench::build_db;
+
+fn fig1_like_pattern() -> PatternTree {
+    let mut p = PatternTree::with_root(Pred::tag("article"));
+    p.add_child(p.root(), Axis::Child, Pred::tag("title"));
+    p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+    p
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_matching");
+    group.sample_size(10);
+    let db = build_db(1_000, None, false);
+    let p = fig1_like_pattern();
+    group.bench_function("index_structural_joins", |b| {
+        b.iter(|| std::hint::black_box(match_db(db.store(), &p).unwrap().len()))
+    });
+    group.bench_function("full_database_scan", |b| {
+        b.iter(|| std::hint::black_box(match_db_scan(db.store(), &p).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_binary_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structural_join");
+    let db = build_db(4_000, None, false);
+    let store = db.store();
+    let articles = store
+        .nodes_with_tag(store.tag_id("article").unwrap())
+        .to_vec();
+    let authors = store
+        .nodes_with_tag(store.tag_id("author").unwrap())
+        .to_vec();
+    for (name, size) in [("small", 400usize), ("full", articles.len())] {
+        let a = &articles[..size.min(articles.len())];
+        group.bench_with_input(BenchmarkId::new("stack_tree", name), &a, |b, a| {
+            b.iter(|| {
+                std::hint::black_box(
+                    stack_tree_join(a, &authors, JoinAxis::ParentChild).len(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nested_loop", name), &a, |b, a| {
+            b.iter(|| {
+                std::hint::black_box(
+                    nested_loop_join(a, &authors, JoinAxis::ParentChild).len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers, bench_binary_joins);
+criterion_main!(benches);

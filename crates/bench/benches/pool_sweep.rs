@@ -1,0 +1,38 @@
+//! X2: buffer-pool sensitivity. The paper fixes a 32 MB pool against a
+//! ~100 MB database; this sweep varies the pool (pages cached) against a
+//! fixed database and measures the count query under both plans — the
+//! direct plan touches ~3.5× the pages, so it degrades faster as the
+//! pool shrinks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use timber::PlanMode;
+use timber_bench::{build_db, QUERY_COUNT};
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_sweep_count");
+    group.sample_size(10);
+    let articles = 4_000usize; // ~1.5 MB of pages
+    for &pool_kb in &[64usize, 256, 1024, 4096] {
+        let db = build_db(articles, Some(pool_kb << 10), true);
+        for (name, mode) in [
+            ("direct", PlanMode::Direct),
+            ("groupby", PlanMode::GroupByRewrite),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{pool_kb}KB")),
+                &pool_kb,
+                |b, _| {
+                    b.iter(|| {
+                        db.clear_buffer_pool().expect("clear");
+                        let r = db.query(QUERY_COUNT, mode).expect("query");
+                        std::hint::black_box(r.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

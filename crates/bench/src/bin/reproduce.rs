@@ -1,0 +1,267 @@
+//! Reproduce the experiments of *Grouping in XML* (EDBT 2002), Sec. 6.
+//!
+//! ```text
+//! reproduce [e1] [e2] [scale] [pool] [matching] [groupby-impl] [value-index] [all]
+//!           [--articles N] [--mem]
+//! ```
+//!
+//! With no experiment argument, `all` is assumed. `--articles` sets the
+//! synthetic DBLP size for E1/E2 (default 20 000 ≈ 310 k stored nodes;
+//! the paper's DBLP Journals had 4.6 M nodes — pass a larger value to
+//! approach it). `--mem` keeps the page file in memory (for quick runs).
+
+use timber::PlanMode;
+use timber_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut articles = 20_000usize;
+    let mut on_disk = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--articles" => {
+                i += 1;
+                articles = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--articles N");
+            }
+            "--mem" => on_disk = false,
+            other => experiments.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_owned());
+    }
+    let run_all = experiments.iter().any(|e| e == "all");
+    let wants = |name: &str| run_all || experiments.iter().any(|e| e == name);
+
+    println!("== Grouping in XML (EDBT 2002) — experiment reproduction ==");
+    println!(
+        "synthetic DBLP: {articles} articles, 8 KB pages, 32 MB buffer pool, {} backend\n",
+        if on_disk { "file" } else { "memory" }
+    );
+
+    if wants("e1") || wants("e2") {
+        let db = build_db(articles, None, on_disk);
+        println!(
+            "database: {} stored nodes, {} pages ({:.1} MB)\n",
+            db.store().node_count(),
+            db.store().total_pages(),
+            db.store().size_bytes() as f64 / (1024.0 * 1024.0)
+        );
+        if wants("e1") {
+            run_e1(&db);
+        }
+        if wants("e2") {
+            run_e2(&db);
+        }
+    }
+    if wants("scale") {
+        run_scale(on_disk);
+    }
+    if wants("pool") {
+        run_pool(articles, on_disk);
+    }
+    if wants("matching") {
+        run_matching(articles);
+    }
+    if wants("groupby-impl") {
+        run_groupby_impl();
+    }
+    if wants("value-index") {
+        run_value_index();
+    }
+}
+
+fn run_e1(db: &timber::TimberDb) {
+    println!("-- E1: Query 1, titles output (paper: direct 323.966 s vs GROUPBY 178.607 s, 1.81x) --");
+    let d = measure(db, QUERY_TITLES, PlanMode::Direct);
+    let g = measure(db, QUERY_TITLES, PlanMode::GroupByRewrite);
+    assert!(g.rewritten, "rewrite must fire");
+    println!("{}", format_row("E1 nested form", &d, &g));
+    let d2 = measure(db, QUERY_TITLES_LET, PlanMode::Direct);
+    let g2 = measure(db, QUERY_TITLES_LET, PlanMode::GroupByRewrite);
+    println!("{}", format_row("E1 LET form", &d2, &g2));
+    println!(
+        "paper ratio 1.81x; measured {:.2}x (nested), {:.2}x (LET); output: {} authorpubs, {:.1} MB\n",
+        speedup(&d, &g),
+        speedup(&d2, &g2),
+        g.output_trees,
+        g.output_bytes as f64 / (1024.0 * 1024.0)
+    );
+}
+
+fn run_e2(db: &timber::TimberDb) {
+    println!("-- E2: count variant (paper: direct 155.564 s vs GROUPBY 23.033 s, 6.75x) --");
+    let d = measure(db, QUERY_COUNT, PlanMode::Direct);
+    let g = measure(db, QUERY_COUNT, PlanMode::GroupByRewrite);
+    println!("{}", format_row("E2 count", &d, &g));
+    println!(
+        "paper ratio 6.75x; measured {:.2}x; output: {} authorpubs, {:.2} MB\n",
+        speedup(&d, &g),
+        g.output_trees,
+        g.output_bytes as f64 / (1024.0 * 1024.0)
+    );
+}
+
+fn run_scale(on_disk: bool) {
+    println!("-- X1: scale sweep (direct/GROUPBY ratio vs database size) --");
+    for articles in [2_000, 5_000, 10_000, 20_000, 50_000] {
+        let db = build_db(articles, None, on_disk);
+        let d = measure(&db, QUERY_TITLES, PlanMode::Direct);
+        let g = measure(&db, QUERY_TITLES, PlanMode::GroupByRewrite);
+        let dc = measure(&db, QUERY_COUNT, PlanMode::Direct);
+        let gc = measure(&db, QUERY_COUNT, PlanMode::GroupByRewrite);
+        println!(
+            "{articles:>7} articles ({:>8} nodes): titles {:>5.2}x  count {:>5.2}x",
+            db.store().node_count(),
+            speedup(&d, &g),
+            speedup(&dc, &gc)
+        );
+    }
+    println!();
+}
+
+fn run_pool(articles: usize, on_disk: bool) {
+    println!("-- X2: buffer-pool sweep (Query 1 titles, {articles} articles) --");
+    for mb in [4, 8, 16, 32, 64, 128] {
+        let db = build_db(articles, Some(mb << 20), on_disk);
+        let d = measure(&db, QUERY_TITLES, PlanMode::Direct);
+        let g = measure(&db, QUERY_TITLES, PlanMode::GroupByRewrite);
+        println!(
+            "{mb:>4} MB pool: direct {:>8.3}s / {:>8} disk reads | groupby {:>8.3}s / {:>8} disk reads | {:>5.2}x",
+            d.elapsed.as_secs_f64(),
+            d.io.disk.reads,
+            g.elapsed.as_secs_f64(),
+            g.io.disk.reads,
+            speedup(&d, &g)
+        );
+    }
+    println!();
+}
+
+fn run_matching(articles: usize) {
+    use tax::matching::{match_db, naive::match_db_scan};
+    use tax::pattern::{Axis, PatternTree, Pred};
+
+    let articles = articles.min(5_000); // the scan baseline is slow by design
+    println!("-- X3: pattern matching, index+structural join vs full scan ({articles} articles) --");
+    let db = build_db(articles, None, false);
+    let mut p = PatternTree::with_root(Pred::tag("article"));
+    p.add_child(p.root(), Axis::Child, Pred::tag("title"));
+    p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+
+    db.reset_io_stats();
+    let t0 = std::time::Instant::now();
+    let indexed = match_db(db.store(), &p).unwrap();
+    let t_index = t0.elapsed();
+    let io_index = db.io_stats().page_requests();
+
+    db.reset_io_stats();
+    let t0 = std::time::Instant::now();
+    let scanned = match_db_scan(db.store(), &p).unwrap();
+    let t_scan = t0.elapsed();
+    let io_scan = db.io_stats().page_requests();
+
+    assert_eq!(indexed.len(), scanned.len());
+    println!(
+        "index+joins: {:>9.3}s, {:>9} page requests | full scan: {:>9.3}s, {:>9} page requests | {:.1}x fewer pages\n",
+        t_index.as_secs_f64(),
+        io_index,
+        t_scan.as_secs_f64(),
+        io_scan,
+        io_scan as f64 / io_index.max(1) as f64
+    );
+}
+
+fn run_value_index() {
+    use datagen::{DblpConfig, DblpGenerator};
+    use tax::matching::match_db;
+    use tax::pattern::{Axis, PatternTree, Pred};
+    use timber::TimberDb;
+    use xmlstore::StoreOptions;
+
+    let articles = 20_000;
+    println!("-- X8: content value index vs per-candidate look-ups ({articles} articles) --");
+    let xml = DblpGenerator::new(DblpConfig::sized(articles)).generate_xml();
+    let with_vi = TimberDb::load_xml(&xml, &StoreOptions::default().with_value_index()).unwrap();
+    let without = TimberDb::load_xml(&xml, &StoreOptions::default()).unwrap();
+
+    // Find the most prolific author's name for a selective predicate.
+    let store = without.store();
+    let author_tag = store.tag_id("author").unwrap();
+    let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for e in store.nodes_with_tag(author_tag) {
+        *counts.entry(store.content(e.id).unwrap().unwrap()).or_default() += 1;
+    }
+    let (top, _) = counts.iter().max_by_key(|(_, n)| **n).unwrap();
+
+    let mut p = PatternTree::with_root(Pred::tag("article"));
+    p.add_child(
+        p.root(),
+        Axis::Child,
+        Pred::tag("author").and(Pred::content_eq(top.clone())),
+    );
+
+    for (name, db) in [("value index", &with_vi), ("tag index only", &without)] {
+        db.clear_buffer_pool().unwrap();
+        db.reset_io_stats();
+        let t0 = std::time::Instant::now();
+        let bindings = match_db(db.store(), &p).unwrap();
+        println!(
+            "{name:>15}: {:>8.4}s, {:>8} page requests, {} matches",
+            t0.elapsed().as_secs_f64(),
+            db.io_stats().page_requests(),
+            bindings.len()
+        );
+    }
+    println!();
+}
+
+fn run_groupby_impl() {
+    use tax::ops::groupby::{groupby, groupby_replicated, BasisItem};
+    use tax::ops::project::ProjectItem;
+    use tax::ops::{project, select_db};
+    use tax::pattern::{Axis, PatternTree, Pred};
+
+    let articles = 5_000;
+    println!("-- X4: grouping implementation, identifier processing vs eager replication ({articles} articles) --");
+    let db = build_db(articles, None, false);
+    let store = db.store();
+    let mut sp = PatternTree::with_root(Pred::tag("doc_root"));
+    let art = sp.add_child(sp.root(), Axis::Descendant, Pred::tag("article"));
+    let sel = select_db(store, &sp, &[art]).unwrap();
+    let input = project(store, &sel, &sp, &[ProjectItem::deep(art)], true).unwrap();
+
+    let mut gp = PatternTree::with_root(Pred::tag("article"));
+    let author = gp.add_child(gp.root(), Axis::Child, Pred::tag("author"));
+    let basis = [BasisItem::content(author)];
+
+    db.clear_buffer_pool().unwrap();
+    db.reset_io_stats();
+    let t0 = std::time::Instant::now();
+    let fast = groupby(store, &input, &gp, &basis, &[]).unwrap();
+    let t_fast = t0.elapsed();
+    let io_fast = db.io_stats().page_requests();
+
+    db.clear_buffer_pool().unwrap();
+    db.reset_io_stats();
+    let t0 = std::time::Instant::now();
+    let slow = groupby_replicated(store, &input, &gp, &basis, &[]).unwrap();
+    let t_slow = t0.elapsed();
+    let io_slow = db.io_stats().page_requests();
+
+    assert_eq!(fast.len(), slow.len());
+    println!(
+        "identifier: {:>8.3}s, {:>9} page requests | replicated: {:>8.3}s, {:>9} page requests | {:.1}x fewer pages\n",
+        t_fast.as_secs_f64(),
+        io_fast,
+        t_slow.as_secs_f64(),
+        io_slow,
+        io_slow as f64 / io_fast.max(1) as f64
+    );
+}

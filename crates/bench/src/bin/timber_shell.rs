@@ -1,0 +1,220 @@
+//! An interactive shell for the TIMBER reproduction.
+//!
+//! ```text
+//! cargo run --release -p timber-bench --bin timber_shell [file.xml]
+//! ```
+//!
+//! Commands (terminate queries with `;`):
+//!
+//! ```text
+//! .load <file.xml>     load an XML document
+//! .gen <articles>      load a synthetic DBLP of the given size
+//! .mode direct|groupby|both
+//! .explain             explain instead of executing
+//! .stats               database and I/O statistics
+//! .help                this text
+//! .quit
+//! FOR $a IN … ;        any query in the supported FLWR subset
+//! ```
+
+use std::io::{BufRead, Write};
+use timber::{PlanMode, TimberDb};
+use xmlstore::StoreOptions;
+
+struct Shell {
+    db: Option<TimberDb>,
+    mode: Mode,
+    explain_only: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Direct,
+    GroupBy,
+    Both,
+}
+
+fn main() {
+    let mut shell = Shell {
+        db: None,
+        mode: Mode::GroupBy,
+        explain_only: false,
+    };
+    if let Some(path) = std::env::args().nth(1) {
+        shell.load(&path);
+    }
+    println!("TIMBER shell — .help for commands");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        print!("{}", if buffer.is_empty() { "timber> " } else { "   ...> " });
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !shell.command(trimmed) {
+                break;
+            }
+            continue;
+        }
+        if trimmed.is_empty() && buffer.is_empty() {
+            continue;
+        }
+        buffer.push_str(&line);
+        if trimmed.ends_with(';') {
+            let query = buffer.trim_end().trim_end_matches(';').to_owned();
+            buffer.clear();
+            shell.run_query(&query);
+        }
+    }
+}
+
+impl Shell {
+    fn command(&mut self, cmd: &str) -> bool {
+        let mut parts = cmd.splitn(2, ' ');
+        let head = parts.next().unwrap_or("");
+        let arg = parts.next().unwrap_or("").trim();
+        match head {
+            ".quit" | ".exit" => return false,
+            ".help" => {
+                println!(
+                    ".load <file.xml> | .gen <articles> | .mode direct|groupby|both\n\
+                     .explain (toggle) | .stats | .quit\n\
+                     end a query with ';' to run it"
+                );
+            }
+            ".load" => self.load(arg),
+            ".gen" => match arg.parse::<usize>() {
+                Ok(n) => {
+                    let xml = datagen::DblpGenerator::new(datagen::DblpConfig::sized(n))
+                        .generate_xml();
+                    match TimberDb::load_xml(&xml, &StoreOptions::default()) {
+                        Ok(db) => {
+                            println!(
+                                "generated {n} articles: {} nodes, {:.1} MB",
+                                db.store().node_count(),
+                                db.store().size_bytes() as f64 / (1024.0 * 1024.0)
+                            );
+                            self.db = Some(db);
+                        }
+                        Err(e) => eprintln!("load failed: {e}"),
+                    }
+                }
+                Err(_) => eprintln!(".gen needs an article count"),
+            },
+            ".mode" => {
+                self.mode = match arg {
+                    "direct" => Mode::Direct,
+                    "groupby" => Mode::GroupBy,
+                    "both" => Mode::Both,
+                    _ => {
+                        eprintln!("mode must be direct, groupby, or both");
+                        self.mode
+                    }
+                }
+            }
+            ".explain" => {
+                self.explain_only = !self.explain_only;
+                println!(
+                    "explain {}",
+                    if self.explain_only { "on" } else { "off" }
+                );
+            }
+            ".stats" => match &self.db {
+                None => println!("no database loaded"),
+                Some(db) => {
+                    let io = db.io_stats();
+                    println!(
+                        "{} nodes, {} pages ({:.1} MB), pool {} pages; \
+                         session I/O: {} page requests, {} disk reads",
+                        db.store().node_count(),
+                        db.store().total_pages(),
+                        db.store().size_bytes() as f64 / (1024.0 * 1024.0),
+                        db.store().pool_capacity(),
+                        io.page_requests(),
+                        io.disk.reads,
+                    );
+                }
+            },
+            other => eprintln!("unknown command {other}; try .help"),
+        }
+        true
+    }
+
+    fn load(&mut self, path: &str) {
+        if path.is_empty() {
+            eprintln!(".load needs a file path");
+            return;
+        }
+        match std::fs::read_to_string(path) {
+            Err(e) => eprintln!("cannot read {path}: {e}"),
+            Ok(xml) => match TimberDb::load_xml(&xml, &StoreOptions::default()) {
+                Ok(db) => {
+                    println!(
+                        "loaded {path}: {} nodes, {} pages",
+                        db.store().node_count(),
+                        db.store().total_pages()
+                    );
+                    self.db = Some(db);
+                }
+                Err(e) => eprintln!("load failed: {e}"),
+            },
+        }
+    }
+
+    fn run_query(&mut self, query: &str) {
+        let Some(db) = &self.db else {
+            eprintln!("no database loaded (.load or .gen first)");
+            return;
+        };
+        if self.explain_only {
+            match db.explain(query) {
+                Ok(text) => println!("{text}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+            return;
+        }
+        let modes: &[(&str, PlanMode)] = match self.mode {
+            Mode::Direct => &[("direct", PlanMode::Direct)],
+            Mode::GroupBy => &[("groupby", PlanMode::GroupByRewrite)],
+            Mode::Both => &[
+                ("direct", PlanMode::Direct),
+                ("groupby", PlanMode::GroupByRewrite),
+            ],
+        };
+        for (name, mode) in modes {
+            db.reset_io_stats();
+            let t0 = std::time::Instant::now();
+            match db.query(query, *mode) {
+                Err(e) => eprintln!("error: {e}"),
+                Ok(result) => match result.to_xml_on(db.store()) {
+                    Err(e) => eprintln!("materialize error: {e}"),
+                    Ok(xml) => {
+                        let dt = t0.elapsed();
+                        let io = db.io_stats();
+                        if self.mode == Mode::Both {
+                            println!("-- {name} --");
+                        }
+                        print!("{xml}");
+                        println!(
+                            "[{} trees, {:.3}s, {} page requests, {} disk reads{}]",
+                            result.len(),
+                            dt.as_secs_f64(),
+                            io.page_requests(),
+                            io.disk.reads,
+                            if result.rewritten { ", rewritten" } else { "" }
+                        );
+                    }
+                },
+            }
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! The recursive (navigational) matcher for in-memory data trees, and the
+//! full-scan database baseline.
+//!
+//! The matcher is *index-assisted*, as TIMBER's is (Sec. 5.2): structural
+//! work — does this stored node have tag `t`? which `t`-tagged nodes lie
+//! inside this stored subtree? — is answered from the tag index without
+//! touching data pages. Node ids are pre-order ordinals, so each index
+//! list is sorted by id as well as by `start`, and membership is a binary
+//! search; subtree enumeration is a range scan. Data pages are read only
+//! for content/attribute predicates, for patterns whose root predicate
+//! pins no tag, and for join-predicate post-filtering.
+//!
+//! [`match_db_scan`] deliberately avoids the index: it navigates the
+//! stored document from the root, paying a record read per visited node —
+//! the "simplest way … is to scan the entire database" baseline that the
+//! paper argues against (ablation X3).
+
+use super::vnode::{VNode, VTree};
+use super::Binding;
+use crate::error::Result;
+use crate::matching::structural::contained_in;
+use crate::pattern::{Axis, PatternTree, Pred};
+use crate::tree::{Tree, TreeNodeKind};
+use xmlstore::{DocumentStore, NodeEntry, NodeId};
+
+/// Match a pattern against a virtual tree by recursive embedding.
+pub fn match_vtree(
+    vt: &VTree<'_>,
+    pattern: &PatternTree,
+    anchor_root: bool,
+) -> Result<Vec<Binding>> {
+    let order = pattern.preorder();
+    let root_pred = &pattern.node(order[0]).pred;
+    let mut roots: Vec<VNode> = Vec::new();
+    if check_node(vt, vt.root(), root_pred)? {
+        roots.push(vt.root());
+    }
+    if !anchor_root {
+        descendant_candidates(vt, vt.root(), root_pred, &mut roots)?;
+    }
+
+    let mut out: Vec<Binding> = Vec::new();
+    let mut binding: Vec<Option<VNode>> = vec![None; pattern.len()];
+    for r in roots {
+        binding[order[0]] = Some(r);
+        assign(vt, pattern, &order, 1, &mut binding, &mut out)?;
+        binding[order[0]] = None;
+    }
+
+    // Cross-node join predicates as a post-filter.
+    let mut kept = Vec::with_capacity(out.len());
+    'outer: for b in out {
+        for (pid, pnode) in pattern.iter() {
+            for target in pnode.pred.join_targets() {
+                let a = vt.content(b[pid])?;
+                let t = vt.content(b[target])?;
+                if a.is_none() || a != t {
+                    continue 'outer;
+                }
+            }
+        }
+        kept.push(b);
+    }
+    Ok(kept)
+}
+
+fn assign(
+    vt: &VTree<'_>,
+    pattern: &PatternTree,
+    order: &[usize],
+    idx: usize,
+    binding: &mut Vec<Option<VNode>>,
+    out: &mut Vec<Binding>,
+) -> Result<()> {
+    if idx == order.len() {
+        out.push(binding.iter().map(|b| b.expect("complete")).collect());
+        return Ok(());
+    }
+    let pid = order[idx];
+    let parent = pattern.node(pid).parent.expect("non-root in preorder tail");
+    let pv = binding[parent].expect("parent bound first");
+    let pred = &pattern.node(pid).pred;
+    let mut candidates = Vec::new();
+    match pattern.node(pid).axis {
+        Axis::Child => child_candidates(vt, pv, pred, &mut candidates)?,
+        Axis::Descendant => descendant_candidates(vt, pv, pred, &mut candidates)?,
+    }
+    for c in candidates {
+        binding[pid] = Some(c);
+        assign(vt, pattern, order, idx + 1, binding, out)?;
+        binding[pid] = None;
+    }
+    Ok(())
+}
+
+/// Does the stored node `id` carry tag `t`? Answered from the index: the
+/// per-tag entry lists are in document order, and ids are pre-order
+/// ordinals, so they are sorted by id too.
+fn stored_has_tag(store: &DocumentStore, id: NodeId, t: &str) -> bool {
+    match store.tag_id(t) {
+        Some(tid) => store
+            .nodes_with_tag(tid)
+            .binary_search_by_key(&id, |e| e.id)
+            .is_ok(),
+        None => false,
+    }
+}
+
+/// Evaluate a predicate on a virtual node, using the index for the tag
+/// part of stored nodes.
+pub fn check_node(vt: &VTree<'_>, v: VNode, pred: &Pred) -> Result<bool> {
+    let required = pred.required_tag();
+    let stored_id = match v {
+        VNode::Stored(e) => Some(e.id),
+        VNode::Arena(i) => match &vt.tree().node(i).kind {
+            TreeNodeKind::Ref { node, .. } => Some(node.id),
+            TreeNodeKind::Elem { .. } => None,
+        },
+    };
+    match (required, stored_id) {
+        (Some(t), Some(id)) => {
+            if !stored_has_tag(vt.store(), id, t) {
+                return Ok(false);
+            }
+            if pred.needs_data() {
+                let content = vt.content(v)?;
+                let attr = |name: &str| vt.attr(v, name).ok().flatten();
+                Ok(pred.eval_local(t, content.as_deref(), &attr))
+            } else {
+                // Tag matched; remaining local conjuncts can only be join
+                // predicates, which hold locally.
+                Ok(true)
+            }
+        }
+        _ => {
+            // Arena elements (cheap tag), or predicates that pin no tag:
+            // fall back to a full local evaluation.
+            let tag = vt.tag(v)?;
+            let content = if pred.needs_data() {
+                vt.content(v)?
+            } else {
+                None
+            };
+            let attr = |name: &str| vt.attr(v, name).ok().flatten();
+            Ok(pred.eval_local(&tag, content.as_deref(), &attr))
+        }
+    }
+}
+
+/// How a virtual node continues downward.
+enum Below {
+    /// Children are arena nodes.
+    Arena(Vec<usize>),
+    /// The node's subtree lives in the store.
+    Stored(NodeEntry),
+}
+
+fn below(vt: &VTree<'_>, v: VNode) -> Result<Below> {
+    Ok(match v {
+        VNode::Stored(e) => Below::Stored(e),
+        VNode::Arena(i) => match &vt.tree().node(i).kind {
+            TreeNodeKind::Ref { node, deep: true } => Below::Stored(*node),
+            _ => Below::Arena(vt.tree().node(i).children.clone()),
+        },
+    })
+}
+
+/// Append all descendants of `v` (excluding `v`) that satisfy `pred`, in
+/// document order.
+fn descendant_candidates(
+    vt: &VTree<'_>,
+    v: VNode,
+    pred: &Pred,
+    out: &mut Vec<VNode>,
+) -> Result<()> {
+    match below(vt, v)? {
+        Below::Arena(children) => {
+            for c in children {
+                let cv = VNode::Arena(c);
+                if check_node(vt, cv, pred)? {
+                    out.push(cv);
+                }
+                descendant_candidates(vt, cv, pred, out)?;
+            }
+        }
+        Below::Stored(e) => stored_range_candidates(vt, e, pred, None, out)?,
+    }
+    Ok(())
+}
+
+/// Append the children of `v` that satisfy `pred`, in document order.
+fn child_candidates(
+    vt: &VTree<'_>,
+    v: VNode,
+    pred: &Pred,
+    out: &mut Vec<VNode>,
+) -> Result<()> {
+    match below(vt, v)? {
+        Below::Arena(children) => {
+            for c in children {
+                let cv = VNode::Arena(c);
+                if check_node(vt, cv, pred)? {
+                    out.push(cv);
+                }
+            }
+        }
+        Below::Stored(e) => {
+            stored_range_candidates(vt, e, pred, Some(e.level + 1), out)?
+        }
+    }
+    Ok(())
+}
+
+/// Candidates inside a stored subtree: index range scan when the
+/// predicate pins a tag (no page I/O for structure), record-by-record
+/// navigation otherwise.
+fn stored_range_candidates(
+    vt: &VTree<'_>,
+    scope: NodeEntry,
+    pred: &Pred,
+    level: Option<u16>,
+    out: &mut Vec<VNode>,
+) -> Result<()> {
+    let store = vt.store();
+    if let Some(t) = pred.required_tag() {
+        let Some(tid) = store.tag_id(t) else {
+            return Ok(());
+        };
+        for entry in contained_in(store.nodes_with_tag(tid), &scope) {
+            if let Some(l) = level {
+                if entry.level != l {
+                    continue;
+                }
+            }
+            let cand = VNode::Stored(*entry);
+            if !pred.needs_data() || check_node(vt, cand, pred)? {
+                out.push(cand);
+            }
+        }
+        return Ok(());
+    }
+    // No tag pinned: navigate (record reads), matching TIMBER's fallback.
+    let mut stack = vec![(VNode::Stored(scope), true)];
+    while let Some((v, is_scope)) = stack.pop() {
+        if !is_scope {
+            let ok = match level {
+                Some(l) => v.as_stored().map(|e| e.level == l).unwrap_or(false),
+                None => true,
+            };
+            if ok && check_node(vt, v, pred)? {
+                out.push(v);
+            }
+        }
+        let descend = match (level, v.as_stored()) {
+            (Some(l), Some(e)) => e.level < l, // children mode: stop below target level
+            _ => true,
+        };
+        if descend {
+            let kids = vt.children(v)?;
+            for c in kids.into_iter().rev() {
+                stack.push((c, false));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Full-database-scan matching: navigate the stored document from the
+/// root without using the tag index. Every visited node costs a record
+/// read, which is exactly why the paper prefers index-driven matching.
+pub fn match_db_scan(store: &DocumentStore, pattern: &PatternTree) -> Result<Vec<Binding>> {
+    let root_tree = Tree::new_ref(store.root(), true);
+    let vt = VTree::new(store, &root_tree);
+    let order = pattern.preorder();
+
+    // Enumerate every node by navigation and test the root predicate
+    // with record reads (no index).
+    let mut roots = Vec::new();
+    scan_collect(&vt, vt.root(), &pattern.node(order[0]).pred, &mut roots)?;
+
+    let mut out: Vec<Binding> = Vec::new();
+    let mut binding: Vec<Option<VNode>> = vec![None; pattern.len()];
+    for r in roots {
+        binding[order[0]] = Some(r);
+        assign_scan(&vt, pattern, &order, 1, &mut binding, &mut out)?;
+        binding[order[0]] = None;
+    }
+    let mut kept = Vec::with_capacity(out.len());
+    'outer: for b in out {
+        for (pid, pnode) in pattern.iter() {
+            for target in pnode.pred.join_targets() {
+                let a = vt.content(b[pid])?;
+                let t = vt.content(b[target])?;
+                if a.is_none() || a != t {
+                    continue 'outer;
+                }
+            }
+        }
+        kept.push(b);
+    }
+    Ok(kept)
+}
+
+fn scan_collect(
+    vt: &VTree<'_>,
+    v: VNode,
+    pred: &Pred,
+    out: &mut Vec<VNode>,
+) -> Result<()> {
+    if eval_by_navigation(vt, v, pred)? {
+        out.push(v);
+    }
+    for c in vt.children(v)? {
+        scan_collect(vt, c, pred, out)?;
+    }
+    Ok(())
+}
+
+fn assign_scan(
+    vt: &VTree<'_>,
+    pattern: &PatternTree,
+    order: &[usize],
+    idx: usize,
+    binding: &mut Vec<Option<VNode>>,
+    out: &mut Vec<Binding>,
+) -> Result<()> {
+    if idx == order.len() {
+        out.push(binding.iter().map(|b| b.expect("complete")).collect());
+        return Ok(());
+    }
+    let pid = order[idx];
+    let parent = pattern.node(pid).parent.expect("non-root");
+    let pv = binding[parent].expect("parent bound first");
+    let candidates: Vec<VNode> = match pattern.node(pid).axis {
+        Axis::Child => vt.children(pv)?,
+        Axis::Descendant => vt.descendants(pv)?,
+    };
+    for c in candidates {
+        if !eval_by_navigation(vt, c, &pattern.node(pid).pred)? {
+            continue;
+        }
+        binding[pid] = Some(c);
+        assign_scan(vt, pattern, order, idx + 1, binding, out)?;
+        binding[pid] = None;
+    }
+    Ok(())
+}
+
+/// Predicate evaluation that always reads the record (the scan baseline).
+fn eval_by_navigation(vt: &VTree<'_>, v: VNode, pred: &Pred) -> Result<bool> {
+    let tag = vt.tag(v)?;
+    let content = if pred.needs_data() {
+        vt.content(v)?
+    } else {
+        None
+    };
+    let attr = |name: &str| vt.attr(v, name).ok().flatten();
+    Ok(pred.eval_local(&tag, content.as_deref(), &attr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::match_db;
+    use xmlstore::StoreOptions;
+
+    const SAMPLE: &str = "<bib>\
+        <article><title>Transaction Mng</title><author>Silberschatz</author></article>\
+        <article><title>Overview of Transaction Mng</title><author>Silberschatz</author><author>Garcia-Molina</author></article>\
+        <article><title>Web Stuff</title><author>Thompson</author></article>\
+    </bib>";
+
+    fn store() -> DocumentStore {
+        DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory()).unwrap()
+    }
+
+    fn fig1() -> PatternTree {
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        p.add_child(
+            p.root(),
+            Axis::Child,
+            Pred::tag("title").and(Pred::content_contains("Transaction")),
+        );
+        p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+        p
+    }
+
+    #[test]
+    fn scan_agrees_with_index_matcher() {
+        let s = store();
+        let p = fig1();
+        let scan = match_db_scan(&s, &p).unwrap();
+        let indexed = match_db(&s, &p).unwrap();
+        assert_eq!(scan.len(), indexed.len());
+        let ids = |bs: &Vec<Binding>| -> Vec<Vec<u32>> {
+            let mut v: Vec<Vec<u32>> = bs
+                .iter()
+                .map(|b| {
+                    b.iter()
+                        .map(|n| n.as_stored().unwrap().id.0)
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(ids(&scan), ids(&indexed));
+    }
+
+    #[test]
+    fn scan_touches_data_pages_even_for_tag_only_patterns() {
+        let s = store();
+        let p = PatternTree::with_root(Pred::tag("author"));
+        s.reset_io_stats();
+        let _ = match_db(&s, &p).unwrap();
+        assert_eq!(s.io_stats().page_requests(), 0);
+        let r = match_db_scan(&s, &p).unwrap();
+        assert_eq!(r.len(), 4);
+        assert!(s.io_stats().page_requests() > 0);
+    }
+
+    #[test]
+    fn descendant_axis_in_tree_matcher() {
+        let s = store();
+        let mut p = PatternTree::with_root(Pred::tag("doc_root"));
+        p.add_child(p.root(), Axis::Descendant, Pred::tag("author"));
+        let b = match_db_scan(&s, &p).unwrap();
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn multiple_embeddings_per_tree() {
+        let s = store();
+        let article = s.tag_id("article").unwrap();
+        let art2 = s.nodes_with_tag(article)[1];
+        let t = Tree::new_ref(art2, true);
+        let vt = VTree::new(&s, &t);
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+        let b = match_vtree(&vt, &p, false).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn join_predicate_post_filter() {
+        let s = store();
+        // Equal-content author pairs within an article: one self-pair per
+        // author occurrence.
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        let a1 = p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+        p.add_child(
+            p.root(),
+            Axis::Child,
+            Pred::tag("author").and(Pred::ContentEqNode(a1)),
+        );
+        let b = match_db_scan(&s, &p).unwrap();
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn index_assisted_matcher_avoids_structure_io() {
+        let s = store();
+        // A tag-only pattern over a group-like synthetic tree whose
+        // members are deep references: candidate work must be index-only.
+        let article = s.tag_id("article").unwrap();
+        let mut t = Tree::new_elem("TAX_group_root");
+        let sub = t.add_elem(t.root(), "TAX_group_subroot");
+        for e in s.nodes_with_tag(article) {
+            t.add_ref(sub, *e, true);
+        }
+        let mut p = PatternTree::with_root(Pred::tag("TAX_group_root"));
+        let subroot = p.add_child(p.root(), Axis::Child, Pred::tag("TAX_group_subroot"));
+        p.add_child(subroot, Axis::Child, Pred::tag("article"));
+
+        s.reset_io_stats();
+        let vt = VTree::new(&s, &t);
+        let b = match_vtree(&vt, &p, true).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(
+            s.io_stats().page_requests(),
+            0,
+            "structural matching over references must be index-only"
+        );
+    }
+
+    #[test]
+    fn mixed_arena_stored_descendant_search() {
+        let s = store();
+        let article = s.tag_id("article").unwrap();
+        let mut t = Tree::new_elem("wrap");
+        t.add_ref(t.root(), s.nodes_with_tag(article)[1], true);
+        let mut p = PatternTree::with_root(Pred::tag("wrap"));
+        p.add_child(p.root(), Axis::Descendant, Pred::tag("author"));
+        let vt = VTree::new(&s, &t);
+        let b = match_vtree(&vt, &p, true).unwrap();
+        assert_eq!(b.len(), 2, "authors found inside the deep reference");
+    }
+
+    #[test]
+    fn no_required_tag_falls_back_to_navigation() {
+        let s = store();
+        let article = s.tag_id("article").unwrap();
+        let t = Tree::new_ref(s.nodes_with_tag(article)[0], true);
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        p.add_child(
+            p.root(),
+            Axis::Descendant,
+            Pred::content_contains("Transaction"),
+        );
+        let vt = VTree::new(&s, &t);
+        let b = match_vtree(&vt, &p, true).unwrap();
+        assert_eq!(b.len(), 1); // the title
+    }
+}

@@ -1,0 +1,318 @@
+//! Structural (containment) joins over index entry lists.
+//!
+//! Both inputs are sorted by `start`, which the tag index guarantees.
+//! Two algorithms are provided:
+//!
+//! * [`contained_in`] — range expansion: binary-search the descendant
+//!   list for one ancestor's interval. Used by the pattern matcher, where
+//!   the ancestor side arrives one binding at a time.
+//! * [`stack_tree_join`] — the single-pass stack-based
+//!   ancestor-descendant join of Al-Khalifa et al. (ICDE 2002), the
+//!   algorithm the paper cites for TIMBER ("efficient single-pass
+//!   containment join algorithms whose asymptotic cost is optimal").
+//!   Used when both sides are full candidate lists, and benchmarked
+//!   against the naive nested-loop join (ablation X3).
+
+use xmlstore::NodeEntry;
+
+/// All entries of `list` strictly contained in `scope`
+/// (`scope.start < e.start && e.end < scope.end`). `list` must be sorted
+/// by `start`; intervals must be properly nested (as containment labels
+/// are), so the result is the contiguous run following `scope.start`.
+pub fn contained_in<'a>(list: &'a [NodeEntry], scope: &NodeEntry) -> &'a [NodeEntry] {
+    let lo = list.partition_point(|e| e.start <= scope.start);
+    let hi = lo + list[lo..].partition_point(|e| e.start < scope.end);
+    &list[lo..hi]
+}
+
+/// All entries of `list` contained in `scope`, allowing the node equal to
+/// `scope` itself.
+pub fn contained_in_or_self<'a>(list: &'a [NodeEntry], scope: &NodeEntry) -> &'a [NodeEntry] {
+    let lo = list.partition_point(|e| e.start < scope.start);
+    let hi = lo + list[lo..].partition_point(|e| e.start < scope.end);
+    &list[lo..hi]
+}
+
+/// Which axis a [`stack_tree_join`] enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAxis {
+    /// Ancestor-descendant.
+    AncestorDescendant,
+    /// Parent-child (`level` difference of exactly 1).
+    ParentChild,
+}
+
+/// Single-pass stack-based structural join (Stack-Tree-Desc).
+///
+/// Returns `(ancestor, descendant)` pairs, ordered by descendant. Both
+/// inputs must be sorted by `start`. Runs in
+/// `O(|ancestors| + |descendants| + |output|)`.
+pub fn stack_tree_join(
+    ancestors: &[NodeEntry],
+    descendants: &[NodeEntry],
+    axis: JoinAxis,
+) -> Vec<(NodeEntry, NodeEntry)> {
+    let mut out = Vec::new();
+    let mut stack: Vec<NodeEntry> = Vec::new();
+    let mut ai = 0;
+
+    for d in descendants {
+        // Pop ancestors that end before this descendant begins.
+        while let Some(top) = stack.last() {
+            if top.end < d.start {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        // Push ancestors that start before this descendant.
+        while ai < ancestors.len() && ancestors[ai].start < d.start {
+            let a = ancestors[ai];
+            ai += 1;
+            // Maintain the nesting invariant on the stack.
+            while let Some(top) = stack.last() {
+                if top.end < a.start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if a.end > d.start {
+                // Only keep ancestors whose interval is still open.
+                stack.push(a);
+            }
+        }
+        // Every stack entry containing d joins with it.
+        for a in stack.iter() {
+            if a.start < d.start && d.end < a.end {
+                match axis {
+                    JoinAxis::AncestorDescendant => out.push((*a, *d)),
+                    JoinAxis::ParentChild => {
+                        if d.level == a.level + 1 {
+                            out.push((*a, *d));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Nested-loop containment join: the `O(|A| · |D|)` baseline used only to
+/// cross-check and benchmark [`stack_tree_join`].
+pub fn nested_loop_join(
+    ancestors: &[NodeEntry],
+    descendants: &[NodeEntry],
+    axis: JoinAxis,
+) -> Vec<(NodeEntry, NodeEntry)> {
+    let mut out = Vec::new();
+    for d in descendants {
+        for a in ancestors {
+            if a.is_ancestor_of(d) {
+                match axis {
+                    JoinAxis::AncestorDescendant => out.push((*a, *d)),
+                    JoinAxis::ParentChild => {
+                        if d.level == a.level + 1 {
+                            out.push((*a, *d));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlstore::NodeId;
+
+    fn e(id: u32, start: u32, end: u32, level: u16) -> NodeEntry {
+        NodeEntry {
+            id: NodeId(id),
+            start,
+            end,
+            level,
+        }
+    }
+
+    /// A small forest:
+    /// a0[0,19]  level1
+    ///   b1[1,8]   level2
+    ///     c2[2,3]  level3
+    ///     c3[4,5]  level3
+    ///   b4[9,18]  level2
+    ///     c5[10,11] level3
+    /// a6[20,29] level1
+    ///   c7[21,22] level2
+    fn ancestors() -> Vec<NodeEntry> {
+        vec![e(0, 0, 19, 1), e(6, 20, 29, 1)]
+    }
+    fn mids() -> Vec<NodeEntry> {
+        vec![e(1, 1, 8, 2), e(4, 9, 18, 2)]
+    }
+    fn leaves() -> Vec<NodeEntry> {
+        vec![
+            e(2, 2, 3, 3),
+            e(3, 4, 5, 3),
+            e(5, 10, 11, 3),
+            e(7, 21, 22, 2),
+        ]
+    }
+
+    #[test]
+    fn contained_in_basic() {
+        let list = leaves();
+        let within_a0 = contained_in(&list, &e(0, 0, 19, 1));
+        assert_eq!(within_a0.len(), 3);
+        let within_b1 = contained_in(&list, &e(1, 1, 8, 2));
+        assert_eq!(within_b1.len(), 2);
+        let within_a6 = contained_in(&list, &e(6, 20, 29, 1));
+        assert_eq!(within_a6.len(), 1);
+        // A node is not contained in itself.
+        let self_scope = contained_in(&list, &e(2, 2, 3, 3));
+        assert!(self_scope.is_empty());
+    }
+
+    #[test]
+    fn contained_in_or_self_includes_self() {
+        let list = leaves();
+        let r = contained_in_or_self(&list, &e(2, 2, 3, 3));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, NodeId(2));
+    }
+
+    #[test]
+    fn stack_tree_ad_matches_nested_loop() {
+        let a = ancestors();
+        let d = leaves();
+        let mut fast = stack_tree_join(&a, &d, JoinAxis::AncestorDescendant);
+        let mut slow = nested_loop_join(&a, &d, JoinAxis::AncestorDescendant);
+        let key = |p: &(NodeEntry, NodeEntry)| (p.0.id.0, p.1.id.0);
+        fast.sort_by_key(key);
+        slow.sort_by_key(key);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.len(), 4);
+    }
+
+    #[test]
+    fn stack_tree_pc_level_filter() {
+        let a = mids();
+        let d = leaves();
+        let pairs = stack_tree_join(&a, &d, JoinAxis::ParentChild);
+        assert_eq!(pairs.len(), 3); // c2,c3 under b1; c5 under b4; c7 has no mid parent
+        let ad = stack_tree_join(&ancestors(), &leaves(), JoinAxis::ParentChild);
+        assert_eq!(ad.len(), 1); // only c7 is a direct child of a6
+    }
+
+    #[test]
+    fn nested_ancestor_lists() {
+        // Ancestor list containing nested intervals (a0 and b1 both
+        // ancestors of c2): both must pair.
+        let a = vec![e(0, 0, 19, 1), e(1, 1, 8, 2)];
+        let d = vec![e(2, 2, 3, 3)];
+        let pairs = stack_tree_join(&a, &d, JoinAxis::AncestorDescendant);
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(stack_tree_join(&[], &leaves(), JoinAxis::AncestorDescendant).is_empty());
+        assert!(stack_tree_join(&ancestors(), &[], JoinAxis::AncestorDescendant).is_empty());
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_join() {
+        let a = vec![e(0, 0, 5, 1)];
+        let d = vec![e(1, 6, 7, 2)];
+        assert!(stack_tree_join(&a, &d, JoinAxis::AncestorDescendant).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use xmlstore::{NodeEntry, NodeId};
+
+    /// Generate a random labelled forest by simulating a DFS, then split
+    /// its nodes into two random sublists.
+    fn random_forest(depth_seed: Vec<u8>) -> Vec<NodeEntry> {
+        let mut entries = Vec::new();
+        let mut counter = 0u32;
+        let mut id = 0u32;
+        // stack of (start, level) for open nodes
+        let mut open: Vec<(u32, u16, u32)> = Vec::new();
+        for b in depth_seed {
+            if b % 3 == 0 || open.is_empty() {
+                // open a node
+                open.push((counter, open.len() as u16, id));
+                id += 1;
+                counter += 1;
+            } else {
+                // close a node
+                let (start, level, nid) = open.pop().unwrap();
+                entries.push(NodeEntry {
+                    id: NodeId(nid),
+                    start,
+                    end: counter,
+                    level,
+                });
+                counter += 1;
+            }
+        }
+        while let Some((start, level, nid)) = open.pop() {
+            entries.push(NodeEntry {
+                id: NodeId(nid),
+                start,
+                end: counter,
+                level,
+            });
+            counter += 1;
+        }
+        entries.sort_by_key(|e| e.start);
+        entries
+    }
+
+    proptest! {
+        #[test]
+        fn stack_tree_equals_nested_loop(seed in proptest::collection::vec(any::<u8>(), 0..120),
+                                         mask in any::<u64>()) {
+            let forest = random_forest(seed);
+            let mut ancestors = Vec::new();
+            let mut descendants = Vec::new();
+            for (i, e) in forest.iter().enumerate() {
+                if (mask >> (i % 64)) & 1 == 0 {
+                    ancestors.push(*e);
+                } else {
+                    descendants.push(*e);
+                }
+            }
+            for axis in [JoinAxis::AncestorDescendant, JoinAxis::ParentChild] {
+                let mut fast = stack_tree_join(&ancestors, &descendants, axis);
+                let mut slow = nested_loop_join(&ancestors, &descendants, axis);
+                let key = |p: &(NodeEntry, NodeEntry)| (p.0.id.0, p.1.id.0);
+                fast.sort_by_key(key);
+                slow.sort_by_key(key);
+                prop_assert_eq!(fast, slow);
+            }
+        }
+
+        #[test]
+        fn contained_in_equals_filter(seed in proptest::collection::vec(any::<u8>(), 0..120),
+                                      pick in any::<usize>()) {
+            let forest = random_forest(seed);
+            prop_assume!(!forest.is_empty());
+            let scope = forest[pick % forest.len()];
+            let by_search: Vec<_> = contained_in(&forest, &scope).to_vec();
+            let by_filter: Vec<_> = forest
+                .iter()
+                .filter(|e| scope.is_ancestor_of(e))
+                .copied()
+                .collect();
+            prop_assert_eq!(by_search, by_filter);
+        }
+    }
+}

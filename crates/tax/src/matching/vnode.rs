@@ -1,0 +1,259 @@
+//! Virtual nodes: a uniform view over in-memory tree nodes and stored
+//! nodes, so the recursive matcher can walk a heterogeneous data tree
+//! whose deep references continue in the store.
+
+use crate::error::Result;
+use crate::tree::{Tree, TreeNodeId, TreeNodeKind};
+use xmlstore::{DocumentStore, NodeEntry, NodeKind};
+
+/// A node of the *virtual* data tree: either an arena node of the
+/// in-memory [`Tree`], or a stored node reached through a deep reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VNode {
+    /// An arena node.
+    Arena(TreeNodeId),
+    /// A stored node (with its containment label).
+    Stored(NodeEntry),
+}
+
+impl VNode {
+    /// The stored entry, if this is a stored node.
+    pub fn as_stored(&self) -> Option<NodeEntry> {
+        match self {
+            VNode::Stored(e) => Some(*e),
+            VNode::Arena(_) => None,
+        }
+    }
+
+    /// The arena index, if this is an arena node.
+    pub fn as_arena(&self) -> Option<TreeNodeId> {
+        match self {
+            VNode::Arena(i) => Some(*i),
+            VNode::Stored(_) => None,
+        }
+    }
+}
+
+/// A read view over one in-memory tree plus the store behind its
+/// references.
+pub struct VTree<'a> {
+    store: &'a DocumentStore,
+    tree: &'a Tree,
+}
+
+impl<'a> VTree<'a> {
+    /// Wrap a tree.
+    pub fn new(store: &'a DocumentStore, tree: &'a Tree) -> Self {
+        VTree { store, tree }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &DocumentStore {
+        self.store
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &Tree {
+        self.tree
+    }
+
+    /// The virtual root.
+    pub fn root(&self) -> VNode {
+        VNode::Arena(self.tree.root())
+    }
+
+    /// Children of a virtual node, in document order. Attribute nodes of
+    /// stored elements are not surfaced as children (they are reached via
+    /// attribute predicates), matching how pattern trees address data.
+    pub fn children(&self, v: VNode) -> Result<Vec<VNode>> {
+        match v {
+            VNode::Arena(i) => match &self.tree.node(i).kind {
+                TreeNodeKind::Ref { node, deep: true } => {
+                    let mut out = Vec::new();
+                    for c in self.store.children(node.id)? {
+                        let rec = self.store.record(c)?;
+                        if rec.kind == NodeKind::Attribute {
+                            continue;
+                        }
+                        out.push(VNode::Stored(self.store.entry(c)?));
+                    }
+                    Ok(out)
+                }
+                _ => Ok(self
+                    .tree
+                    .node(i)
+                    .children
+                    .iter()
+                    .map(|&c| VNode::Arena(c))
+                    .collect()),
+            },
+            VNode::Stored(e) => {
+                let mut out = Vec::new();
+                for c in self.store.children(e.id)? {
+                    let rec = self.store.record(c)?;
+                    if rec.kind == NodeKind::Attribute {
+                        continue;
+                    }
+                    out.push(VNode::Stored(self.store.entry(c)?));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// All descendants of `v` (excluding `v`), pre-order.
+    pub fn descendants(&self, v: VNode) -> Result<Vec<VNode>> {
+        let mut out = Vec::new();
+        let mut stack = self.children(v)?;
+        stack.reverse();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            let mut kids = self.children(n)?;
+            kids.reverse();
+            stack.extend(kids);
+        }
+        Ok(out)
+    }
+
+    /// All virtual nodes of the tree, pre-order, root included.
+    pub fn all_nodes(&self) -> Result<Vec<VNode>> {
+        let mut out = vec![self.root()];
+        out.extend(self.descendants(self.root())?);
+        Ok(out)
+    }
+
+    /// Tag of a virtual node.
+    pub fn tag(&self, v: VNode) -> Result<String> {
+        match v {
+            VNode::Arena(i) => self.tree.tag_of(self.store, i),
+            VNode::Stored(e) => {
+                let rec = self.store.record(e.id)?;
+                Ok(self.store.tag_name(rec.tag).to_owned())
+            }
+        }
+    }
+
+    /// Content of a virtual node (a data-value look-up for stored nodes).
+    pub fn content(&self, v: VNode) -> Result<Option<String>> {
+        match v {
+            VNode::Arena(i) => self.tree.content_of(self.store, i),
+            VNode::Stored(e) => Ok(self.store.content(e.id)?),
+        }
+    }
+
+    /// Attribute value of a virtual node.
+    pub fn attr(&self, v: VNode, name: &str) -> Result<Option<String>> {
+        let stored_attr = |id: xmlstore::NodeId| -> Result<Option<String>> {
+            let Some(attr_tag) = self.store.attr_tag_id(name) else {
+                return Ok(None);
+            };
+            for c in self.store.children(id)? {
+                let rec = self.store.record(c)?;
+                if rec.kind == NodeKind::Attribute && rec.tag == attr_tag {
+                    return Ok(self.store.content(c)?);
+                }
+            }
+            Ok(None)
+        };
+        match v {
+            VNode::Arena(i) => match &self.tree.node(i).kind {
+                TreeNodeKind::Ref { node, .. } => stored_attr(node.id),
+                TreeNodeKind::Elem { .. } => Ok(None),
+            },
+            VNode::Stored(e) => stored_attr(e.id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlstore::StoreOptions;
+
+    fn store() -> DocumentStore {
+        DocumentStore::from_xml(
+            "<bib><article year=\"1999\"><title>T1</title><author>Jack</author><author>Jill</author></article></bib>",
+            &StoreOptions::in_memory(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arena_children_listed() {
+        let s = store();
+        let mut t = Tree::new_elem("root");
+        t.add_elem_with_content(t.root(), "a", "1");
+        t.add_elem_with_content(t.root(), "b", "2");
+        let vt = VTree::new(&s, &t);
+        let kids = vt.children(vt.root()).unwrap();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(vt.tag(kids[0]).unwrap(), "a");
+        assert_eq!(vt.content(kids[1]).unwrap().as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn deep_ref_children_come_from_store() {
+        let s = store();
+        let article = s.tag_id("article").unwrap();
+        let art = s.nodes_with_tag(article)[0];
+        let t = Tree::new_ref(art, true);
+        let vt = VTree::new(&s, &t);
+        let kids = vt.children(vt.root()).unwrap();
+        // title + 2 authors; the @year attribute node is filtered out.
+        assert_eq!(kids.len(), 3);
+        assert_eq!(vt.tag(kids[0]).unwrap(), "title");
+    }
+
+    #[test]
+    fn shallow_ref_children_are_arena_only() {
+        let s = store();
+        let article = s.tag_id("article").unwrap();
+        let art = s.nodes_with_tag(article)[0];
+        let t = Tree::new_ref(art, false);
+        let vt = VTree::new(&s, &t);
+        assert!(vt.children(vt.root()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn descendants_cross_the_ref_boundary() {
+        let s = store();
+        let article = s.tag_id("article").unwrap();
+        let art = s.nodes_with_tag(article)[0];
+        let mut t = Tree::new_elem("wrapper");
+        t.add_ref(t.root(), art, true);
+        let vt = VTree::new(&s, &t);
+        let all = vt.all_nodes().unwrap();
+        // wrapper + article-ref + title + 2 authors = 5
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn attr_lookup_through_refs() {
+        let s = store();
+        let article = s.tag_id("article").unwrap();
+        let art = s.nodes_with_tag(article)[0];
+        let t = Tree::new_ref(art, true);
+        let vt = VTree::new(&s, &t);
+        assert_eq!(
+            vt.attr(vt.root(), "year").unwrap().as_deref(),
+            Some("1999")
+        );
+        assert_eq!(vt.attr(vt.root(), "month").unwrap(), None);
+        let mut t2 = Tree::new_elem("synthetic");
+        let vt2 = VTree::new(&s, &t2);
+        assert_eq!(vt2.attr(vt2.root(), "year").unwrap(), None);
+        let _ = &mut t2;
+    }
+
+    #[test]
+    fn stored_vnode_tag_and_content() {
+        let s = store();
+        let author = s.tag_id("author").unwrap();
+        let a = s.nodes_with_tag(author)[1];
+        let t = Tree::new_elem("x");
+        let vt = VTree::new(&s, &t);
+        let v = VNode::Stored(a);
+        assert_eq!(vt.tag(v).unwrap(), "author");
+        assert_eq!(vt.content(v).unwrap().as_deref(), Some("Jill"));
+    }
+}

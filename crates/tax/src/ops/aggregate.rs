@@ -1,0 +1,417 @@
+//! Aggregation (Sec. 4.3): map matched value collections to a summary
+//! value and *insert it into the tree* at a specified position.
+//!
+//! `A⟨aggAttr = f($j), spec⟩(C)` outputs one tree per input tree,
+//! identical to the input except for a new element carrying the computed
+//! value, placed according to the update specification — e.g.
+//! `afterLastChild($i)` or `precedes($i)`/`follows($i)`. Grouping and
+//! aggregation are *separate* logical operators in TAX (unlike SQL),
+//! which is what lets grouping restructure trees without any aggregation.
+
+use crate::error::{Error, Result};
+use crate::matching::match_tree;
+use crate::matching::vnode::{VNode, VTree};
+use crate::pattern::{PatternNodeId, PatternTree};
+use crate::tree::{Collection, TreeNodeKind};
+use xmlstore::DocumentStore;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Number of witnesses (for `count($t)` the values need not be
+    /// numeric, nor even fetched).
+    Count,
+    /// Sum of numeric values (non-numeric values are ignored).
+    Sum,
+    /// Minimum numeric value.
+    Min,
+    /// Maximum numeric value.
+    Max,
+    /// Arithmetic mean.
+    Avg,
+}
+
+/// Where the computed value is inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateSpec {
+    /// `after lastChild($i)`: as the new last child of the node bound by
+    /// `$i`.
+    AfterLastChild(PatternNodeId),
+    /// `precedes($i)`: as the immediately preceding sibling.
+    Precedes(PatternNodeId),
+    /// `follows($i)`: as the immediately following sibling.
+    Follows(PatternNodeId),
+}
+
+/// Apply the aggregation operator.
+///
+/// * `of`: the pattern node whose matched contents are aggregated; for
+///   [`AggFunc::Count`] it may be any bound node (witnesses are counted).
+/// * `new_tag`: the element name carrying the computed value (`aggAttr`).
+///
+/// Anchors must bind to arena nodes of the input trees (constructed nodes
+/// or reference roots) — inserting inside an unexpanded stored subtree is
+/// not supported, matching how TIMBER computes aggregates over witness
+/// structures rather than rewriting stored documents.
+pub fn aggregate(
+    store: &DocumentStore,
+    input: &Collection,
+    pattern: &PatternTree,
+    func: AggFunc,
+    of: PatternNodeId,
+    new_tag: &str,
+    spec: UpdateSpec,
+) -> Result<Collection> {
+    let anchor_label = match spec {
+        UpdateSpec::AfterLastChild(l) | UpdateSpec::Precedes(l) | UpdateSpec::Follows(l) => l,
+    };
+    if of >= pattern.len() {
+        return Err(Error::UnknownLabel(format!("${}", of + 1)));
+    }
+    if anchor_label >= pattern.len() {
+        return Err(Error::UnknownLabel(format!("${}", anchor_label + 1)));
+    }
+
+    let mut out = Vec::with_capacity(input.len());
+    for tree in input {
+        let bindings = match_tree(store, tree, pattern, false)?;
+        if bindings.is_empty() {
+            out.push(tree.clone());
+            continue;
+        }
+        // Gather values.
+        let vt = VTree::new(store, tree);
+        let mut values: Vec<f64> = Vec::new();
+        if func != AggFunc::Count {
+            for b in &bindings {
+                if let Some(text) = vt.content(b[of])? {
+                    if let Ok(v) = text.trim().parse::<f64>() {
+                        values.push(v);
+                    }
+                }
+            }
+        }
+        let computed = compute(func, bindings.len(), &values);
+        let Some(value) = computed else {
+            out.push(tree.clone());
+            continue;
+        };
+
+        // Insert at the anchor of the first witness.
+        let anchor = bindings[0][anchor_label];
+        let VNode::Arena(anchor_id) = anchor else {
+            return Err(Error::Unsupported(
+                "aggregation anchor must be a constructed or reference node of the input tree, \
+                 not a node inside an unexpanded stored subtree"
+                    .into(),
+            ));
+        };
+        let mut new_tree = tree.clone();
+        let kind = TreeNodeKind::Elem {
+            tag: new_tag.to_owned(),
+            content: Some(format_value(value)),
+        };
+        match spec {
+            UpdateSpec::AfterLastChild(_) => {
+                new_tree.add_node(anchor_id, kind);
+            }
+            UpdateSpec::Precedes(_) | UpdateSpec::Follows(_) => {
+                let parent = new_tree
+                    .node(anchor_id)
+                    .parent
+                    .ok_or_else(|| Error::Unsupported("cannot insert a sibling of the root".into()))?;
+                let pos = new_tree
+                    .node(parent)
+                    .children
+                    .iter()
+                    .position(|&c| c == anchor_id)
+                    .expect("anchor is a child of its parent");
+                let pos = if matches!(spec, UpdateSpec::Follows(_)) {
+                    pos + 1
+                } else {
+                    pos
+                };
+                new_tree.insert_node(parent, pos, kind);
+            }
+        }
+        out.push(new_tree);
+    }
+    Ok(out)
+}
+
+/// Apply an aggregate function to the gathered numeric values;
+/// `witnesses` is the match count (what COUNT reports). `None` means the
+/// aggregate is undefined (e.g. MIN over no numeric values).
+pub fn compute(func: AggFunc, witnesses: usize, values: &[f64]) -> Option<f64> {
+    match func {
+        AggFunc::Count => Some(witnesses as f64),
+        AggFunc::Sum => Some(values.iter().sum()),
+        AggFunc::Min => values.iter().copied().reduce(f64::min),
+        AggFunc::Max => values.iter().copied().reduce(f64::max),
+        AggFunc::Avg => {
+            if values.is_empty() {
+                None
+            } else {
+                Some(values.iter().sum::<f64>() / values.len() as f64)
+            }
+        }
+    }
+}
+
+/// Render a computed aggregate value: integers without a trailing `.0`.
+pub fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{Axis, Pred};
+    use crate::tree::Tree;
+    use xmlstore::StoreOptions;
+
+    fn store() -> DocumentStore {
+        DocumentStore::from_xml("<bib/>", &StoreOptions::in_memory()).unwrap()
+    }
+
+    /// authorpubs tree with three title children and a price-ish value.
+    fn sample_tree() -> Tree {
+        let mut t = Tree::new_elem("authorpubs");
+        t.add_elem_with_content(t.root(), "author", "Jack");
+        t.add_elem_with_content(t.root(), "title", "A");
+        t.add_elem_with_content(t.root(), "title", "B");
+        t.add_elem_with_content(t.root(), "title", "C");
+        t
+    }
+
+    fn title_pattern() -> (PatternTree, PatternNodeId, PatternNodeId) {
+        let mut p = PatternTree::with_root(Pred::tag("authorpubs"));
+        let title = p.add_child(p.root(), Axis::Child, Pred::tag("title"));
+        (p, 0, title)
+    }
+
+    #[test]
+    fn count_after_last_child() {
+        let s = store();
+        let (p, root, title) = title_pattern();
+        let out = aggregate(
+            &s,
+            &vec![sample_tree()],
+            &p,
+            AggFunc::Count,
+            title,
+            "pubcount",
+            UpdateSpec::AfterLastChild(root),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        let e = out[0].materialize(&s).unwrap();
+        let kids: Vec<&str> = e.child_elements().map(|c| c.name.as_str()).collect();
+        assert_eq!(kids, ["author", "title", "title", "title", "pubcount"]);
+        assert_eq!(e.child("pubcount").unwrap().text(), "3");
+    }
+
+    fn years_tree() -> Tree {
+        let mut t = Tree::new_elem("pubs");
+        t.add_elem_with_content(t.root(), "year", "1999");
+        t.add_elem_with_content(t.root(), "year", "2001");
+        t.add_elem_with_content(t.root(), "year", "2002");
+        t
+    }
+
+    fn year_pattern() -> (PatternTree, PatternNodeId) {
+        let mut p = PatternTree::with_root(Pred::tag("pubs"));
+        let y = p.add_child(p.root(), Axis::Child, Pred::tag("year"));
+        (p, y)
+    }
+
+    #[test]
+    fn numeric_aggregates() {
+        let s = store();
+        let (p, y) = year_pattern();
+        for (func, expect) in [
+            (AggFunc::Sum, "6002"),
+            (AggFunc::Min, "1999"),
+            (AggFunc::Max, "2002"),
+        ] {
+            let out = aggregate(
+                &s,
+                &vec![years_tree()],
+                &p,
+                func,
+                y,
+                "agg",
+                UpdateSpec::AfterLastChild(0),
+            )
+            .unwrap();
+            let e = out[0].materialize(&s).unwrap();
+            assert_eq!(e.child("agg").unwrap().text(), expect, "{func:?}");
+        }
+    }
+
+    #[test]
+    fn avg_formats_fraction() {
+        let s = store();
+        let (p, y) = year_pattern();
+        let out = aggregate(
+            &s,
+            &vec![years_tree()],
+            &p,
+            AggFunc::Avg,
+            y,
+            "avg",
+            UpdateSpec::AfterLastChild(0),
+        )
+        .unwrap();
+        let e = out[0].materialize(&s).unwrap();
+        let v: f64 = e.child("avg").unwrap().text().parse().unwrap();
+        assert!((v - 2000.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn precedes_and_follows_position() {
+        let s = store();
+        let (p, _root, title) = title_pattern();
+        let before = aggregate(
+            &s,
+            &vec![sample_tree()],
+            &p,
+            AggFunc::Count,
+            title,
+            "n",
+            UpdateSpec::Precedes(title),
+        )
+        .unwrap();
+        let e = before[0].materialize(&s).unwrap();
+        let kids: Vec<&str> = e.child_elements().map(|c| c.name.as_str()).collect();
+        // Inserted before the first matched title.
+        assert_eq!(kids, ["author", "n", "title", "title", "title"]);
+
+        let after = aggregate(
+            &s,
+            &vec![sample_tree()],
+            &p,
+            AggFunc::Count,
+            title,
+            "n",
+            UpdateSpec::Follows(title),
+        )
+        .unwrap();
+        let e = after[0].materialize(&s).unwrap();
+        let kids: Vec<&str> = e.child_elements().map(|c| c.name.as_str()).collect();
+        assert_eq!(kids, ["author", "title", "n", "title", "title"]);
+    }
+
+    #[test]
+    fn unmatched_trees_pass_through_unchanged() {
+        let s = store();
+        let (p, _root, title) = title_pattern();
+        let mut t = Tree::new_elem("other");
+        t.add_elem_with_content(t.root(), "x", "1");
+        let out = aggregate(
+            &s,
+            &vec![t.clone()],
+            &p,
+            AggFunc::Count,
+            title,
+            "n",
+            UpdateSpec::AfterLastChild(0),
+        )
+        .unwrap();
+        assert_eq!(out[0], t);
+    }
+
+    #[test]
+    fn non_numeric_values_ignored_for_sum() {
+        let s = store();
+        let mut t = Tree::new_elem("pubs");
+        t.add_elem_with_content(t.root(), "year", "1999");
+        t.add_elem_with_content(t.root(), "year", "unknown");
+        let (p, y) = year_pattern();
+        let out = aggregate(
+            &s,
+            &vec![t],
+            &p,
+            AggFunc::Sum,
+            y,
+            "sum",
+            UpdateSpec::AfterLastChild(0),
+        )
+        .unwrap();
+        let e = out[0].materialize(&s).unwrap();
+        assert_eq!(e.child("sum").unwrap().text(), "1999");
+    }
+
+    #[test]
+    fn min_of_no_numeric_values_passes_through() {
+        let s = store();
+        let mut t = Tree::new_elem("pubs");
+        t.add_elem_with_content(t.root(), "year", "n/a");
+        let (p, y) = year_pattern();
+        let out = aggregate(
+            &s,
+            &vec![t.clone()],
+            &p,
+            AggFunc::Min,
+            y,
+            "min",
+            UpdateSpec::AfterLastChild(0),
+        )
+        .unwrap();
+        assert_eq!(out[0], t);
+    }
+
+    #[test]
+    fn sibling_of_root_rejected() {
+        let s = store();
+        let p = PatternTree::with_root(Pred::tag("pubs"));
+        let t = Tree::new_elem("pubs");
+        let err = aggregate(
+            &s,
+            &vec![t],
+            &p,
+            AggFunc::Count,
+            0,
+            "n",
+            UpdateSpec::Precedes(0),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unknown_labels_rejected() {
+        let s = store();
+        let p = PatternTree::with_root(Pred::tag("pubs"));
+        assert!(aggregate(
+            &s,
+            &Vec::new(),
+            &p,
+            AggFunc::Count,
+            4,
+            "n",
+            UpdateSpec::AfterLastChild(0)
+        )
+        .is_err());
+        assert!(aggregate(
+            &s,
+            &Vec::new(),
+            &p,
+            AggFunc::Count,
+            0,
+            "n",
+            UpdateSpec::AfterLastChild(4)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn format_value_integers_and_fractions() {
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(-2.0), "-2");
+        assert_eq!(format_value(2.5), "2.5");
+    }
+}

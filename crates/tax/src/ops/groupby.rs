@@ -1,0 +1,899 @@
+//! The grouping operator (Sec. 3) — the paper's contribution.
+//!
+//! `groupby` takes a collection, a pattern tree `P`, a *grouping basis*
+//! (pattern labels, `$i*`-adorned labels, or `$i.attr` attributes whose
+//! values partition the witness trees), and an *ordering list*
+//! (ASCENDING/DESCENDING on labels). For each group `Wᵢ` the output tree
+//! `Sᵢ` is:
+//!
+//! ```text
+//! TAX_group_root
+//! ├── TAX_grouping_basis     (one child per basis item, in basis order)
+//! └── TAX_group_subroot      (the source trees of the group's witness
+//!                             trees, ordered by the ordering list)
+//! ```
+//!
+//! Grouping does **not** partition: a source tree with several witness
+//! trees (a two-author article grouped by author) appears in several
+//! groups — exactly Figure 3.
+//!
+//! Two implementations are provided:
+//!
+//! * [`groupby`] — the identifier-processing implementation of Sec. 5.3:
+//!   witness trees stay as node identifiers; only grouping-basis and
+//!   ordering values are populated (value look-ups), and members are
+//!   cloned as references, not data.
+//! * [`groupby_replicated`] — the strawman Sec. 5.3 warns about: each
+//!   witness eagerly replicates and fully materializes its source tree
+//!   before sorting. Kept as the ablation baseline (experiment X4).
+
+use crate::error::Result;
+use crate::matching::match_tree;
+use crate::matching::vnode::{VNode, VTree};
+use crate::pattern::{PatternNodeId, PatternTree};
+use crate::tree::{Collection, Tree, TreeNodeKind};
+use crate::value::compare_opt_values;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use xmlstore::DocumentStore;
+
+/// One item of the grouping basis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasisItem {
+    /// The pattern node whose match supplies the value.
+    pub label: PatternNodeId,
+    /// `$i*`: include the matched node's whole subtree in the basis
+    /// child.
+    pub deep: bool,
+    /// `$i.attr`: group on this attribute of the matched node instead of
+    /// its content.
+    pub attr: Option<String>,
+}
+
+impl BasisItem {
+    /// Group on `$i.content`.
+    pub fn content(label: PatternNodeId) -> Self {
+        BasisItem {
+            label,
+            deep: false,
+            attr: None,
+        }
+    }
+
+    /// Group on `$i.content`, keeping the whole matched subtree in the
+    /// basis child (`$i*`).
+    pub fn subtree(label: PatternNodeId) -> Self {
+        BasisItem {
+            label,
+            deep: true,
+            attr: None,
+        }
+    }
+
+    /// Group on `$i.attr`.
+    pub fn attr(label: PatternNodeId, name: impl Into<String>) -> Self {
+        BasisItem {
+            label,
+            deep: false,
+            attr: Some(name.into()),
+        }
+    }
+}
+
+/// Sort direction of one ordering-list component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smallest first.
+    Ascending,
+    /// Largest first.
+    Descending,
+}
+
+/// One component of the ordering list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupOrder {
+    /// The pattern node whose matched content supplies the sort key.
+    pub label: PatternNodeId,
+    /// Sort direction.
+    pub direction: Direction,
+}
+
+/// The grouping key: one value per basis item (`None` when the value is
+/// absent, e.g. a missing attribute).
+type Key = Vec<Option<String>>;
+
+struct Group {
+    /// Basis values (for the basis children).
+    basis_nodes: Vec<VNode>,
+    /// Which input tree each basis node came from.
+    basis_tree: usize,
+    /// Group members: `(input tree index, ordering values, arrival rank)`.
+    members: Vec<(usize, Vec<Option<String>>, usize)>,
+}
+
+/// Identifier-processing grouping (Sec. 5.3).
+pub fn groupby(
+    store: &DocumentStore,
+    input: &Collection,
+    pattern: &PatternTree,
+    basis: &[BasisItem],
+    ordering: &[GroupOrder],
+) -> Result<Collection> {
+    validate(pattern, basis, ordering)?;
+    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut groups: Vec<(Key, Group)> = Vec::new();
+    let mut arrivals = 0usize;
+
+    for (tree_idx, tree) in input.iter().enumerate() {
+        let vt = VTree::new(store, tree);
+        for binding in match_tree(store, tree, pattern, false)? {
+            // Populate only the grouping and ordering values — the
+            // "minimum information" sort of Sec. 5.3.
+            let mut key: Key = Vec::with_capacity(basis.len());
+            for item in basis {
+                let v = binding[item.label];
+                let value = match &item.attr {
+                    Some(name) => vt.attr(v, name)?,
+                    None => vt.content(v)?,
+                };
+                key.push(value);
+            }
+            let sort_key: Vec<Option<String>> = ordering
+                .iter()
+                .map(|o| vt.content(binding[o.label]))
+                .collect::<Result<_>>()?;
+
+            let gid = match index.get(&key) {
+                Some(&g) => g,
+                None => {
+                    let g = groups.len();
+                    index.insert(key.clone(), g);
+                    groups.push((
+                        key.clone(),
+                        Group {
+                            basis_nodes: basis.iter().map(|b| binding[b.label]).collect(),
+                            basis_tree: tree_idx,
+                            members: Vec::new(),
+                        },
+                    ));
+                    g
+                }
+            };
+            // A source tree joins each of its witnesses' groups (Fig. 3's
+            // non-partitioning), but enters a given group only once —
+            // several witnesses with the *same* key (e.g. two authors
+            // sharing an institution) do not replicate the member.
+            // Same-tree witnesses arrive consecutively, so checking the
+            // group's last member suffices.
+            if groups[gid].1.members.last().map(|m| m.0) != Some(tree_idx) {
+                groups[gid].1.members.push((tree_idx, sort_key, arrivals));
+                arrivals += 1;
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, mut group) in groups {
+        sort_members(&mut group.members, ordering);
+        out.push(build_group_tree(
+            store, input, &key, &group, basis, /* replicate */ false,
+        )?);
+    }
+    Ok(out)
+}
+
+/// Replication-based grouping: the Sec. 5.3 strawman that materializes
+/// every member eagerly. Produces the same logical output as [`groupby`]
+/// but populates all data up front.
+pub fn groupby_replicated(
+    store: &DocumentStore,
+    input: &Collection,
+    pattern: &PatternTree,
+    basis: &[BasisItem],
+    ordering: &[GroupOrder],
+) -> Result<Collection> {
+    validate(pattern, basis, ordering)?;
+    // Replicate: one fully materialized copy of the source tree per
+    // witness, tagged with its grouping values.
+    struct Replica {
+        key: Key,
+        sort_key: Vec<Option<String>>,
+        tree: Tree,
+        basis_values: Vec<Option<String>>,
+        /// The tag of each basis node's match (for the basis children).
+        basis_tags: Vec<String>,
+        arrival: usize,
+        source: usize,
+    }
+    let mut replicas: Vec<Replica> = Vec::new();
+    for (tree_idx, tree) in input.iter().enumerate() {
+        let vt = VTree::new(store, tree);
+        for binding in match_tree(store, tree, pattern, false)? {
+            let mut key: Key = Vec::with_capacity(basis.len());
+            let mut basis_tags: Vec<String> = Vec::with_capacity(basis.len());
+            for item in basis {
+                let v = binding[item.label];
+                let value = match &item.attr {
+                    Some(name) => vt.attr(v, name)?,
+                    None => vt.content(v)?,
+                };
+                key.push(value);
+                basis_tags.push(match &item.attr {
+                    Some(name) => name.clone(),
+                    None => vt.tag(v)?,
+                });
+            }
+            let sort_key = ordering
+                .iter()
+                .map(|o| vt.content(binding[o.label]))
+                .collect::<Result<Vec<_>>>()?;
+            // Same-key witnesses of one source tree collapse, matching
+            // the identifier implementation's member semantics.
+            if replicas
+                .last()
+                .map(|r| r.source == tree_idx && r.key == key)
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            // Eager full materialization — the expensive step.
+            let materialized = Tree::from_element(&tree.materialize(store)?);
+            let arrival = replicas.len();
+            replicas.push(Replica {
+                basis_values: key.clone(),
+                key,
+                sort_key,
+                tree: materialized,
+                basis_tags,
+                arrival,
+                source: tree_idx,
+            });
+        }
+    }
+
+    // Group the replicas by key (first-arrival group order).
+    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut grouped: Vec<(Key, Vec<usize>)> = Vec::new();
+    for (i, r) in replicas.iter().enumerate() {
+        match index.get(&r.key) {
+            Some(&g) => grouped[g].1.push(i),
+            None => {
+                index.insert(r.key.clone(), grouped.len());
+                grouped.push((r.key.clone(), vec![i]));
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(grouped.len());
+    for (_key, mut member_ids) in grouped {
+        member_ids.sort_by(|&a, &b| {
+            let ra = &replicas[a];
+            let rb = &replicas[b];
+            compare_sort_keys(&ra.sort_key, &rb.sort_key, ordering)
+                .then(ra.arrival.cmp(&rb.arrival))
+        });
+        let mut tree = Tree::new_elem(crate::tags::GROUP_ROOT);
+        let basis_root = tree.add_elem(tree.root(), crate::tags::GROUPING_BASIS);
+        let first = &replicas[member_ids[0]];
+        for ((item, value), tag) in basis
+            .iter()
+            .zip(first.basis_values.iter())
+            .zip(first.basis_tags.iter())
+        {
+            let _ = item;
+            let node = tree.add_elem(basis_root, tag.clone());
+            if let Some(v) = value {
+                if let TreeNodeKind::Elem { content, .. } = &mut tree.node_mut(node).kind {
+                    *content = Some(v.clone());
+                }
+            }
+        }
+        let subroot = tree.add_elem(tree.root(), crate::tags::GROUP_SUBROOT);
+        for &mid in &member_ids {
+            tree.append_subtree(subroot, &replicas[mid].tree, replicas[mid].tree.root());
+        }
+        out.push(tree);
+    }
+    Ok(out)
+}
+
+/// Grouping with a **generic key function** — the Sec. 3 enhancement the
+/// paper mentions but does not elaborate ("one could use a generic
+/// function mapping trees to values rather than an attribute list …").
+///
+/// `key_of` maps each input tree to the (possibly several) group keys it
+/// belongs to; `order_value` supplies the member sort value. Groups are
+/// emitted in first-appearance order, with the same
+/// `TAX_group_root / TAX_grouping_basis / TAX_group_subroot` shape; the
+/// basis child is a constructed element named `basis_tag` carrying the
+/// key.
+pub fn groupby_with<K, O>(
+    store: &DocumentStore,
+    input: &Collection,
+    key_of: K,
+    order_value: O,
+    ordering: Option<Direction>,
+    basis_tag: &str,
+) -> Result<Collection>
+where
+    K: Fn(&DocumentStore, &Tree) -> Result<Vec<String>>,
+    O: Fn(&DocumentStore, &Tree) -> Result<Option<String>>,
+{
+    // (tree index, ordering value, arrival rank)
+    type FnMember = (usize, Option<String>, usize);
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut groups: Vec<(String, Vec<FnMember>)> = Vec::new();
+    let mut arrivals = 0usize;
+    for (tree_idx, tree) in input.iter().enumerate() {
+        let sort_key = if ordering.is_some() {
+            order_value(store, tree)?
+        } else {
+            None
+        };
+        let mut keys = key_of(store, tree)?;
+        keys.dedup();
+        for key in keys {
+            let gid = match index.get(&key) {
+                Some(&g) => g,
+                None => {
+                    let g = groups.len();
+                    index.insert(key.clone(), g);
+                    groups.push((key, Vec::new()));
+                    g
+                }
+            };
+            if groups[gid].1.last().map(|m| m.0) != Some(tree_idx) {
+                groups[gid].1.push((tree_idx, sort_key.clone(), arrivals));
+                arrivals += 1;
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, mut members) in groups {
+        if let Some(dir) = ordering {
+            members.sort_by(|a, b| {
+                let ord = compare_opt_values(a.1.as_deref(), b.1.as_deref());
+                let ord = match dir {
+                    Direction::Ascending => ord,
+                    Direction::Descending => ord.reverse(),
+                };
+                ord.then(a.2.cmp(&b.2))
+            });
+        }
+        let mut tree = Tree::new_elem(crate::tags::GROUP_ROOT);
+        let basis_root = tree.add_elem(tree.root(), crate::tags::GROUPING_BASIS);
+        tree.add_elem_with_content(basis_root, basis_tag, key);
+        let subroot = tree.add_elem(tree.root(), crate::tags::GROUP_SUBROOT);
+        for (tree_idx, _, _) in &members {
+            tree.append_subtree(subroot, &input[*tree_idx], input[*tree_idx].root());
+        }
+        out.push(tree);
+    }
+    Ok(out)
+}
+
+fn validate(
+    pattern: &PatternTree,
+    basis: &[BasisItem],
+    ordering: &[GroupOrder],
+) -> Result<()> {
+    for b in basis {
+        if b.label >= pattern.len() {
+            return Err(crate::error::Error::UnknownLabel(format!("${}", b.label + 1)));
+        }
+    }
+    for o in ordering {
+        if o.label >= pattern.len() {
+            return Err(crate::error::Error::UnknownLabel(format!("${}", o.label + 1)));
+        }
+    }
+    Ok(())
+}
+
+fn sort_members(members: &mut [(usize, Vec<Option<String>>, usize)], ordering: &[GroupOrder]) {
+    members.sort_by(|a, b| compare_sort_keys(&a.1, &b.1, ordering).then(a.2.cmp(&b.2)));
+}
+
+fn compare_sort_keys(
+    a: &[Option<String>],
+    b: &[Option<String>],
+    ordering: &[GroupOrder],
+) -> Ordering {
+    for (i, o) in ordering.iter().enumerate() {
+        let ord = compare_opt_values(a[i].as_deref(), b[i].as_deref());
+        let ord = match o.direction {
+            Direction::Ascending => ord,
+            Direction::Descending => ord.reverse(),
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+fn basis_child_tag(item: &BasisItem, _key: &Key) -> String {
+    match &item.attr {
+        Some(name) => name.clone(),
+        None => format!("basis_{}", item.label + 1),
+    }
+}
+
+fn build_group_tree(
+    _store: &DocumentStore,
+    input: &Collection,
+    key: &Key,
+    group: &Group,
+    basis: &[BasisItem],
+    _replicate: bool,
+) -> Result<Tree> {
+    let mut tree = Tree::new_elem(crate::tags::GROUP_ROOT);
+    let basis_root = tree.add_elem(tree.root(), crate::tags::GROUPING_BASIS);
+    let src_tree = &input[group.basis_tree];
+    for (item, (v, value)) in basis
+        .iter()
+        .zip(group.basis_nodes.iter().zip(key.iter()))
+    {
+        match item.attr {
+            Some(_) => {
+                // $i.attr: a constructed child named after the attribute.
+                let node = tree.add_elem(basis_root, basis_child_tag(item, key));
+                if let Some(val) = value {
+                    if let TreeNodeKind::Elem { content, .. } = &mut tree.node_mut(node).kind {
+                        *content = Some(val.clone());
+                    }
+                }
+            }
+            None => match v {
+                // $i / $i*: a match of the node (subtree when deep).
+                VNode::Stored(e) => {
+                    tree.add_ref(basis_root, *e, item.deep);
+                }
+                VNode::Arena(i) => {
+                    if item.deep {
+                        tree.append_subtree(basis_root, src_tree, *i);
+                    } else {
+                        let kind = src_tree.node(*i).kind.clone();
+                        tree.add_node(basis_root, kind);
+                    }
+                }
+            },
+        }
+    }
+    let subroot = tree.add_elem(tree.root(), crate::tags::GROUP_SUBROOT);
+    for (tree_idx, _, _) in &group.members {
+        tree.append_subtree(subroot, &input[*tree_idx], input[*tree_idx].root());
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::select::select_db;
+    use crate::pattern::{Axis, Pred};
+    use crate::tags;
+    use xmlstore::StoreOptions;
+
+    /// The Figures 1–3 data: articles with Transaction titles.
+    const FIG_SAMPLE: &str = "<bib>\
+        <article><title>Transaction Mng</title><author>Silberschatz</author></article>\
+        <article><title>Overview of Transaction Mng</title><author>Silberschatz</author><author>Garcia-Molina</author></article>\
+        <article><title>Transaction Mng for the Web</title><author>Thompson</author></article>\
+    </bib>";
+
+    fn store() -> DocumentStore {
+        DocumentStore::from_xml(FIG_SAMPLE, &StoreOptions::in_memory()).unwrap()
+    }
+
+    fn fig1_pattern() -> PatternTree {
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        p.add_child(
+            p.root(),
+            Axis::Child,
+            Pred::tag("title").and(Pred::content_contains("Transaction")),
+        );
+        p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+        p
+    }
+
+    /// Witness collection = article trees (deep) from Fig. 1's pattern.
+    fn articles(s: &DocumentStore) -> Collection {
+        let p = fig1_pattern();
+        // Select whole articles (deep root), one witness per embedding;
+        // grouping below re-matches per tree.
+        let mut seen = std::collections::HashSet::new();
+        select_db(s, &p, &[p.root()])
+            .unwrap()
+            .into_iter()
+            .filter(|t| {
+                // Dedup witness trees to unique articles for a clean
+                // "collection of article elements" input.
+                let root = match &t.node(0).kind {
+                    TreeNodeKind::Ref { node, .. } => node.id.0,
+                    _ => u32::MAX,
+                };
+                seen.insert(root)
+            })
+            .map(|t| {
+                // Keep only the deep article root.
+                let root_kind = t.node(0).kind.clone();
+                match root_kind {
+                    TreeNodeKind::Ref { node, .. } => Tree::new_ref(node, true),
+                    _ => t,
+                }
+            })
+            .collect()
+    }
+
+    fn author_groupby(s: &DocumentStore, input: &Collection, ordering: &[GroupOrder]) -> Collection {
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        let title = p.add_child(p.root(), Axis::Child, Pred::tag("title"));
+        let author = p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+        let basis = [BasisItem::content(author)];
+        let ordering: Vec<GroupOrder> = ordering
+            .iter()
+            .map(|o| GroupOrder {
+                label: if o.label == usize::MAX { title } else { o.label },
+                direction: o.direction,
+            })
+            .collect();
+        groupby(s, input, &p, &basis, &ordering).unwrap()
+    }
+
+    #[test]
+    fn figure3_grouping_by_author() {
+        let s = store();
+        let arts = articles(&s);
+        assert_eq!(arts.len(), 3);
+        let groups = author_groupby(&s, &arts, &[]);
+        // Three groups: Silberschatz, Garcia-Molina, Thompson.
+        assert_eq!(groups.len(), 3);
+
+        let g0 = groups[0].materialize(&s).unwrap();
+        assert_eq!(g0.name, tags::GROUP_ROOT);
+        let kids: Vec<&str> = g0.child_elements().map(|c| c.name.as_str()).collect();
+        assert_eq!(kids, [tags::GROUPING_BASIS, tags::GROUP_SUBROOT]);
+
+        // Silberschatz has two articles; the two-author article also
+        // appears in Garcia-Molina's group (non-partitioning).
+        let sil = g0.child(tags::GROUP_SUBROOT).unwrap();
+        assert_eq!(sil.children_named("article").count(), 2);
+        let gm = groups[1].materialize(&s).unwrap();
+        assert_eq!(
+            gm.child(tags::GROUP_SUBROOT)
+                .unwrap()
+                .children_named("article")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn figure3_ordering_descending_title() {
+        let s = store();
+        let arts = articles(&s);
+        let groups = author_groupby(
+            &s,
+            &arts,
+            &[GroupOrder {
+                label: usize::MAX, // replaced by the title label
+                direction: Direction::Descending,
+            }],
+        );
+        let g0 = groups[0].materialize(&s).unwrap();
+        let titles: Vec<String> = g0
+            .child(tags::GROUP_SUBROOT)
+            .unwrap()
+            .children_named("article")
+            .map(|a| a.child("title").unwrap().text())
+            .collect();
+        // Descending: "Transaction Mng" > "Overview of Transaction Mng".
+        assert_eq!(titles, ["Transaction Mng", "Overview of Transaction Mng"]);
+    }
+
+    #[test]
+    fn ascending_ordering() {
+        let s = store();
+        let arts = articles(&s);
+        let groups = author_groupby(
+            &s,
+            &arts,
+            &[GroupOrder {
+                label: usize::MAX,
+                direction: Direction::Ascending,
+            }],
+        );
+        let g0 = groups[0].materialize(&s).unwrap();
+        let titles: Vec<String> = g0
+            .child(tags::GROUP_SUBROOT)
+            .unwrap()
+            .children_named("article")
+            .map(|a| a.child("title").unwrap().text())
+            .collect();
+        assert_eq!(titles, ["Overview of Transaction Mng", "Transaction Mng"]);
+    }
+
+    #[test]
+    fn basis_child_carries_the_grouping_node() {
+        let s = store();
+        let arts = articles(&s);
+        let groups = author_groupby(&s, &arts, &[]);
+        let g0 = groups[0].materialize(&s).unwrap();
+        let basis = g0.child(tags::GROUPING_BASIS).unwrap();
+        assert_eq!(basis.child("author").unwrap().text(), "Silberschatz");
+    }
+
+    #[test]
+    fn deep_basis_includes_subtree() {
+        let s = store();
+        let arts = articles(&s);
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        let author = p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+        let groups = groupby(&s, &arts, &p, &[BasisItem::subtree(author)], &[]).unwrap();
+        let g0 = groups[0].materialize(&s).unwrap();
+        // Author nodes are leaves, so deep == shallow here, but the call
+        // path exercises $i*.
+        assert!(g0
+            .child(tags::GROUPING_BASIS)
+            .unwrap()
+            .child("author")
+            .is_some());
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn attribute_basis() {
+        let xml = r#"<bib>
+            <article year="1999"><title>A</title></article>
+            <article year="2002"><title>B</title></article>
+            <article year="1999"><title>C</title></article>
+        </bib>"#;
+        let s = DocumentStore::from_xml(xml, &StoreOptions::in_memory()).unwrap();
+        let article = s.tag_id("article").unwrap();
+        let arts: Collection = s
+            .nodes_with_tag(article)
+            .iter()
+            .map(|e| Tree::new_ref(*e, true))
+            .collect();
+        let p = PatternTree::with_root(Pred::tag("article"));
+        let groups = groupby(&s, &arts, &p, &[BasisItem::attr(p.root(), "year")], &[]).unwrap();
+        assert_eq!(groups.len(), 2);
+        let g0 = groups[0].materialize(&s).unwrap();
+        assert_eq!(
+            g0.child(tags::GROUPING_BASIS).unwrap().child("year").unwrap().text(),
+            "1999"
+        );
+        assert_eq!(
+            g0.child(tags::GROUP_SUBROOT).unwrap().children_named("article").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn multi_item_basis() {
+        let xml = "<bib>\
+            <article><author>Jack</author><journal>TODS</journal><title>X</title></article>\
+            <article><author>Jack</author><journal>VLDBJ</journal><title>Y</title></article>\
+            <article><author>Jack</author><journal>TODS</journal><title>Z</title></article>\
+        </bib>";
+        let s = DocumentStore::from_xml(xml, &StoreOptions::in_memory()).unwrap();
+        let article = s.tag_id("article").unwrap();
+        let arts: Collection = s
+            .nodes_with_tag(article)
+            .iter()
+            .map(|e| Tree::new_ref(*e, true))
+            .collect();
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        let author = p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+        let journal = p.add_child(p.root(), Axis::Child, Pred::tag("journal"));
+        let groups = groupby(
+            &s,
+            &arts,
+            &p,
+            &[BasisItem::content(author), BasisItem::content(journal)],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(groups.len(), 2); // (Jack,TODS) ×2 and (Jack,VLDBJ) ×1
+    }
+
+    #[test]
+    fn replicated_groupby_same_logical_output() {
+        let s = store();
+        let arts = articles(&s);
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        let title = p.add_child(p.root(), Axis::Child, Pred::tag("title"));
+        let author = p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+        let basis = [BasisItem::content(author)];
+        let ordering = [GroupOrder {
+            label: title,
+            direction: Direction::Descending,
+        }];
+        let fast = groupby(&s, &arts, &p, &basis, &ordering).unwrap();
+        let slow = groupby_replicated(&s, &arts, &p, &basis, &ordering).unwrap();
+        assert_eq!(fast.len(), slow.len());
+        for (f, sl) in fast.iter().zip(slow.iter()) {
+            let fe = f.materialize(&s).unwrap();
+            let se = sl.materialize(&s).unwrap();
+            // Same member articles in the same order (titles agree).
+            let titles = |e: &xmlparse::Element| -> Vec<String> {
+                e.child(tags::GROUP_SUBROOT)
+                    .unwrap()
+                    .children_named("article")
+                    .map(|a| a.child("title").unwrap().text())
+                    .collect()
+            };
+            assert_eq!(titles(&fe), titles(&se));
+        }
+    }
+
+    #[test]
+    fn replication_costs_more_io() {
+        let s = store();
+        let arts = articles(&s);
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        let author = p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+        let basis = [BasisItem::content(author)];
+
+        s.reset_io_stats();
+        let _ = groupby(&s, &arts, &p, &basis, &[]).unwrap();
+        let fast_io = s.io_stats().page_requests();
+
+        s.reset_io_stats();
+        let _ = groupby_replicated(&s, &arts, &p, &basis, &[]).unwrap();
+        let slow_io = s.io_stats().page_requests();
+        assert!(
+            slow_io > fast_io,
+            "replication ({slow_io}) must touch more pages than identifier processing ({fast_io})"
+        );
+    }
+
+    #[test]
+    fn empty_input_gives_no_groups() {
+        let s = store();
+        let p = PatternTree::with_root(Pred::tag("article"));
+        let groups = groupby(&s, &Vec::new(), &p, &[BasisItem::content(0)], &[]).unwrap();
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn unknown_basis_label_rejected() {
+        let s = store();
+        let p = PatternTree::with_root(Pred::tag("article"));
+        assert!(groupby(&s, &Vec::new(), &p, &[BasisItem::content(5)], &[]).is_err());
+        assert!(groupby(
+            &s,
+            &Vec::new(),
+            &p,
+            &[BasisItem::content(0)],
+            &[GroupOrder {
+                label: 9,
+                direction: Direction::Ascending
+            }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn groupby_with_generic_key_function_decades() {
+        // Group articles by publication decade — impossible with a plain
+        // attribute list, easy with the generic-function enhancement.
+        let xml = "<bib>\
+            <article><title>A</title><year>1994</year></article>\
+            <article><title>B</title><year>1997</year></article>\
+            <article><title>C</title><year>2001</year></article>\
+        </bib>";
+        let s = DocumentStore::from_xml(xml, &StoreOptions::in_memory()).unwrap();
+        let article = s.tag_id("article").unwrap();
+        let arts: Collection = s
+            .nodes_with_tag(article)
+            .iter()
+            .map(|e| Tree::new_ref(*e, true))
+            .collect();
+        let year_of = |store: &DocumentStore, t: &Tree| -> crate::Result<Option<String>> {
+            let mut p = PatternTree::with_root(Pred::tag("article"));
+            let y = p.add_child(p.root(), crate::pattern::Axis::Child, Pred::tag("year"));
+            let b = match_tree(store, t, &p, true)?;
+            match b.first() {
+                Some(b) => VTree::new(store, t).content(b[y]),
+                None => Ok(None),
+            }
+        };
+        let groups = groupby_with(
+            &s,
+            &arts,
+            |store, t| {
+                Ok(match year_of(store, t)? {
+                    Some(y) => {
+                        let decade = y[..3].to_owned() + "0s";
+                        vec![decade]
+                    }
+                    None => vec![],
+                })
+            },
+            |store, t| year_of(store, t),
+            Some(Direction::Ascending),
+            "decade",
+        )
+        .unwrap();
+        assert_eq!(groups.len(), 2);
+        let g0 = groups[0].materialize(&s).unwrap();
+        assert_eq!(
+            g0.child(crate::tags::GROUPING_BASIS).unwrap().child("decade").unwrap().text(),
+            "1990s"
+        );
+        assert_eq!(
+            g0.child(crate::tags::GROUP_SUBROOT).unwrap().children_named("article").count(),
+            2
+        );
+        // Ascending year order within the decade group.
+        let years: Vec<String> = g0
+            .child(crate::tags::GROUP_SUBROOT)
+            .unwrap()
+            .children_named("article")
+            .map(|a| a.child("year").unwrap().text())
+            .collect();
+        assert_eq!(years, ["1994", "1997"]);
+    }
+
+    #[test]
+    fn groupby_with_multi_key_membership() {
+        // A tree may belong to several groups (e.g. keyword grouping).
+        let s = DocumentStore::from_xml("<bib/>", &StoreOptions::in_memory()).unwrap();
+        let mk = |kws: &[&str]| -> Tree {
+            let mut t = Tree::new_elem("article");
+            for k in kws {
+                t.add_elem_with_content(t.root(), "kw", *k);
+            }
+            t
+        };
+        let input = vec![mk(&["xml", "db"]), mk(&["db"]), mk(&["xml"])];
+        let groups = groupby_with(
+            &s,
+            &input,
+            |store, t| {
+                let mut p = PatternTree::with_root(Pred::tag("article"));
+                let k = p.add_child(p.root(), crate::pattern::Axis::Child, Pred::tag("kw"));
+                let vt = VTree::new(store, t);
+                match_tree(store, t, &p, true)?
+                    .into_iter()
+                    .map(|b| Ok(vt.content(b[k])?.unwrap_or_default()))
+                    .collect()
+            },
+            |_, _| Ok(None),
+            None,
+            "keyword",
+        )
+        .unwrap();
+        assert_eq!(groups.len(), 2); // xml, db
+        let sizes: Vec<usize> = groups
+            .iter()
+            .map(|g| {
+                g.materialize(&s)
+                    .unwrap()
+                    .child(crate::tags::GROUP_SUBROOT)
+                    .unwrap()
+                    .children_named("article")
+                    .count()
+            })
+            .collect();
+        assert_eq!(sizes, [2, 2]);
+    }
+
+    #[test]
+    fn missing_attribute_groups_under_none_key() {
+        let xml = r#"<bib><article year="1999"><title>A</title></article><article><title>B</title></article></bib>"#;
+        let s = DocumentStore::from_xml(xml, &StoreOptions::in_memory()).unwrap();
+        let article = s.tag_id("article").unwrap();
+        let arts: Collection = s
+            .nodes_with_tag(article)
+            .iter()
+            .map(|e| Tree::new_ref(*e, true))
+            .collect();
+        let p = PatternTree::with_root(Pred::tag("article"));
+        let groups = groupby(&s, &arts, &p, &[BasisItem::attr(p.root(), "year")], &[]).unwrap();
+        assert_eq!(groups.len(), 2); // "1999" and missing
+    }
+}

@@ -1,0 +1,99 @@
+//! Renaming (Sec. 4.1): change the tag of each tree's root.
+//!
+//! The naive parse and the rewritten plan both end with "a rename
+//! operator … to change the dummy root to the tag specified in the return
+//! clause" — e.g. `TAX_prod_root` → `authorpubs`.
+
+use crate::error::Result;
+use crate::tree::{Collection, Tree, TreeNodeKind};
+use xmlstore::DocumentStore;
+
+/// Rename the root of every tree to `new_tag`.
+///
+/// A constructed root keeps its content; a reference root is replaced by
+/// a constructed element whose children are the reference's arena
+/// children (for a deep reference the stored subtree's children are
+/// *not* pulled up — rename is meant for the dummy roots produced by
+/// joins, groupings, and constructors, which are always constructed).
+pub fn rename_root(_store: &DocumentStore, input: &Collection, new_tag: &str) -> Result<Collection> {
+    let mut out = Vec::with_capacity(input.len());
+    for tree in input {
+        let mut t = tree.clone();
+        let root = t.root();
+        let new_kind = match &t.node(root).kind {
+            TreeNodeKind::Elem { content, .. } => TreeNodeKind::Elem {
+                tag: new_tag.to_owned(),
+                content: content.clone(),
+            },
+            TreeNodeKind::Ref { .. } => TreeNodeKind::Elem {
+                tag: new_tag.to_owned(),
+                content: None,
+            },
+        };
+        t.node_mut(root).kind = new_kind;
+        out.push(t);
+    }
+    Ok(out)
+}
+
+/// Wrap each tree under a fresh constructed root named `tag` — the
+/// element-constructor step of a RETURN clause.
+pub fn wrap_root(_store: &DocumentStore, input: &Collection, tag: &str) -> Result<Collection> {
+    let mut out = Vec::with_capacity(input.len());
+    for tree in input {
+        let mut t = Tree::new_elem(tag);
+        t.append_subtree(t.root(), tree, tree.root());
+        out.push(t);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlstore::{DocumentStore, StoreOptions};
+
+    fn store() -> DocumentStore {
+        DocumentStore::from_xml("<bib><a>x</a></bib>", &StoreOptions::in_memory()).unwrap()
+    }
+
+    #[test]
+    fn rename_constructed_root_keeps_children_and_content() {
+        let s = store();
+        let mut t = Tree::new_elem(crate::tags::PROD_ROOT);
+        t.add_elem_with_content(t.root(), "author", "Jack");
+        let out = rename_root(&s, &vec![t], "authorpubs").unwrap();
+        let e = out[0].materialize(&s).unwrap();
+        assert_eq!(e.name, "authorpubs");
+        assert_eq!(e.child("author").unwrap().text(), "Jack");
+    }
+
+    #[test]
+    fn rename_ref_root_becomes_elem() {
+        let s = store();
+        let a = s.tag_id("a").unwrap();
+        let node = s.nodes_with_tag(a)[0];
+        let t = Tree::new_ref(node, false);
+        let out = rename_root(&s, &vec![t], "renamed").unwrap();
+        let e = out[0].materialize(&s).unwrap();
+        assert_eq!(e.name, "renamed");
+    }
+
+    #[test]
+    fn wrap_root_nests() {
+        let s = store();
+        let mut t = Tree::new_elem("inner");
+        t.add_elem_with_content(t.root(), "x", "1");
+        let out = wrap_root(&s, &vec![t], "outer").unwrap();
+        let e = out[0].materialize(&s).unwrap();
+        assert_eq!(e.name, "outer");
+        assert_eq!(e.child("inner").unwrap().child("x").unwrap().text(), "1");
+    }
+
+    #[test]
+    fn empty_collection_passthrough() {
+        let s = store();
+        assert!(rename_root(&s, &Vec::new(), "t").unwrap().is_empty());
+        assert!(wrap_root(&s, &Vec::new(), "t").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Reordering (from the TAX operator suite of [8]): sort a collection of
+//! trees by the contents of pattern-bound nodes.
+//!
+//! The grouping operator's *ordering list* (Sec. 3) orders members
+//! *within* a group; this operator orders a whole collection — e.g. the
+//! grouped output itself, "by the alphabetical order of the titles or by
+//! the year of publication, and so forth".
+
+use crate::error::{Error, Result};
+use crate::matching::match_tree;
+use crate::matching::vnode::VTree;
+use crate::ops::groupby::{Direction, GroupOrder};
+use crate::pattern::PatternTree;
+use crate::tree::Collection;
+use crate::value::compare_opt_values;
+use std::cmp::Ordering;
+use xmlstore::DocumentStore;
+
+/// Sort `input` by the contents of the nodes bound by `ordering`'s labels
+/// under `pattern` (first binding per tree). Trees where the pattern does
+/// not match sort first (missing keys), preserving their relative order;
+/// the sort is stable throughout.
+pub fn reorder(
+    store: &DocumentStore,
+    input: &Collection,
+    pattern: &PatternTree,
+    ordering: &[GroupOrder],
+) -> Result<Collection> {
+    for o in ordering {
+        if o.label >= pattern.len() {
+            return Err(Error::UnknownLabel(format!("${}", o.label + 1)));
+        }
+    }
+    // Populate only the sort keys (identifier processing).
+    let mut keyed: Vec<(Vec<Option<String>>, usize)> = Vec::with_capacity(input.len());
+    for (idx, tree) in input.iter().enumerate() {
+        let bindings = match_tree(store, tree, pattern, false)?;
+        let keys = match bindings.first() {
+            None => vec![None; ordering.len()],
+            Some(b) => {
+                let vt = VTree::new(store, tree);
+                ordering
+                    .iter()
+                    .map(|o| vt.content(b[o.label]))
+                    .collect::<Result<_>>()?
+            }
+        };
+        keyed.push((keys, idx));
+    }
+    keyed.sort_by(|a, b| {
+        for (i, o) in ordering.iter().enumerate() {
+            let ord = compare_opt_values(a.0[i].as_deref(), b.0[i].as_deref());
+            let ord = match o.direction {
+                Direction::Ascending => ord,
+                Direction::Descending => ord.reverse(),
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        a.1.cmp(&b.1)
+    });
+    Ok(keyed.into_iter().map(|(_, idx)| input[idx].clone()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::select_db;
+    use crate::pattern::{Axis, Pred};
+    use xmlstore::{DocumentStore, StoreOptions};
+
+    const SAMPLE: &str = "<bib>\
+        <article><title>Beta</title><year>2001</year></article>\
+        <article><title>Alpha</title><year>1999</year></article>\
+        <article><title>Gamma</title><year>1999</year></article>\
+    </bib>";
+
+    fn setup() -> (DocumentStore, Collection, PatternTree, usize, usize) {
+        let s = DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory()).unwrap();
+        let p0 = PatternTree::with_root(Pred::tag("article"));
+        let arts = select_db(&s, &p0, &[p0.root()]).unwrap();
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        let title = p.add_child(p.root(), Axis::Child, Pred::tag("title"));
+        let year = p.add_child(p.root(), Axis::Child, Pred::tag("year"));
+        (s, arts, p, title, year)
+    }
+
+    fn titles(s: &DocumentStore, c: &Collection) -> Vec<String> {
+        c.iter()
+            .map(|t| {
+                t.materialize(s)
+                    .unwrap()
+                    .child("title")
+                    .unwrap()
+                    .text()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sort_by_title_ascending() {
+        let (s, arts, p, title, _) = setup();
+        let sorted = reorder(
+            &s,
+            &arts,
+            &p,
+            &[GroupOrder {
+                label: title,
+                direction: Direction::Ascending,
+            }],
+        )
+        .unwrap();
+        assert_eq!(titles(&s, &sorted), ["Alpha", "Beta", "Gamma"]);
+    }
+
+    #[test]
+    fn sort_by_year_then_title_descending() {
+        let (s, arts, p, title, year) = setup();
+        let sorted = reorder(
+            &s,
+            &arts,
+            &p,
+            &[
+                GroupOrder {
+                    label: year,
+                    direction: Direction::Ascending,
+                },
+                GroupOrder {
+                    label: title,
+                    direction: Direction::Descending,
+                },
+            ],
+        )
+        .unwrap();
+        // 1999: Gamma, Alpha (descending title); then 2001: Beta.
+        assert_eq!(titles(&s, &sorted), ["Gamma", "Alpha", "Beta"]);
+    }
+
+    #[test]
+    fn numeric_aware_year_order() {
+        let (s, arts, p, _, year) = setup();
+        let sorted = reorder(
+            &s,
+            &arts,
+            &p,
+            &[GroupOrder {
+                label: year,
+                direction: Direction::Descending,
+            }],
+        )
+        .unwrap();
+        assert_eq!(titles(&s, &sorted)[0], "Beta"); // 2001 first
+    }
+
+    #[test]
+    fn unmatched_trees_sort_first_stably() {
+        let (s, mut arts, p, title, _) = setup();
+        arts.push(crate::tree::Tree::new_elem("odd"));
+        arts.push(crate::tree::Tree::new_elem("odd2"));
+        let sorted = reorder(
+            &s,
+            &arts,
+            &p,
+            &[GroupOrder {
+                label: title,
+                direction: Direction::Ascending,
+            }],
+        )
+        .unwrap();
+        // Two unmatched trees first, in input order.
+        assert_eq!(sorted.len(), 5);
+        let tags: Vec<String> = sorted
+            .iter()
+            .take(2)
+            .map(|t| t.materialize(&s).unwrap().name)
+            .collect();
+        assert_eq!(tags, ["odd", "odd2"]);
+    }
+
+    #[test]
+    fn empty_ordering_is_identity() {
+        let (s, arts, p, _, _) = setup();
+        let sorted = reorder(&s, &arts, &p, &[]).unwrap();
+        assert_eq!(titles(&s, &sorted), titles(&s, &arts));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let (s, arts, p, _, _) = setup();
+        assert!(reorder(
+            &s,
+            &arts,
+            &p,
+            &[GroupOrder {
+                label: 9,
+                direction: Direction::Ascending
+            }]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,452 @@
+//! The in-memory data tree manipulated by TAX operators.
+//!
+//! A tree is an arena of nodes; each node is either a **constructed
+//! element** (tag + optional content) or a **reference** to a stored node.
+//! A *deep* reference stands for the entire stored subtree and is only
+//! expanded when the tree is materialized — this is the "identifier
+//! processing" of Sec. 5.3: witness trees and group trees circulate as
+//! identifiers, and data pages are touched only for the values an operator
+//! actually needs.
+
+use crate::error::Result;
+use xmlstore::{DocumentStore, NodeEntry, NodeKind};
+
+/// A collection of data trees — what every TAX operator consumes and
+/// produces.
+pub type Collection = Vec<Tree>;
+
+/// Arena index of a node within a [`Tree`].
+pub type TreeNodeId = usize;
+
+/// What a tree node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeNodeKind {
+    /// A constructed element, e.g. `TAX_group_root`.
+    Elem {
+        /// Tag name.
+        tag: String,
+        /// Optional character content.
+        content: Option<String>,
+    },
+    /// A reference to a stored node. With `deep == true` the node stands
+    /// for the whole stored subtree; otherwise just for the node itself
+    /// (tag and content), with children given explicitly in the arena.
+    /// The reference carries the full `(start, end, level)` label — in
+    /// TIMBER the label *is* the node identifier — so structural work on
+    /// references never reads the record.
+    Ref {
+        /// The stored node, with its containment label.
+        node: NodeEntry,
+        /// Whether the entire stored subtree is included.
+        deep: bool,
+    },
+}
+
+/// One arena node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeNode {
+    /// Payload.
+    pub kind: TreeNodeKind,
+    /// Parent arena index (`None` for the root).
+    pub parent: Option<TreeNodeId>,
+    /// Children arena indices, in order.
+    pub children: Vec<TreeNodeId>,
+}
+
+/// An ordered, labelled data tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    /// A tree whose root is a constructed element.
+    pub fn new_elem(tag: impl Into<String>) -> Self {
+        Tree {
+            nodes: vec![TreeNode {
+                kind: TreeNodeKind::Elem {
+                    tag: tag.into(),
+                    content: None,
+                },
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// A tree that is a single (deep) reference to a stored subtree.
+    pub fn new_ref(node: NodeEntry, deep: bool) -> Self {
+        Tree {
+            nodes: vec![TreeNode {
+                kind: TreeNodeKind::Ref { node, deep },
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// Build a fully materialized tree from a DOM element: text-only
+    /// children become the node's content, mixed-content text becomes
+    /// `#text` children, attributes are dropped (TAX trees address
+    /// attributes through predicates, not as children).
+    pub fn from_element(elem: &xmlparse::Element) -> Self {
+        let mut t = Tree::new_elem(&elem.name);
+        Self::fill_from_element(&mut t, 0, elem);
+        t
+    }
+
+    fn fill_from_element(t: &mut Tree, node: TreeNodeId, elem: &xmlparse::Element) {
+        let has_elem_children = elem.children.iter().any(|c| c.as_element().is_some());
+        if !has_elem_children {
+            let text = elem.text();
+            if !text.is_empty() {
+                if let TreeNodeKind::Elem { content, .. } = &mut t.node_mut(node).kind {
+                    *content = Some(text);
+                }
+            }
+            return;
+        }
+        for child in &elem.children {
+            match child {
+                xmlparse::XmlNode::Element(e) => {
+                    let id = t.add_elem(node, &e.name);
+                    Self::fill_from_element(t, id, e);
+                }
+                xmlparse::XmlNode::Text(s) => {
+                    if !s.trim().is_empty() {
+                        t.add_elem_with_content(node, "#text", s.clone());
+                    }
+                }
+                xmlparse::XmlNode::Comment(_) => {}
+            }
+        }
+    }
+
+    /// The root's arena index (always 0).
+    pub fn root(&self) -> TreeNodeId {
+        0
+    }
+
+    /// Number of arena nodes (deep references count as one).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty (never true for a constructed tree).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: TreeNodeId) -> &TreeNode {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: TreeNodeId) -> &mut TreeNode {
+        &mut self.nodes[id]
+    }
+
+    /// Append a new node under `parent`, returning its index.
+    pub fn add_node(&mut self, parent: TreeNodeId, kind: TreeNodeKind) -> TreeNodeId {
+        let id = self.nodes.len();
+        self.nodes.push(TreeNode {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Append a constructed element under `parent`.
+    pub fn add_elem(&mut self, parent: TreeNodeId, tag: impl Into<String>) -> TreeNodeId {
+        self.add_node(
+            parent,
+            TreeNodeKind::Elem {
+                tag: tag.into(),
+                content: None,
+            },
+        )
+    }
+
+    /// Append a constructed element with content under `parent`.
+    pub fn add_elem_with_content(
+        &mut self,
+        parent: TreeNodeId,
+        tag: impl Into<String>,
+        content: impl Into<String>,
+    ) -> TreeNodeId {
+        self.add_node(
+            parent,
+            TreeNodeKind::Elem {
+                tag: tag.into(),
+                content: Some(content.into()),
+            },
+        )
+    }
+
+    /// Append a stored-node reference under `parent`.
+    pub fn add_ref(&mut self, parent: TreeNodeId, node: NodeEntry, deep: bool) -> TreeNodeId {
+        self.add_node(parent, TreeNodeKind::Ref { node, deep })
+    }
+
+    /// Insert a new node under `parent` at child position `pos`.
+    pub fn insert_node(
+        &mut self,
+        parent: TreeNodeId,
+        pos: usize,
+        kind: TreeNodeKind,
+    ) -> TreeNodeId {
+        let id = self.nodes.len();
+        self.nodes.push(TreeNode {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        let pos = pos.min(self.nodes[parent].children.len());
+        self.nodes[parent].children.insert(pos, id);
+        id
+    }
+
+    /// Deep-copy the subtree of `other` rooted at `src` as the last child
+    /// of `parent` in `self`. Returns the copied root's index.
+    pub fn append_subtree(
+        &mut self,
+        parent: TreeNodeId,
+        other: &Tree,
+        src: TreeNodeId,
+    ) -> TreeNodeId {
+        let new_id = self.add_node(parent, other.nodes[src].kind.clone());
+        let src_children = other.nodes[src].children.clone();
+        for c in src_children {
+            self.append_subtree(new_id, other, c);
+        }
+        new_id
+    }
+
+    /// Pre-order traversal of arena node indices.
+    pub fn preorder(&self) -> Vec<TreeNodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root()];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.nodes[n].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Whether arena node `a` is a (proper) ancestor of `d`.
+    pub fn is_ancestor(&self, a: TreeNodeId, d: TreeNodeId) -> bool {
+        let mut cur = self.nodes[d].parent;
+        while let Some(p) = cur {
+            if p == a {
+                return true;
+            }
+            cur = self.nodes[p].parent;
+        }
+        false
+    }
+
+    /// The tag of an arena node. For references this reads the stored
+    /// record (one page access).
+    pub fn tag_of(&self, store: &DocumentStore, id: TreeNodeId) -> Result<String> {
+        match &self.nodes[id].kind {
+            TreeNodeKind::Elem { tag, .. } => Ok(tag.clone()),
+            TreeNodeKind::Ref { node, .. } => {
+                let rec = store.record(node.id)?;
+                Ok(store.tag_name(rec.tag).to_owned())
+            }
+        }
+    }
+
+    /// The content of an arena node (a data-value look-up for references).
+    pub fn content_of(&self, store: &DocumentStore, id: TreeNodeId) -> Result<Option<String>> {
+        match &self.nodes[id].kind {
+            TreeNodeKind::Elem { content, .. } => Ok(content.clone()),
+            TreeNodeKind::Ref { node, .. } => Ok(store.content(node.id)?),
+        }
+    }
+
+    /// Materialize ("data population", Sec. 5.3) into a DOM element,
+    /// expanding deep references through the store.
+    pub fn materialize(&self, store: &DocumentStore) -> Result<xmlparse::Element> {
+        self.materialize_node(store, self.root())
+    }
+
+    /// Materialize the subtree rooted at arena node `id`.
+    pub fn materialize_node(
+        &self,
+        store: &DocumentStore,
+        id: TreeNodeId,
+    ) -> Result<xmlparse::Element> {
+        let node = &self.nodes[id];
+        let mut elem = match &node.kind {
+            TreeNodeKind::Elem { tag, content } => {
+                let mut e = xmlparse::Element::new(tag.clone());
+                if let Some(c) = content {
+                    e.children.push(xmlparse::XmlNode::Text(c.clone()));
+                }
+                e
+            }
+            TreeNodeKind::Ref { node: nid, deep } => {
+                if *deep {
+                    store.materialize(nid.id)?
+                } else {
+                    // Shallow: tag, attributes and content only; arena
+                    // children are appended below.
+                    let rec = store.record(nid.id)?;
+                    let mut e = xmlparse::Element::new(store.tag_name(rec.tag));
+                    for child in store.children(nid.id)? {
+                        let crec = store.record(child)?;
+                        if crec.kind == NodeKind::Attribute {
+                            let name =
+                                store.tag_name(crec.tag).trim_start_matches('@').to_owned();
+                            let value = store.content(child)?.unwrap_or_default();
+                            e.attributes.push((name, value));
+                        }
+                    }
+                    if let Some(c) = store.content(nid.id)? {
+                        e.children.push(xmlparse::XmlNode::Text(c));
+                    }
+                    e
+                }
+            }
+        };
+        for &c in &node.children {
+            elem.children
+                .push(xmlparse::XmlNode::Element(self.materialize_node(store, c)?));
+        }
+        Ok(elem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlstore::StoreOptions;
+
+    fn store() -> DocumentStore {
+        DocumentStore::from_xml(
+            "<bib><article year=\"1999\"><title>Querying XML</title><author>Jack</author></article></bib>",
+            &StoreOptions::in_memory(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let mut t = Tree::new_elem("root");
+        let a = t.add_elem(t.root(), "a");
+        let b = t.add_elem_with_content(a, "b", "text");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.node(a).parent, Some(t.root()));
+        assert_eq!(t.node(t.root()).children, vec![a]);
+        assert!(t.is_ancestor(t.root(), b));
+        assert!(t.is_ancestor(a, b));
+        assert!(!t.is_ancestor(b, a));
+        assert!(!t.is_ancestor(a, a));
+    }
+
+    #[test]
+    fn preorder_order() {
+        let mut t = Tree::new_elem("r");
+        let a = t.add_elem(t.root(), "a");
+        let _a1 = t.add_elem(a, "a1");
+        let _b = t.add_elem(t.root(), "b");
+        let order: Vec<String> = t
+            .preorder()
+            .iter()
+            .map(|&n| match &t.node(n).kind {
+                TreeNodeKind::Elem { tag, .. } => tag.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, ["r", "a", "a1", "b"]);
+    }
+
+    #[test]
+    fn insert_node_at_position() {
+        let mut t = Tree::new_elem("r");
+        let a = t.add_elem(t.root(), "a");
+        let c = t.add_elem(t.root(), "c");
+        let b = t.insert_node(
+            t.root(),
+            1,
+            TreeNodeKind::Elem {
+                tag: "b".into(),
+                content: None,
+            },
+        );
+        assert_eq!(t.node(t.root()).children, vec![a, b, c]);
+    }
+
+    #[test]
+    fn append_subtree_copies_deeply() {
+        let mut src = Tree::new_elem("s");
+        let x = src.add_elem(src.root(), "x");
+        src.add_elem_with_content(x, "y", "v");
+
+        let mut dst = Tree::new_elem("d");
+        let copied = dst.append_subtree(dst.root(), &src, x);
+        assert_eq!(dst.len(), 3);
+        let s = store();
+        let elem = dst.materialize_node(&s, copied).unwrap();
+        assert_eq!(elem.name, "x");
+        assert_eq!(elem.child("y").unwrap().text(), "v");
+    }
+
+    #[test]
+    fn deep_ref_materializes_stored_subtree() {
+        let s = store();
+        let article = s.tag_id("article").unwrap();
+        let node = s.nodes_with_tag(article)[0];
+        let t = Tree::new_ref(node, true);
+        let elem = t.materialize(&s).unwrap();
+        assert_eq!(elem.name, "article");
+        assert_eq!(elem.attr("year"), Some("1999"));
+        assert_eq!(elem.children_named("author").count(), 1);
+    }
+
+    #[test]
+    fn shallow_ref_keeps_only_node_and_arena_children() {
+        let s = store();
+        let article = s.tag_id("article").unwrap();
+        let author = s.tag_id("author").unwrap();
+        let art = s.nodes_with_tag(article)[0];
+        let auth = s.nodes_with_tag(author)[0];
+        // Witness-tree shape: article (shallow) with author (shallow) child.
+        let mut t = Tree::new_ref(art, false);
+        t.add_ref(t.root(), auth, false);
+        let elem = t.materialize(&s).unwrap();
+        assert_eq!(elem.name, "article");
+        // Shallow article keeps attributes but not the title child.
+        assert_eq!(elem.attr("year"), Some("1999"));
+        assert!(elem.child("title").is_none());
+        assert_eq!(elem.child("author").unwrap().text(), "Jack");
+    }
+
+    #[test]
+    fn tag_and_content_of_refs() {
+        let s = store();
+        let title = s.tag_id("title").unwrap();
+        let node = s.nodes_with_tag(title)[0];
+        let t = Tree::new_ref(node, false);
+        assert_eq!(t.tag_of(&s, t.root()).unwrap(), "title");
+        assert_eq!(
+            t.content_of(&s, t.root()).unwrap().as_deref(),
+            Some("Querying XML")
+        );
+    }
+
+    #[test]
+    fn elem_content_materializes_as_text() {
+        let s = store();
+        let mut t = Tree::new_elem("authorpubs");
+        t.add_elem_with_content(t.root(), "author", "Jack");
+        let e = t.materialize(&s).unwrap();
+        assert_eq!(e.child("author").unwrap().text(), "Jack");
+    }
+}

@@ -1,0 +1,98 @@
+//! Content values and numeric-aware comparison.
+//!
+//! XML content is untyped text; grouping keys, ordering lists, and
+//! predicates compare it. Following common XQuery practice the comparison
+//! is numeric when *both* operands parse as numbers, and lexicographic
+//! otherwise, so `year` values order correctly without a schema.
+
+use std::cmp::Ordering;
+
+/// Comparison operators usable in content predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the operator to an ordering.
+    pub fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Compare two content strings: numerically when both parse as `f64`,
+/// lexicographically otherwise.
+pub fn compare_values(a: &str, b: &str) -> Ordering {
+    match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+        (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+        _ => a.cmp(b),
+    }
+}
+
+/// Compare optional values; `None` (missing content) sorts first, which
+/// keeps groups with absent ordering keys deterministic.
+pub fn compare_opt_values(a: Option<&str>, b: Option<&str>) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => compare_values(x, y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_comparison_when_both_numeric() {
+        assert_eq!(compare_values("9", "10"), Ordering::Less);
+        assert_eq!(compare_values("2.5", "2.50"), Ordering::Equal);
+        assert_eq!(compare_values(" 1999 ", "2002"), Ordering::Less);
+    }
+
+    #[test]
+    fn string_comparison_otherwise() {
+        assert_eq!(compare_values("9", "abc"), Ordering::Less); // '9' < 'a'
+        assert_eq!(compare_values("Jack", "John"), Ordering::Less);
+        assert_eq!(compare_values("XML", "XML"), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Eq.matches(Ordering::Equal));
+        assert!(!CmpOp::Eq.matches(Ordering::Less));
+        assert!(CmpOp::Ne.matches(Ordering::Greater));
+        assert!(CmpOp::Lt.matches(Ordering::Less));
+        assert!(CmpOp::Le.matches(Ordering::Equal));
+        assert!(CmpOp::Gt.matches(Ordering::Greater));
+        assert!(CmpOp::Ge.matches(Ordering::Equal));
+        assert!(!CmpOp::Ge.matches(Ordering::Less));
+    }
+
+    #[test]
+    fn missing_values_sort_first() {
+        assert_eq!(compare_opt_values(None, Some("a")), Ordering::Less);
+        assert_eq!(compare_opt_values(Some("a"), None), Ordering::Greater);
+        assert_eq!(compare_opt_values(None, None), Ordering::Equal);
+        assert_eq!(compare_opt_values(Some("a"), Some("a")), Ordering::Equal);
+    }
+}

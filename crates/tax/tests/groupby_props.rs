@@ -1,0 +1,153 @@
+//! Property-based tests for the grouping operator's invariants (Sec. 3).
+
+use proptest::prelude::*;
+use tax::ops::groupby::{groupby, groupby_replicated, BasisItem, Direction, GroupOrder};
+use tax::pattern::{Axis, PatternTree, Pred};
+use tax::value::compare_opt_values;
+use tax::{tags, Collection, Tree};
+use xmlstore::{DocumentStore, StoreOptions};
+
+/// Random bibliography: each article has 1–3 authors drawn from a pool
+/// of 4 names and a distinct title, so keys repeat and overlap.
+fn bibliography() -> impl Strategy<Value = String> {
+    let article = (
+        prop::collection::vec(0usize..4, 1..=3),
+        0u32..10_000,
+    )
+        .prop_map(|(authors, n)| {
+            const NAMES: [&str; 4] = ["Jack", "Jill", "John", "Jane"];
+            let mut s = String::from("<article>");
+            let mut seen = Vec::new();
+            for a in authors {
+                if !seen.contains(&a) {
+                    seen.push(a);
+                    s.push_str(&format!("<author>{}</author>", NAMES[a]));
+                }
+            }
+            s.push_str(&format!("<title>T{n:05}</title></article>"));
+            s
+        });
+    prop::collection::vec(article, 0..10).prop_map(|arts| {
+        format!("<bib>{}</bib>", arts.concat())
+    })
+}
+
+fn setup(xml: &str) -> (DocumentStore, Collection, PatternTree, usize, usize) {
+    let s = DocumentStore::from_xml(xml, &StoreOptions::in_memory()).unwrap();
+    let arts: Collection = match s.tag_id("article") {
+        Some(article) => s
+            .nodes_with_tag(article)
+            .iter()
+            .map(|e| Tree::new_ref(*e, true))
+            .collect(),
+        None => Vec::new(),
+    };
+    let mut p = PatternTree::with_root(Pred::tag("article"));
+    let title = p.add_child(p.root(), Axis::Child, Pred::tag("title"));
+    let author = p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+    (s, arts, p, title, author)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn group_count_equals_distinct_authors(xml in bibliography()) {
+        let (s, arts, p, _title, author) = setup(&xml);
+        let groups = groupby(&s, &arts, &p, &[BasisItem::content(author)], &[]).unwrap();
+        let distinct = xml
+            .split("<author>")
+            .skip(1)
+            .map(|rest| rest.split('<').next().unwrap().to_owned())
+            .collect::<std::collections::HashSet<_>>();
+        prop_assert_eq!(groups.len(), distinct.len());
+    }
+
+    #[test]
+    fn memberships_equal_author_occurrences(xml in bibliography()) {
+        // Non-partitioning: total group members = total (article, author)
+        // pairs (authors are distinct within an article by construction).
+        let (s, arts, p, _title, author) = setup(&xml);
+        let groups = groupby(&s, &arts, &p, &[BasisItem::content(author)], &[]).unwrap();
+        let total_members: usize = groups
+            .iter()
+            .map(|g| {
+                let e = g.materialize(&s).unwrap();
+                e.child(tags::GROUP_SUBROOT).unwrap().children_named("article").count()
+            })
+            .sum();
+        prop_assert_eq!(total_members, xml.matches("<author>").count());
+    }
+
+    #[test]
+    fn members_sorted_by_ordering_list(xml in bibliography(), descending in any::<bool>()) {
+        let (s, arts, p, title, author) = setup(&xml);
+        let dir = if descending { Direction::Descending } else { Direction::Ascending };
+        let groups = groupby(
+            &s,
+            &arts,
+            &p,
+            &[BasisItem::content(author)],
+            &[GroupOrder { label: title, direction: dir }],
+        )
+        .unwrap();
+        for g in &groups {
+            let e = g.materialize(&s).unwrap();
+            let titles: Vec<String> = e
+                .child(tags::GROUP_SUBROOT)
+                .unwrap()
+                .children_named("article")
+                .map(|a| a.child("title").unwrap().text())
+                .collect();
+            for w in titles.windows(2) {
+                let ord = compare_opt_values(Some(&w[0]), Some(&w[1]));
+                if descending {
+                    prop_assert_ne!(ord, std::cmp::Ordering::Less, "{:?}", titles);
+                } else {
+                    prop_assert_ne!(ord, std::cmp::Ordering::Greater, "{:?}", titles);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identifier_and_replicated_agree(xml in bibliography()) {
+        let (s, arts, p, title, author) = setup(&xml);
+        let ordering = [GroupOrder { label: title, direction: Direction::Ascending }];
+        let fast = groupby(&s, &arts, &p, &[BasisItem::content(author)], &ordering).unwrap();
+        let slow = groupby_replicated(&s, &arts, &p, &[BasisItem::content(author)], &ordering).unwrap();
+        prop_assert_eq!(fast.len(), slow.len());
+        for (f, sl) in fast.iter().zip(slow.iter()) {
+            let fe = xmlparse::serialize::element_to_string(&f.materialize(&s).unwrap());
+            let se = xmlparse::serialize::element_to_string(&sl.materialize(&s).unwrap());
+            prop_assert_eq!(fe, se);
+        }
+    }
+
+    #[test]
+    fn groups_in_first_appearance_order(xml in bibliography()) {
+        let (s, arts, p, _title, author) = setup(&xml);
+        let groups = groupby(&s, &arts, &p, &[BasisItem::content(author)], &[]).unwrap();
+        let keys: Vec<String> = groups
+            .iter()
+            .map(|g| {
+                g.materialize(&s)
+                    .unwrap()
+                    .child(tags::GROUPING_BASIS)
+                    .unwrap()
+                    .child("author")
+                    .unwrap()
+                    .text()
+            })
+            .collect();
+        // Expected order: first document occurrence of each distinct name.
+        let mut expected = Vec::new();
+        for rest in xml.split("<author>").skip(1) {
+            let name = rest.split('<').next().unwrap().to_owned();
+            if !expected.contains(&name) {
+                expected.push(name);
+            }
+        }
+        prop_assert_eq!(keys, expected);
+    }
+}

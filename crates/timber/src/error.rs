@@ -1,0 +1,55 @@
+//! Engine-level errors.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, TimberError>;
+
+/// Any failure surfaced by the engine.
+#[derive(Debug)]
+pub enum TimberError {
+    /// Storage failure.
+    Store(xmlstore::StoreError),
+    /// Query parsing / translation failure.
+    Query(xquery::QueryError),
+    /// Algebra evaluation failure.
+    Algebra(tax::Error),
+}
+
+impl fmt::Display for TimberError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimberError::Store(e) => write!(f, "{e}"),
+            TimberError::Query(e) => write!(f, "{e}"),
+            TimberError::Algebra(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TimberError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TimberError::Store(e) => Some(e),
+            TimberError::Query(e) => Some(e),
+            TimberError::Algebra(e) => Some(e),
+        }
+    }
+}
+
+impl From<xmlstore::StoreError> for TimberError {
+    fn from(e: xmlstore::StoreError) -> Self {
+        TimberError::Store(e)
+    }
+}
+
+impl From<xquery::QueryError> for TimberError {
+    fn from(e: xquery::QueryError) -> Self {
+        TimberError::Query(e)
+    }
+}
+
+impl From<tax::Error> for TimberError {
+    fn from(e: tax::Error) -> Self {
+        TimberError::Algebra(e)
+    }
+}

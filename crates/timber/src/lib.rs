@@ -1,0 +1,241 @@
+//! TIMBER-style engine facade: load documents, run XQuery through either
+//! evaluation plan, observe I/O.
+//!
+//! This crate ties the reproduction together the way Fig. 12 of
+//! *Grouping in XML* draws the system: the query parser (`xquery`)
+//! produces a TAX algebra expression; the "optimizer" optionally applies
+//! the grouping rewrite; the evaluator ([`eval`]) interprets the plan
+//! with the TAX operators (`tax`) over the paged store (`xmlstore`).
+//!
+//! # Example
+//!
+//! ```
+//! use timber::{PlanMode, TimberDb};
+//! use xmlstore::StoreOptions;
+//!
+//! let xml = "<bib>\
+//!   <article><title>Q</title><author>Jack</author><author>Jill</author></article>\
+//!   <article><title>R</title><author>Jack</author></article></bib>";
+//! let db = TimberDb::load_xml(xml, &StoreOptions::in_memory()).unwrap();
+//! let q = r#"
+//!     FOR $a IN distinct-values(document("bib.xml")//author)
+//!     RETURN <authorpubs>
+//!       {$a}
+//!       { FOR $b IN document("bib.xml")//article
+//!         WHERE $a = $b/author
+//!         RETURN $b/title }
+//!     </authorpubs>"#;
+//! let direct = db.query(q, PlanMode::Direct).unwrap();
+//! let grouped = db.query(q, PlanMode::GroupByRewrite).unwrap();
+//! assert_eq!(
+//!     direct.to_xml_on(db.store()).unwrap(),
+//!     grouped.to_xml_on(db.store()).unwrap(),
+//! );
+//! assert!(grouped.rewritten);
+//! ```
+
+pub mod error;
+pub mod eval;
+pub mod result;
+
+pub use error::{Result, TimberError};
+pub use result::QueryResult;
+
+use xmlstore::{DocumentStore, IoStats, StoreOptions};
+use xquery::Plan;
+
+/// Which evaluation plan to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMode {
+    /// The naive join-based plan — the paper's "direct execution of the
+    /// XQuery as written".
+    Direct,
+    /// The rewritten plan using the GROUPBY operator (falls back to the
+    /// naive plan when the rewrite does not apply).
+    GroupByRewrite,
+}
+
+/// A loaded database plus the query pipeline.
+pub struct TimberDb {
+    store: DocumentStore,
+}
+
+impl TimberDb {
+    /// Parse and load an XML document.
+    pub fn load_xml(xml: &str, opts: &StoreOptions) -> Result<Self> {
+        Ok(TimberDb {
+            store: DocumentStore::from_xml(xml, opts)?,
+        })
+    }
+
+    /// Load an already parsed document.
+    pub fn load_document(doc: &xmlparse::Document, opts: &StoreOptions) -> Result<Self> {
+        Ok(TimberDb {
+            store: DocumentStore::load(doc, opts)?,
+        })
+    }
+
+    /// The underlying store (statistics, direct access).
+    pub fn store(&self) -> &DocumentStore {
+        &self.store
+    }
+
+    /// Compile a query to a logical plan under the given mode. Returns
+    /// the plan and whether the grouping rewrite fired.
+    pub fn compile(&self, query: &str, mode: PlanMode) -> Result<(Plan, bool)> {
+        let ast = xquery::parse_query(query)?;
+        let naive = xquery::translate(&ast)?;
+        Ok(match mode {
+            PlanMode::Direct => (naive, false),
+            PlanMode::GroupByRewrite => xquery::rewrite(naive),
+        })
+    }
+
+    /// Parse, plan, and evaluate a query.
+    pub fn query(&self, query: &str, mode: PlanMode) -> Result<QueryResult> {
+        let (plan, rewritten) = self.compile(query, mode)?;
+        self.run_plan(&plan, rewritten)
+    }
+
+    /// Evaluate an already compiled plan.
+    pub fn run_plan(&self, plan: &Plan, rewritten: bool) -> Result<QueryResult> {
+        let start = std::time::Instant::now();
+        let io_before = self.store.io_stats();
+        let trees = eval::eval(&self.store, plan)?;
+        let elapsed = start.elapsed();
+        let io_after = self.store.io_stats();
+        Ok(QueryResult {
+            trees,
+            rewritten,
+            elapsed,
+            io: diff_io(io_before, io_after),
+        })
+    }
+
+    /// Render both plans for a query — a poor man's `EXPLAIN`.
+    pub fn explain(&self, query: &str) -> Result<String> {
+        let (naive, _) = self.compile(query, PlanMode::Direct)?;
+        let (opt, rewritten) = self.compile(query, PlanMode::GroupByRewrite)?;
+        let mut out = String::from("== direct plan ==\n");
+        out.push_str(&naive.explain());
+        out.push_str("\n== optimized plan ==\n");
+        if rewritten {
+            out.push_str(&opt.explain());
+        } else {
+            out.push_str("(rewrite does not apply; same as direct)\n");
+        }
+        Ok(out)
+    }
+
+    /// Current I/O counters of the store.
+    pub fn io_stats(&self) -> IoStats {
+        self.store.io_stats()
+    }
+
+    /// Zero the I/O counters.
+    pub fn reset_io_stats(&self) {
+        self.store.reset_io_stats()
+    }
+
+    /// Drop all cached pages (cold-start measurements).
+    pub fn clear_buffer_pool(&self) -> Result<()> {
+        Ok(self.store.clear_buffer_pool()?)
+    }
+}
+
+fn diff_io(before: IoStats, after: IoStats) -> IoStats {
+    IoStats {
+        buffer: xmlstore::buffer::BufferStats {
+            hits: after.buffer.hits - before.buffer.hits,
+            misses: after.buffer.misses - before.buffer.misses,
+            evictions: after.buffer.evictions - before.buffer.evictions,
+            writebacks: after.buffer.writebacks - before.buffer.writebacks,
+        },
+        disk: xmlstore::storage::DiskStats {
+            reads: after.disk.reads - before.disk.reads,
+            writes: after.disk.writes - before.disk.writes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "<bib>\
+        <article><title>Querying XML</title><author>Jack</author><author>John</author></article>\
+        <article><title>XML and the Web</title><author>Jill</author><author>Jack</author></article>\
+        <article><title>Hack HTML</title><author>John</author></article>\
+    </bib>";
+
+    const QUERY1: &str = r#"
+        FOR $a IN distinct-values(document("bib.xml")//author)
+        RETURN <authorpubs>
+          {$a}
+          { FOR $b IN document("bib.xml")//article
+            WHERE $a = $b/author
+            RETURN $b/title }
+        </authorpubs>
+    "#;
+
+    fn db() -> TimberDb {
+        TimberDb::load_xml(SAMPLE, &StoreOptions::in_memory()).unwrap()
+    }
+
+    #[test]
+    fn query1_direct_output() {
+        let db = db();
+        let r = db.query(QUERY1, PlanMode::Direct).unwrap();
+        assert!(!r.rewritten);
+        let xml = r.to_xml_on(db.store()).unwrap();
+        // Jack authored two articles.
+        assert!(
+            xml.contains("<authorpubs><author>Jack</author><title>Querying XML</title><title>XML and the Web</title></authorpubs>"),
+            "{xml}"
+        );
+        assert_eq!(r.trees.len(), 3); // Jack, John, Jill
+    }
+
+    #[test]
+    fn query1_rewritten_output_identical() {
+        let db = db();
+        let direct = db.query(QUERY1, PlanMode::Direct).unwrap();
+        let grouped = db.query(QUERY1, PlanMode::GroupByRewrite).unwrap();
+        assert!(grouped.rewritten);
+        assert_eq!(
+            direct.to_xml_on(db.store()).unwrap(),
+            grouped.to_xml_on(db.store()).unwrap()
+        );
+    }
+
+    #[test]
+    fn groupby_plan_does_less_io_for_count() {
+        let db = db();
+        let q = r#"
+            FOR $a IN distinct-values(document("bib.xml")//author)
+            LET $t := document("bib.xml")//article[author = $a]/title
+            RETURN <authorpubs> {$a} {count($t)} </authorpubs>
+        "#;
+        let direct = db.query(q, PlanMode::Direct).unwrap();
+        let grouped = db.query(q, PlanMode::GroupByRewrite).unwrap();
+        assert_eq!(
+            direct.to_xml_on(db.store()).unwrap(),
+            grouped.to_xml_on(db.store()).unwrap()
+        );
+        assert!(
+            grouped.io.page_requests() < direct.io.page_requests(),
+            "groupby {} vs direct {}",
+            grouped.io.page_requests(),
+            direct.io.page_requests()
+        );
+    }
+
+    #[test]
+    fn explain_renders_both_plans() {
+        let db = db();
+        let text = db.explain(QUERY1).unwrap();
+        assert!(text.contains("direct plan"));
+        assert!(text.contains("LeftOuterJoinDb"));
+        assert!(text.contains("GroupBy"));
+    }
+}

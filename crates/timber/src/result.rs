@@ -1,0 +1,52 @@
+//! Query results: trees, timing, and I/O accounting.
+
+use crate::error::Result;
+use std::time::Duration;
+use tax::Collection;
+use xmlstore::{DocumentStore, IoStats};
+
+/// The outcome of one query evaluation.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The output collection. Trees may still hold references into the
+    /// store; render them with [`QueryResult::to_xml_on`].
+    pub trees: Collection,
+    /// Whether the GROUPBY rewrite produced the executed plan.
+    pub rewritten: bool,
+    /// Wall-clock evaluation time.
+    pub elapsed: Duration,
+    /// Buffer/disk traffic attributable to this evaluation.
+    pub io: IoStats,
+}
+
+impl QueryResult {
+    /// Number of output trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Materialize every output tree as a DOM element ("data
+    /// population").
+    pub fn elements_on(&self, store: &DocumentStore) -> Result<Vec<xmlparse::Element>> {
+        self.trees
+            .iter()
+            .map(|t| t.materialize(store).map_err(Into::into))
+            .collect()
+    }
+
+    /// Serialize the whole result, one tree per line.
+    pub fn to_xml_on(&self, store: &DocumentStore) -> Result<String> {
+        let mut out = String::new();
+        for e in self.elements_on(store)? {
+            out.push_str(&xmlparse::serialize::element_to_string(&e));
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+}

@@ -1,0 +1,248 @@
+//! A character cursor over the input with position tracking and the small
+//! scanning primitives the parser is built from.
+
+use crate::error::{ParseError, ParseErrorKind, Pos, Result};
+
+/// A cursor over the input text that tracks line/column positions and
+/// offers the low-level scanning operations used by [`crate::parser`].
+pub struct Cursor<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    offset: usize,
+    line: u32,
+    /// Byte offset of the start of the current line.
+    line_start: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Create a cursor at the start of `input`.
+    pub fn new(input: &'a str) -> Self {
+        Cursor {
+            input,
+            bytes: input.as_bytes(),
+            offset: 0,
+            line: 1,
+            line_start: 0,
+        }
+    }
+
+    /// Current position, for error reporting.
+    pub fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: (self.offset - self.line_start) as u32 + 1,
+        }
+    }
+
+    /// Byte offset into the input.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// True when all input has been consumed.
+    pub fn at_eof(&self) -> bool {
+        self.offset >= self.bytes.len()
+    }
+
+    /// Peek the next byte without consuming it.
+    pub fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.offset).copied()
+    }
+
+    /// Peek the byte `n` positions ahead.
+    pub fn peek_at(&self, n: usize) -> Option<u8> {
+        self.bytes.get(self.offset + n).copied()
+    }
+
+    /// Consume and return one byte.
+    pub fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.offset += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_start = self.offset;
+        }
+        Some(b)
+    }
+
+    /// Consume `s` if the input starts with it; return whether it did.
+    pub fn eat(&mut self, s: &str) -> bool {
+        if self.input[self.offset..].starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require `s` next in the input, or fail with an error naming `ctx`.
+    pub fn expect(&mut self, s: &str, ctx: &'static str) -> Result<()> {
+        if self.eat(s) {
+            Ok(())
+        } else if self.at_eof() {
+            Err(self.err(ParseErrorKind::UnexpectedEof(ctx)))
+        } else {
+            let found = self.input[self.offset..].chars().next().unwrap_or('\0');
+            Err(self.err(ParseErrorKind::UnexpectedChar {
+                found,
+                expected: ctx,
+            }))
+        }
+    }
+
+    /// Skip XML whitespace (space, tab, CR, LF).
+    pub fn skip_whitespace(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'\r' || b == b'\n' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consume bytes while `pred` holds and return the matched slice.
+    pub fn take_while(&mut self, mut pred: impl FnMut(u8) -> bool) -> &'a str {
+        let start = self.offset;
+        while let Some(b) = self.peek() {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        &self.input[start..self.offset]
+    }
+
+    /// Consume input until the literal `delim` is found; the delimiter is
+    /// also consumed. Returns the text before the delimiter, or an error
+    /// naming `ctx` if the input ends first.
+    pub fn take_until(&mut self, delim: &str, ctx: &'static str) -> Result<&'a str> {
+        match self.input[self.offset..].find(delim) {
+            Some(rel) => {
+                let start = self.offset;
+                for _ in 0..rel + delim.len() {
+                    self.bump();
+                }
+                Ok(&self.input[start..start + rel])
+            }
+            None => Err(self.err(ParseErrorKind::UnexpectedEof(ctx))),
+        }
+    }
+
+    /// Scan an XML `Name` (simplified: ASCII letters, digits, `_ - . :`
+    /// plus any non-ASCII character; must not start with a digit, `-` or
+    /// `.`).
+    pub fn scan_name(&mut self, ctx: &'static str) -> Result<&'a str> {
+        let start = self.offset;
+        match self.peek() {
+            Some(b) if is_name_start(b) => {
+                self.bump();
+            }
+            Some(b) => {
+                return Err(self.err(ParseErrorKind::UnexpectedChar {
+                    found: b as char,
+                    expected: ctx,
+                }))
+            }
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof(ctx))),
+        }
+        while let Some(b) = self.peek() {
+            if is_name_continue(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(&self.input[start..self.offset])
+    }
+
+    /// Build an error at the current position.
+    pub fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::new(self.pos(), kind)
+    }
+
+    /// Build an error at an earlier recorded position.
+    pub fn err_at(&self, pos: Pos, kind: ParseErrorKind) -> ParseError {
+        ParseError::new(pos, kind)
+    }
+}
+
+/// Whether `b` may start an XML name (ASCII approximation; any multi-byte
+/// UTF-8 lead/continuation byte is accepted so non-ASCII names work).
+pub fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+/// Whether `b` may continue an XML name.
+pub fn is_name_continue(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_tracking_counts_lines() {
+        let mut c = Cursor::new("ab\ncd");
+        assert_eq!(c.pos().line, 1);
+        c.bump();
+        c.bump();
+        c.bump(); // newline
+        assert_eq!(c.pos().line, 2);
+        assert_eq!(c.pos().col, 1);
+        c.bump();
+        assert_eq!(c.pos().col, 2);
+    }
+
+    #[test]
+    fn eat_and_expect() {
+        let mut c = Cursor::new("<?xml?>");
+        assert!(c.eat("<?xml"));
+        assert!(!c.eat("version"));
+        c.expect("?>", "xml declaration").unwrap();
+        assert!(c.at_eof());
+    }
+
+    #[test]
+    fn take_until_finds_delimiter() {
+        let mut c = Cursor::new("hello-->rest");
+        let text = c.take_until("-->", "comment").unwrap();
+        assert_eq!(text, "hello");
+        assert_eq!(c.take_while(|_| true), "rest");
+    }
+
+    #[test]
+    fn take_until_eof_errors() {
+        let mut c = Cursor::new("no end");
+        assert!(c.take_until("-->", "comment").is_err());
+    }
+
+    #[test]
+    fn scan_name_accepts_mixed_names() {
+        let mut c = Cursor::new("doc_root-1.x rest");
+        assert_eq!(c.scan_name("name").unwrap(), "doc_root-1.x");
+    }
+
+    #[test]
+    fn scan_name_rejects_leading_digit() {
+        let mut c = Cursor::new("1abc");
+        assert!(c.scan_name("name").is_err());
+    }
+
+    #[test]
+    fn scan_name_accepts_utf8() {
+        let mut c = Cursor::new("données>");
+        assert_eq!(c.scan_name("name").unwrap(), "données");
+    }
+
+    #[test]
+    fn skip_whitespace_all_kinds() {
+        let mut c = Cursor::new(" \t\r\n x");
+        c.skip_whitespace();
+        assert_eq!(c.peek(), Some(b'x'));
+    }
+}

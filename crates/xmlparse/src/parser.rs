@@ -1,0 +1,413 @@
+//! Recursive-descent XML parser producing a [`Document`].
+
+use crate::dom::{Document, Element, XmlNode};
+use crate::error::{ParseErrorKind, Pos, Result};
+use crate::lexer::Cursor;
+
+/// Parse a complete XML document.
+///
+/// The document may begin with an `<?xml ...?>` declaration, comments,
+/// processing instructions, and one `<!DOCTYPE ...>` declaration; it must
+/// contain exactly one root element; trailing comments/PIs are allowed.
+pub fn parse_document(input: &str) -> Result<Document> {
+    let mut p = Parser {
+        cur: Cursor::new(input),
+    };
+    p.skip_prolog()?;
+    p.cur.skip_whitespace();
+    if p.cur.peek() != Some(b'<') {
+        return Err(p.cur.err(ParseErrorKind::InvalidDocumentStructure(
+            "expected a root element",
+        )));
+    }
+    let root = p.parse_element()?;
+    // Trailing misc: whitespace, comments, PIs.
+    loop {
+        p.cur.skip_whitespace();
+        if p.cur.at_eof() {
+            break;
+        }
+        if p.cur.eat("<!--") {
+            p.cur.take_until("-->", "comment")?;
+        } else if p.cur.eat("<?") {
+            p.cur.take_until("?>", "processing instruction")?;
+        } else {
+            return Err(p.cur.err(ParseErrorKind::InvalidDocumentStructure(
+                "content after the root element",
+            )));
+        }
+    }
+    Ok(Document::new(root))
+}
+
+struct Parser<'a> {
+    cur: Cursor<'a>,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_prolog(&mut self) -> Result<()> {
+        self.cur.skip_whitespace();
+        if self.cur.eat("<?xml") {
+            self.cur.take_until("?>", "xml declaration")?;
+        }
+        loop {
+            self.cur.skip_whitespace();
+            if self.cur.eat("<!--") {
+                self.cur.take_until("-->", "comment")?;
+            } else if self.cur.eat("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else if self.cur.peek() == Some(b'<') && self.cur.peek_at(1) == Some(b'?') {
+                self.cur.eat("<?");
+                self.cur.take_until("?>", "processing instruction")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skip a DOCTYPE declaration, handling one level of `[...]` internal
+    /// subset (no nested brackets, which suffices for non-validating use).
+    fn skip_doctype(&mut self) -> Result<()> {
+        loop {
+            match self.cur.bump() {
+                Some(b'[') => {
+                    self.cur.take_until("]", "DOCTYPE internal subset")?;
+                }
+                Some(b'>') => return Ok(()),
+                Some(_) => {}
+                None => {
+                    return Err(self.cur.err(ParseErrorKind::UnexpectedEof("DOCTYPE")));
+                }
+            }
+        }
+    }
+
+    /// Parse one element, cursor positioned at `<`.
+    fn parse_element(&mut self) -> Result<Element> {
+        let open_pos = self.cur.pos();
+        self.cur.expect("<", "element start")?;
+        let name = self.cur.scan_name("element name")?.to_owned();
+        let mut elem = Element::new(name);
+        self.parse_attributes(&mut elem)?;
+        self.cur.skip_whitespace();
+        if self.cur.eat("/>") {
+            return Ok(elem);
+        }
+        self.cur.expect(">", "end of open tag")?;
+        self.parse_content(&mut elem, open_pos)?;
+        Ok(elem)
+    }
+
+    fn parse_attributes(&mut self, elem: &mut Element) -> Result<()> {
+        loop {
+            self.cur.skip_whitespace();
+            match self.cur.peek() {
+                Some(b'>') | Some(b'/') | None => return Ok(()),
+                _ => {}
+            }
+            let attr_pos = self.cur.pos();
+            let name = self.cur.scan_name("attribute name")?.to_owned();
+            self.cur.skip_whitespace();
+            self.cur.expect("=", "attribute '='")?;
+            self.cur.skip_whitespace();
+            let quote = match self.cur.bump() {
+                Some(q @ (b'"' | b'\'')) => q,
+                Some(c) => {
+                    return Err(self.cur.err(ParseErrorKind::UnexpectedChar {
+                        found: c as char,
+                        expected: "attribute value quote",
+                    }))
+                }
+                None => {
+                    return Err(self
+                        .cur
+                        .err(ParseErrorKind::UnexpectedEof("attribute value")))
+                }
+            };
+            let delim = if quote == b'"' { "\"" } else { "'" };
+            let raw = self.cur.take_until(delim, "attribute value")?;
+            let value = resolve_entities(raw, &self.cur, attr_pos)?;
+            if elem.attributes.iter().any(|(n, _)| *n == name) {
+                return Err(self
+                    .cur
+                    .err_at(attr_pos, ParseErrorKind::DuplicateAttribute(name)));
+            }
+            elem.attributes.push((name, value));
+        }
+    }
+
+    /// Parse element content up to and including the matching close tag.
+    fn parse_content(&mut self, elem: &mut Element, open_pos: Pos) -> Result<()> {
+        let mut text = String::new();
+        loop {
+            if self.cur.at_eof() {
+                return Err(self
+                    .cur
+                    .err_at(open_pos, ParseErrorKind::UnclosedElement(elem.name.clone())));
+            }
+            if self.cur.peek() == Some(b'<') {
+                if self.cur.eat("<!--") {
+                    flush_text(elem, &mut text);
+                    let c = self.cur.take_until("-->", "comment")?;
+                    elem.children.push(XmlNode::Comment(c.to_owned()));
+                } else if self.cur.eat("<![CDATA[") {
+                    let c = self.cur.take_until("]]>", "CDATA section")?;
+                    text.push_str(c);
+                } else if self.cur.peek_at(1) == Some(b'?') {
+                    self.cur.eat("<?");
+                    self.cur.take_until("?>", "processing instruction")?;
+                } else if self.cur.peek_at(1) == Some(b'/') {
+                    flush_text(elem, &mut text);
+                    self.cur.eat("</");
+                    let close_pos = self.cur.pos();
+                    let close = self.cur.scan_name("close tag name")?;
+                    if close != elem.name {
+                        return Err(self.cur.err_at(
+                            close_pos,
+                            ParseErrorKind::MismatchedCloseTag {
+                                open: elem.name.clone(),
+                                close: close.to_owned(),
+                            },
+                        ));
+                    }
+                    self.cur.skip_whitespace();
+                    self.cur.expect(">", "end of close tag")?;
+                    return Ok(());
+                } else {
+                    flush_text(elem, &mut text);
+                    let child = self.parse_element()?;
+                    elem.children.push(XmlNode::Element(child));
+                }
+            } else {
+                let pos = self.cur.pos();
+                let raw = self.cur.take_while(|b| b != b'<');
+                let resolved = resolve_entities(raw, &self.cur, pos)?;
+                text.push_str(&resolved);
+            }
+        }
+    }
+}
+
+fn flush_text(elem: &mut Element, text: &mut String) {
+    if !text.is_empty() {
+        elem.children.push(XmlNode::Text(std::mem::take(text)));
+    }
+}
+
+/// Resolve the five predefined entities and numeric character references
+/// in `raw`.
+fn resolve_entities(raw: &str, cur: &Cursor<'_>, pos: Pos) -> Result<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp + 1..];
+        let semi = rest.find(';').ok_or_else(|| {
+            cur.err_at(pos, ParseErrorKind::UnknownEntity(truncate(rest, 16)))
+        })?;
+        let name = &rest[..semi];
+        match name {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if name.starts_with('#') => {
+                let digits = &name[1..];
+                let code = if let Some(hex) = digits.strip_prefix('x').or(digits.strip_prefix('X'))
+                {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    digits.parse::<u32>()
+                }
+                .map_err(|_| cur.err_at(pos, ParseErrorKind::BadCharRef(name.to_owned())))?;
+                let ch = char::from_u32(code)
+                    .ok_or_else(|| cur.err_at(pos, ParseErrorKind::BadCharRef(name.to_owned())))?;
+                out.push(ch);
+            }
+            _ => {
+                return Err(cur.err_at(pos, ParseErrorKind::UnknownEntity(name.to_owned())));
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    s.chars().take(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ParseErrorKind;
+
+    #[test]
+    fn minimal_document() {
+        let doc = parse_document("<a/>").unwrap();
+        assert_eq!(doc.root().name, "a");
+        assert!(doc.root().children.is_empty());
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let doc = parse_document("<bib><article><title>X</title></article></bib>").unwrap();
+        let article = doc.root().child("article").unwrap();
+        assert_eq!(article.child("title").unwrap().text(), "X");
+    }
+
+    #[test]
+    fn attributes_both_quote_styles() {
+        let doc = parse_document(r#"<a x="1" y='two'/>"#).unwrap();
+        assert_eq!(doc.root().attr("x"), Some("1"));
+        assert_eq!(doc.root().attr("y"), Some("two"));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = parse_document(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn predefined_entities() {
+        let doc = parse_document("<a>&lt;&gt;&amp;&apos;&quot;</a>").unwrap();
+        assert_eq!(doc.root().text(), "<>&'\"");
+    }
+
+    #[test]
+    fn numeric_char_refs() {
+        let doc = parse_document("<a>&#65;&#x42;</a>").unwrap();
+        assert_eq!(doc.root().text(), "AB");
+    }
+
+    #[test]
+    fn bad_char_ref() {
+        let err = parse_document("<a>&#xZZ;</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadCharRef(_)));
+    }
+
+    #[test]
+    fn unknown_entity() {
+        let err = parse_document("<a>&nbsp;</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnknownEntity(_)));
+    }
+
+    #[test]
+    fn entity_in_attribute() {
+        let doc = parse_document(r#"<a t="a&amp;b"/>"#).unwrap();
+        assert_eq!(doc.root().attr("t"), Some("a&b"));
+    }
+
+    #[test]
+    fn cdata_is_literal_text() {
+        let doc = parse_document("<a><![CDATA[<not><tags>&amp;]]></a>").unwrap();
+        assert_eq!(doc.root().text(), "<not><tags>&amp;");
+    }
+
+    #[test]
+    fn comments_preserved_in_content() {
+        let doc = parse_document("<a><!-- note --><b/></a>").unwrap();
+        assert!(matches!(doc.root().children[0], XmlNode::Comment(_)));
+        assert!(doc.root().child("b").is_some());
+    }
+
+    #[test]
+    fn prolog_and_doctype_skipped() {
+        let doc = parse_document(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE bib [ <!ELEMENT bib (article*)> ]>\n<!-- c -->\n<bib/>",
+        )
+        .unwrap();
+        assert_eq!(doc.root().name, "bib");
+    }
+
+    #[test]
+    fn processing_instructions_skipped() {
+        let doc = parse_document("<?pi data?><a><?inner?></a><?post?>").unwrap();
+        assert_eq!(doc.root().name, "a");
+        assert!(doc.root().children.is_empty());
+    }
+
+    #[test]
+    fn mismatched_close_tag() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::MismatchedCloseTag { .. }
+        ));
+    }
+
+    #[test]
+    fn unclosed_element() {
+        let err = parse_document("<a><b>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnclosedElement(_)));
+    }
+
+    #[test]
+    fn content_after_root_rejected() {
+        let err = parse_document("<a/><b/>").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::InvalidDocumentStructure(_)
+        ));
+    }
+
+    #[test]
+    fn trailing_comment_allowed() {
+        assert!(parse_document("<a/><!-- bye -->").is_ok());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse_document("").is_err());
+        assert!(parse_document("   ").is_err());
+    }
+
+    #[test]
+    fn mixed_content_ordering() {
+        let doc = parse_document("<a>x<b/>y<c/>z</a>").unwrap();
+        let kinds: Vec<&str> = doc
+            .root()
+            .children
+            .iter()
+            .map(|c| match c {
+                XmlNode::Text(_) => "t",
+                XmlNode::Element(_) => "e",
+                XmlNode::Comment(_) => "c",
+            })
+            .collect();
+        assert_eq!(kinds, ["t", "e", "t", "e", "t"]);
+    }
+
+    #[test]
+    fn whitespace_only_text_is_kept() {
+        let doc = parse_document("<a> <b/> </a>").unwrap();
+        // TIMBER-style loaders decide whether to strip; the parser keeps it.
+        assert_eq!(doc.root().children.len(), 3);
+    }
+
+    #[test]
+    fn error_position_is_plausible() {
+        let err = parse_document("<a>\n  <b x=></b></a>").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn deeply_nested_ok() {
+        let mut s = String::new();
+        for _ in 0..200 {
+            s.push_str("<d>");
+        }
+        s.push('x');
+        for _ in 0..200 {
+            s.push_str("</d>");
+        }
+        let doc = parse_document(&s).unwrap();
+        assert_eq!(doc.root().deep_text(), "x");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based round-trip tests: any DOM we can build serializes to
+//! text that parses back to the identical DOM.
+
+use proptest::prelude::*;
+use xmlparse::{parse_document, to_string, Document, Element, XmlNode};
+
+/// Strategy for XML names (ASCII subset, never empty, no leading digit).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,8}"
+}
+
+/// Strategy for text content. Avoid text that is empty (the parser never
+/// produces empty text nodes) and avoid the `]]>`-free constraint issues
+/// by using plain printable text including characters that need escaping.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{1,20}")
+        .unwrap()
+        .prop_filter("no empty", |s| !s.is_empty())
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+        prop::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(name);
+            for (n, v) in attrs {
+                if e.attr(&n).is_none() {
+                    e.attributes.push((n, v));
+                }
+            }
+            if let Some(t) = text {
+                e.children.push(XmlNode::Text(t));
+            }
+            e
+        });
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..2),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (n, v) in attrs {
+                    if e.attr(&n).is_none() {
+                        e.attributes.push((n, v));
+                    }
+                }
+                for c in children {
+                    e.children.push(XmlNode::Element(c));
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialize_then_parse_is_identity(root in element_strategy()) {
+        let doc = Document::new(root);
+        let text = to_string(&doc);
+        let reparsed = parse_document(&text).expect("serializer output must parse");
+        prop_assert_eq!(&doc, &reparsed);
+    }
+
+    #[test]
+    fn parse_never_panics(input in "\\PC{0,100}") {
+        let _ = parse_document(&input);
+    }
+
+    #[test]
+    fn escaped_text_roundtrips(t in text_strategy()) {
+        let doc = Document::new(Element::new("a").with_text(t.clone()));
+        let reparsed = parse_document(&to_string(&doc)).unwrap();
+        prop_assert_eq!(reparsed.root().text(), t);
+    }
+}
+
+#[test]
+fn pretty_output_reparses() {
+    let src = "<bib><article year=\"2001\"><title>Grouping &amp; XML</title><author>Stelios</author><author>Shurug</author></article></bib>";
+    let doc = parse_document(src).unwrap();
+    let pretty = xmlparse::to_string_pretty(&doc);
+    let doc2 = parse_document(&pretty).unwrap();
+    assert_eq!(doc2.root().descendants().count(), doc.root().descendants().count());
+}

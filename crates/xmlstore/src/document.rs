@@ -1,0 +1,803 @@
+//! A loaded XML document: records + heap on pages behind a buffer pool,
+//! plus the in-memory tag dictionary and tag index.
+//!
+//! Loading wraps the document's root element under a synthetic `doc_root`
+//! node (node id 0), matching the paper's convention that "the database is
+//! a single tree document" whose pattern trees start at `$1.tag =
+//! doc_root` (Sec. 4.1, Figs. 4–6).
+//!
+//! Text handling follows TIMBER's model: an element whose children are
+//! text-only stores that text as its *content* (`$i.content` in pattern
+//! predicates); text inside mixed content becomes `#text` nodes;
+//! attributes become `@name` nodes whose content is the value.
+
+use crate::buffer::{BufferPool, BufferStats};
+use crate::catalog::{attr_tag_name, TagDict, TagId, TEXT_TAG};
+use crate::error::{Result, StoreError};
+use crate::heap::{read_content, HeapBuilder};
+use crate::index::{NodeEntry, TagIndex, ValueIndex};
+use crate::node::{
+    node_location, ContentPtr, NodeId, NodeKind, NodeRecord, NO_PARENT, RECORDS_PER_PAGE,
+    RECORD_SIZE,
+};
+use crate::page::{PageId, PAGE_SIZE};
+use crate::storage::{DiskManager, DiskStats};
+use std::cell::RefCell;
+use std::path::PathBuf;
+
+/// The reserved tag of the synthetic document root.
+pub const DOC_ROOT_TAG: &str = "doc_root";
+
+/// Configuration for loading a document into the store.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Buffer pool capacity in pages. The paper uses a 32 MB pool of 8 KB
+    /// pages, i.e. 4096 pages; that is the default.
+    pub pool_pages: usize,
+    /// Back the store with a real temporary file (true) or an in-memory
+    /// page vector (false).
+    pub on_disk: bool,
+    /// If the store is on disk, put the page file here instead of a
+    /// temporary path (the file is then kept after drop).
+    pub path: Option<PathBuf>,
+    /// Drop whitespace-only text between elements (bibliographic data is
+    /// data-centric, so this is the default).
+    pub strip_whitespace: bool,
+    /// Also build a content value index (`(tag, value) → nodes`). The
+    /// paper's experiments used only the tag index (its footnote 8
+    /// explains the limits of value indices in XML), so this is off by
+    /// default.
+    pub value_index: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            pool_pages: 32 * 1024 * 1024 / PAGE_SIZE,
+            on_disk: true,
+            path: None,
+            strip_whitespace: true,
+            value_index: false,
+        }
+    }
+}
+
+impl StoreOptions {
+    /// Small, in-memory configuration for tests and examples.
+    pub fn in_memory() -> Self {
+        StoreOptions {
+            pool_pages: 1024,
+            on_disk: false,
+            path: None,
+            strip_whitespace: true,
+            value_index: false,
+        }
+    }
+
+    /// Enable the content value index.
+    pub fn with_value_index(mut self) -> Self {
+        self.value_index = true;
+        self
+    }
+
+    /// Set the buffer pool size in bytes (rounded down to whole pages,
+    /// minimum one page).
+    pub fn with_pool_bytes(mut self, bytes: usize) -> Self {
+        self.pool_pages = (bytes / PAGE_SIZE).max(1);
+        self
+    }
+
+    /// Set the buffer pool size in pages.
+    pub fn with_pool_pages(mut self, pages: usize) -> Self {
+        self.pool_pages = pages.max(1);
+        self
+    }
+}
+
+/// Combined I/O counters for one store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Buffer pool counters.
+    pub buffer: BufferStats,
+    /// Physical disk counters.
+    pub disk: DiskStats,
+}
+
+impl IoStats {
+    /// Total page requests (hits + misses).
+    pub fn page_requests(&self) -> u64 {
+        self.buffer.hits + self.buffer.misses
+    }
+}
+
+/// A document loaded into the paged store.
+pub struct DocumentStore {
+    tags: TagDict,
+    index: TagIndex,
+    value_index: Option<ValueIndex>,
+    heap_base: u32,
+    node_base: u32,
+    node_count: u32,
+    pool: RefCell<BufferPool>,
+}
+
+impl DocumentStore {
+    /// Parse `xml` and load it.
+    pub fn from_xml(xml: &str, opts: &StoreOptions) -> Result<Self> {
+        let doc = xmlparse::parse_document(xml)?;
+        Self::load(&doc, opts)
+    }
+
+    /// Load a parsed document.
+    pub fn load(doc: &xmlparse::Document, opts: &StoreOptions) -> Result<Self> {
+        let mut tags = TagDict::new();
+        let mut heap = HeapBuilder::new();
+        let mut records: Vec<NodeRecord> = Vec::new();
+        let mut counter: u32 = 0;
+
+        // Synthetic doc_root wrapping the document's root element.
+        let doc_root_tag = tags.intern(DOC_ROOT_TAG);
+        records.push(NodeRecord {
+            tag: doc_root_tag,
+            start: counter,
+            end: 0, // patched below
+            parent: NO_PARENT,
+            level: 0,
+            kind: NodeKind::Element,
+            content: ContentPtr::NULL,
+        });
+        counter += 1;
+
+        let mut values: Vec<(usize, String)> = Vec::new();
+        let mut loader = Loader {
+            tags: &mut tags,
+            heap: &mut heap,
+            records: &mut records,
+            counter: &mut counter,
+            strip_whitespace: opts.strip_whitespace,
+            values: if opts.value_index {
+                Some(&mut values)
+            } else {
+                None
+            },
+        };
+        loader.load_element(doc.root(), 0, 1)?;
+        let end = counter;
+        records[0].end = end;
+
+        // Build the tag index (and, if requested, the value index) in
+        // document order. Content strings were collected during loading,
+        // so the value index costs no page I/O to build.
+        let mut index = TagIndex::new();
+        for (i, rec) in records.iter().enumerate() {
+            index.insert(
+                rec.tag,
+                NodeEntry {
+                    id: NodeId(i as u32),
+                    start: rec.start,
+                    end: rec.end,
+                    level: rec.level,
+                },
+            );
+        }
+        let value_index = if opts.value_index {
+            let mut vi = ValueIndex::new();
+            for (i, value) in &values {
+                let rec = &records[*i];
+                vi.insert(
+                    rec.tag,
+                    value,
+                    NodeEntry {
+                        id: NodeId(*i as u32),
+                        start: rec.start,
+                        end: rec.end,
+                        level: rec.level,
+                    },
+                );
+            }
+            Some(vi)
+        } else {
+            None
+        };
+
+        // Lay out pages: heap first, then node records.
+        let mut disk = if opts.on_disk {
+            match &opts.path {
+                Some(p) => DiskManager::create_at(p)?,
+                None => DiskManager::temp_file()?,
+            }
+        } else {
+            DiskManager::in_memory()
+        };
+        let heap_pages = heap.into_pages();
+        let heap_base = 0u32;
+        for page in &heap_pages {
+            let pid = disk.allocate()?;
+            let arr: &[u8; PAGE_SIZE] = page.as_slice().try_into().expect("heap page size");
+            disk.write_page(pid, arr)?;
+        }
+        let node_base = heap_pages.len() as u32;
+        let node_count = records.len() as u32;
+        let mut page_buf = [0u8; PAGE_SIZE];
+        for chunk in records.chunks(RECORDS_PER_PAGE) {
+            page_buf.fill(0);
+            for (slot, rec) in chunk.iter().enumerate() {
+                rec.encode(&mut page_buf[slot * RECORD_SIZE..(slot + 1) * RECORD_SIZE]);
+            }
+            let pid = disk.allocate()?;
+            disk.write_page(pid, &page_buf)?;
+        }
+        disk.reset_stats();
+
+        let pool = BufferPool::new(disk, opts.pool_pages)?;
+        Ok(DocumentStore {
+            tags,
+            index,
+            value_index,
+            heap_base,
+            node_base,
+            node_count,
+            pool: RefCell::new(pool),
+        })
+    }
+
+    // ---- metadata ----------------------------------------------------
+
+    /// Number of stored nodes (elements + attributes + text nodes,
+    /// including the synthetic `doc_root`).
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// Total pages in the store file.
+    pub fn total_pages(&self) -> u32 {
+        self.node_base + self.node_count.div_ceil(RECORDS_PER_PAGE as u32)
+    }
+
+    /// Store size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.total_pages() as u64 * PAGE_SIZE as u64
+    }
+
+    /// The tag dictionary.
+    pub fn tags(&self) -> &TagDict {
+        &self.tags
+    }
+
+    /// Id of an element tag name, if present in the document.
+    pub fn tag_id(&self, name: &str) -> Option<TagId> {
+        self.tags.get(name)
+    }
+
+    /// Id of an attribute `name` (stored as `@name`), if present.
+    pub fn attr_tag_id(&self, name: &str) -> Option<TagId> {
+        self.tags.get(&attr_tag_name(name))
+    }
+
+    /// Name of a tag id.
+    pub fn tag_name(&self, id: TagId) -> &str {
+        self.tags.name(id)
+    }
+
+    // ---- index access (no data pages touched) -------------------------
+
+    /// Document-order index entries for a tag.
+    pub fn nodes_with_tag(&self, tag: TagId) -> &[NodeEntry] {
+        self.index.nodes(tag)
+    }
+
+    /// The synthetic root's index entry.
+    pub fn root(&self) -> NodeEntry {
+        NodeEntry {
+            id: NodeId(0),
+            start: 0,
+            end: self.index.nodes(self.tags.get(DOC_ROOT_TAG).expect("root tag"))[0].end,
+            level: 0,
+        }
+    }
+
+    /// The tag index itself.
+    pub fn index(&self) -> &TagIndex {
+        &self.index
+    }
+
+    /// The content value index, if it was built
+    /// (`StoreOptions::value_index`).
+    pub fn value_index(&self) -> Option<&ValueIndex> {
+        self.value_index.as_ref()
+    }
+
+    /// Document-order nodes of `tag` whose content equals `value`, from
+    /// the value index (no data-page access). `None` when the index was
+    /// not built.
+    pub fn nodes_with_tag_and_content(&self, tag: TagId, value: &str) -> Option<&[NodeEntry]> {
+        self.value_index.as_ref().map(|vi| vi.nodes(tag, value))
+    }
+
+    // ---- record / content access (goes through the buffer pool) -------
+
+    /// Fetch the full record of `id` (one node-page access).
+    pub fn record(&self, id: NodeId) -> Result<NodeRecord> {
+        if id.0 >= self.node_count {
+            return Err(StoreError::NodeOutOfBounds {
+                node: id.0,
+                node_count: self.node_count,
+            });
+        }
+        let (page, slot) = node_location(self.node_base, id);
+        self.pool
+            .borrow_mut()
+            .with_page(PageId(page), |p| NodeRecord::decode(&p[slot..slot + RECORD_SIZE]))
+    }
+
+    /// The index-style entry of `id` (via its record).
+    pub fn entry(&self, id: NodeId) -> Result<NodeEntry> {
+        let rec = self.record(id)?;
+        Ok(NodeEntry {
+            id,
+            start: rec.start,
+            end: rec.end,
+            level: rec.level,
+        })
+    }
+
+    /// Character content of `id`: `Some` for attributes, text nodes, and
+    /// text-only elements; `None` otherwise. This is the "data value
+    /// look-up" of Sec. 5.3 and touches heap pages.
+    pub fn content(&self, id: NodeId) -> Result<Option<String>> {
+        let rec = self.record(id)?;
+        if !rec.content.is_some() {
+            return Ok(None);
+        }
+        let mut pool = self.pool.borrow_mut();
+        Ok(Some(read_content(&mut pool, self.heap_base, rec.content)?))
+    }
+
+    /// Parent node id (None for the root).
+    pub fn parent(&self, id: NodeId) -> Result<Option<NodeId>> {
+        let rec = self.record(id)?;
+        Ok(if rec.parent == NO_PARENT {
+            None
+        } else {
+            Some(NodeId(rec.parent))
+        })
+    }
+
+    /// All child node ids of `id` (elements, attributes, and text nodes),
+    /// in document order.
+    pub fn children(&self, id: NodeId) -> Result<Vec<NodeId>> {
+        let rec = self.record(id)?;
+        let mut out = Vec::new();
+        let mut j = id.0 + 1;
+        while j < self.node_count {
+            let r = self.record(NodeId(j))?;
+            if r.start >= rec.end {
+                break;
+            }
+            if r.level == rec.level + 1 {
+                out.push(NodeId(j));
+            }
+            j += 1;
+        }
+        Ok(out)
+    }
+
+    /// All node ids in the subtree of `id`, `id` included, in document
+    /// order.
+    pub fn subtree(&self, id: NodeId) -> Result<Vec<NodeId>> {
+        let rec = self.record(id)?;
+        let mut out = vec![id];
+        let mut j = id.0 + 1;
+        while j < self.node_count {
+            let r = self.record(NodeId(j))?;
+            if r.start >= rec.end {
+                break;
+            }
+            out.push(NodeId(j));
+            j += 1;
+        }
+        Ok(out)
+    }
+
+    /// Rebuild the DOM element for the subtree rooted at `id` — the "data
+    /// population" step of Sec. 5.3. Attribute children become attributes,
+    /// `#text` children become text nodes, merged content becomes a text
+    /// child.
+    pub fn materialize(&self, id: NodeId) -> Result<xmlparse::Element> {
+        let rec = self.record(id)?;
+        let mut elem = xmlparse::Element::new(self.tags.name(rec.tag));
+        if rec.content.is_some() {
+            let mut pool = self.pool.borrow_mut();
+            let text = read_content(&mut pool, self.heap_base, rec.content)?;
+            drop(pool);
+            if rec.kind == NodeKind::Element {
+                elem.children.push(xmlparse::XmlNode::Text(text));
+            } else {
+                // For attribute/text nodes materialized directly.
+                elem.children.push(xmlparse::XmlNode::Text(text));
+            }
+        }
+        for child in self.children(id)? {
+            let crec = self.record(child)?;
+            match crec.kind {
+                NodeKind::Attribute => {
+                    let name = self.tags.name(crec.tag).trim_start_matches('@').to_owned();
+                    let value = self.content(child)?.unwrap_or_default();
+                    elem.attributes.push((name, value));
+                }
+                NodeKind::Text => {
+                    let value = self.content(child)?.unwrap_or_default();
+                    elem.children.push(xmlparse::XmlNode::Text(value));
+                }
+                NodeKind::Element => {
+                    elem.children
+                        .push(xmlparse::XmlNode::Element(self.materialize(child)?));
+                }
+            }
+        }
+        Ok(elem)
+    }
+
+    // ---- statistics ----------------------------------------------------
+
+    /// Current I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        let pool = self.pool.borrow();
+        IoStats {
+            buffer: pool.stats(),
+            disk: pool.disk_stats(),
+        }
+    }
+
+    /// Zero the I/O counters.
+    pub fn reset_io_stats(&self) {
+        self.pool.borrow_mut().reset_stats();
+    }
+
+    /// Empty the buffer pool so the next operation starts cold.
+    pub fn clear_buffer_pool(&self) -> Result<()> {
+        self.pool.borrow_mut().clear()
+    }
+
+    /// Buffer pool capacity in pages.
+    pub fn pool_capacity(&self) -> usize {
+        self.pool.borrow().capacity()
+    }
+}
+
+struct Loader<'a> {
+    tags: &'a mut TagDict,
+    heap: &'a mut HeapBuilder,
+    records: &'a mut Vec<NodeRecord>,
+    counter: &'a mut u32,
+    strip_whitespace: bool,
+    /// When building a value index: `(record index, content)` pairs.
+    values: Option<&'a mut Vec<(usize, String)>>,
+}
+
+impl Loader<'_> {
+    /// DFS over the DOM assigning ids, labels, and content.
+    fn load_element(&mut self, elem: &xmlparse::Element, parent: u32, level: u16) -> Result<u32> {
+        let id = self.records.len() as u32;
+        let tag = self.tags.intern(&elem.name);
+        let start = *self.counter;
+        *self.counter += 1;
+        self.records.push(NodeRecord {
+            tag,
+            start,
+            end: 0, // patched at exit
+            parent,
+            level,
+            kind: NodeKind::Element,
+            content: ContentPtr::NULL,
+        });
+
+        // Attributes as leaf nodes.
+        for (name, value) in &elem.attributes {
+            let attr_tag = self.tags.intern(&attr_tag_name(name));
+            let s = *self.counter;
+            *self.counter += 1;
+            let e = *self.counter;
+            *self.counter += 1;
+            let content = self.heap.append(value)?;
+            if let Some(values) = self.values.as_deref_mut() {
+                values.push((self.records.len(), value.clone()));
+            }
+            self.records.push(NodeRecord {
+                tag: attr_tag,
+                start: s,
+                end: e,
+                parent: id,
+                level: level + 1,
+                kind: NodeKind::Attribute,
+                content,
+            });
+        }
+
+        let has_element_children = elem
+            .children
+            .iter()
+            .any(|c| matches!(c, xmlparse::XmlNode::Element(_)));
+
+        if has_element_children {
+            // Mixed or element content: text children become #text nodes.
+            for child in &elem.children {
+                match child {
+                    xmlparse::XmlNode::Element(e) => {
+                        self.load_element(e, id, level + 1)?;
+                    }
+                    xmlparse::XmlNode::Text(t) => {
+                        if self.strip_whitespace && t.trim().is_empty() {
+                            continue;
+                        }
+                        let text_tag = self.tags.intern(TEXT_TAG);
+                        let s = *self.counter;
+                        *self.counter += 1;
+                        let e = *self.counter;
+                        *self.counter += 1;
+                        let content = self.heap.append(t)?;
+                        if let Some(values) = self.values.as_deref_mut() {
+                            values.push((self.records.len(), t.clone()));
+                        }
+                        self.records.push(NodeRecord {
+                            tag: text_tag,
+                            start: s,
+                            end: e,
+                            parent: id,
+                            level: level + 1,
+                            kind: NodeKind::Text,
+                            content,
+                        });
+                    }
+                    xmlparse::XmlNode::Comment(_) => {}
+                }
+            }
+        } else {
+            // Text-only (or empty) content merges into the element.
+            let text = elem.text();
+            if !(text.is_empty() || (self.strip_whitespace && text.trim().is_empty())) {
+                let content = self.heap.append(&text)?;
+                self.records[id as usize].content = content;
+                if let Some(values) = self.values.as_deref_mut() {
+                    values.push((id as usize, text));
+                }
+            }
+        }
+
+        let end = *self.counter;
+        *self.counter += 1;
+        self.records[id as usize].end = end;
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<bib>
+        <article year="1999">
+            <title>Querying XML</title>
+            <author>Jack</author>
+            <author>John</author>
+        </article>
+        <article>
+            <title>Hack HTML</title>
+            <author>John</author>
+        </article>
+    </bib>"#;
+
+    fn store() -> DocumentStore {
+        DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory()).unwrap()
+    }
+
+    #[test]
+    fn loads_with_doc_root_wrapper() {
+        let s = store();
+        let root = s.root();
+        assert_eq!(root.id, NodeId(0));
+        assert_eq!(s.tag_name(s.record(NodeId(0)).unwrap().tag), DOC_ROOT_TAG);
+        // doc_root + bib + 2 articles + 1 attr + 2 titles + 3 authors = 10
+        assert_eq!(s.node_count(), 10);
+    }
+
+    #[test]
+    fn tag_index_finds_all_authors() {
+        let s = store();
+        let author = s.tag_id("author").unwrap();
+        let authors = s.nodes_with_tag(author);
+        assert_eq!(authors.len(), 3);
+        // Index entries are in document order.
+        assert!(authors.windows(2).all(|w| w[0].start < w[1].start));
+    }
+
+    #[test]
+    fn content_of_text_only_element() {
+        let s = store();
+        let title = s.tag_id("title").unwrap();
+        let first = s.nodes_with_tag(title)[0];
+        assert_eq!(s.content(first.id).unwrap().as_deref(), Some("Querying XML"));
+    }
+
+    #[test]
+    fn attribute_stored_as_node() {
+        let s = store();
+        let year = s.attr_tag_id("year").unwrap();
+        let entries = s.nodes_with_tag(year);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(s.content(entries[0].id).unwrap().as_deref(), Some("1999"));
+        let rec = s.record(entries[0].id).unwrap();
+        assert_eq!(rec.kind, NodeKind::Attribute);
+    }
+
+    #[test]
+    fn containment_labels_nest() {
+        let s = store();
+        let article = s.tag_id("article").unwrap();
+        let author = s.tag_id("author").unwrap();
+        let articles = s.nodes_with_tag(article);
+        let authors = s.nodes_with_tag(author);
+        // First article has exactly 2 of the 3 authors.
+        let inside = authors
+            .iter()
+            .filter(|a| articles[0].is_ancestor_of(a))
+            .count();
+        assert_eq!(inside, 2);
+        assert!(articles[0].is_parent_of(&authors[0]));
+    }
+
+    #[test]
+    fn children_and_subtree_navigation() {
+        let s = store();
+        let article = s.tag_id("article").unwrap();
+        let first = s.nodes_with_tag(article)[0];
+        let kids = s.children(first.id).unwrap();
+        // year attr + title + 2 authors
+        assert_eq!(kids.len(), 4);
+        let sub = s.subtree(first.id).unwrap();
+        assert_eq!(sub.len(), 5);
+        assert_eq!(sub[0], first.id);
+    }
+
+    #[test]
+    fn parent_navigation() {
+        let s = store();
+        let title = s.tag_id("title").unwrap();
+        let t = s.nodes_with_tag(title)[0];
+        let p = s.parent(t.id).unwrap().unwrap();
+        let prec = s.record(p).unwrap();
+        assert_eq!(s.tag_name(prec.tag), "article");
+        assert_eq!(s.parent(NodeId(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn materialize_roundtrips_article() {
+        let s = store();
+        let article = s.tag_id("article").unwrap();
+        let first = s.nodes_with_tag(article)[0];
+        let elem = s.materialize(first.id).unwrap();
+        assert_eq!(elem.name, "article");
+        assert_eq!(elem.attr("year"), Some("1999"));
+        assert_eq!(elem.child("title").unwrap().text(), "Querying XML");
+        assert_eq!(elem.children_named("author").count(), 2);
+    }
+
+    #[test]
+    fn mixed_content_preserved() {
+        let xml = "<p>Hello <b>bold</b> world</p>";
+        let s = DocumentStore::from_xml(xml, &StoreOptions::in_memory()).unwrap();
+        let p = s.tag_id("p").unwrap();
+        let node = s.nodes_with_tag(p)[0];
+        let elem = s.materialize(node.id).unwrap();
+        assert_eq!(elem.deep_text(), "Hello bold world");
+        let text_tag = s.tag_id(TEXT_TAG).unwrap();
+        assert_eq!(s.nodes_with_tag(text_tag).len(), 2);
+    }
+
+    #[test]
+    fn io_stats_count_page_traffic() {
+        let s = store();
+        s.reset_io_stats();
+        let title = s.tag_id("title").unwrap();
+        let t = s.nodes_with_tag(title)[0];
+        // Index access alone: no page requests.
+        assert_eq!(s.io_stats().page_requests(), 0);
+        let _ = s.content(t.id).unwrap();
+        assert!(s.io_stats().page_requests() >= 2); // node page + heap page
+    }
+
+    #[test]
+    fn on_disk_backend_works() {
+        let opts = StoreOptions {
+            on_disk: true,
+            pool_pages: 8,
+            ..StoreOptions::in_memory()
+        };
+        let s = DocumentStore::from_xml(SAMPLE, &opts).unwrap();
+        let author = s.tag_id("author").unwrap();
+        let a = s.nodes_with_tag(author)[2];
+        assert_eq!(s.content(a.id).unwrap().as_deref(), Some("John"));
+        assert!(s.io_stats().disk.reads >= 1);
+    }
+
+    #[test]
+    fn strip_whitespace_toggle() {
+        let xml = "<a> <b/> </a>";
+        let stripped = DocumentStore::from_xml(xml, &StoreOptions::in_memory()).unwrap();
+        let kept = DocumentStore::from_xml(
+            xml,
+            &StoreOptions {
+                strip_whitespace: false,
+                ..StoreOptions::in_memory()
+            },
+        )
+        .unwrap();
+        // stripped: doc_root + a + b; kept adds two #text nodes.
+        assert_eq!(stripped.node_count(), 3);
+        assert_eq!(kept.node_count(), 5);
+    }
+
+    #[test]
+    fn value_index_built_on_request() {
+        let s = DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory().with_value_index())
+            .unwrap();
+        let author = s.tag_id("author").unwrap();
+        let hits = s.nodes_with_tag_and_content(author, "John").unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(s.nodes_with_tag_and_content(author, "Nobody").unwrap().is_empty());
+        // Attribute values are indexed too (tag @year).
+        let year = s.attr_tag_id("year").unwrap();
+        assert_eq!(s.nodes_with_tag_and_content(year, "1999").unwrap().len(), 1);
+        // Off by default.
+        let plain = DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory()).unwrap();
+        assert!(plain.value_index().is_none());
+        assert!(plain.nodes_with_tag_and_content(author, "John").is_none());
+    }
+
+    #[test]
+    fn value_index_lookup_touches_no_pages() {
+        let s = DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory().with_value_index())
+            .unwrap();
+        s.reset_io_stats();
+        let author = s.tag_id("author").unwrap();
+        let _ = s.nodes_with_tag_and_content(author, "Jack").unwrap();
+        assert_eq!(s.io_stats().page_requests(), 0);
+    }
+
+    #[test]
+    fn very_long_content_spans_heap_pages() {
+        let long_title = "Grouping in XML ".repeat(1200); // ~19 KB > 2 pages
+        let xml = format!("<bib><article><title>{long_title}</title></article></bib>");
+        let s = DocumentStore::from_xml(&xml, &StoreOptions::in_memory()).unwrap();
+        let title = s.tag_id("title").unwrap();
+        let t = s.nodes_with_tag(title)[0];
+        assert_eq!(s.content(t.id).unwrap().as_deref(), Some(long_title.as_str()));
+        // The heap needs at least three pages for this value.
+        assert!(s.total_pages() >= 3);
+    }
+
+    #[test]
+    fn node_out_of_bounds_error() {
+        let s = store();
+        assert!(matches!(
+            s.record(NodeId(10_000)),
+            Err(StoreError::NodeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn many_nodes_span_pages() {
+        // More than RECORDS_PER_PAGE nodes forces multi-page layout.
+        let mut xml = String::from("<bib>");
+        for i in 0..300 {
+            xml.push_str(&format!("<article><title>T{i}</title></article>"));
+        }
+        xml.push_str("</bib>");
+        let s = DocumentStore::from_xml(&xml, &StoreOptions::in_memory()).unwrap();
+        assert_eq!(s.node_count(), 602);
+        assert!(s.total_pages() > 2);
+        let title = s.tag_id("title").unwrap();
+        let last = s.nodes_with_tag(title)[299];
+        assert_eq!(s.content(last.id).unwrap().as_deref(), Some("T299"));
+    }
+}

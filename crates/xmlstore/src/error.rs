@@ -1,0 +1,62 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// An error raised by the storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A page id beyond the allocated file was requested.
+    PageOutOfBounds { page: u32, num_pages: u32 },
+    /// A node id beyond the document was requested.
+    NodeOutOfBounds { node: u32, node_count: u32 },
+    /// The XML input failed to parse during load.
+    Parse(xmlparse::ParseError),
+    /// Content longer than the addressable limit.
+    ContentTooLong(usize),
+    /// The buffer pool cannot hold even one page.
+    PoolTooSmall,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::PageOutOfBounds { page, num_pages } => {
+                write!(f, "page {page} out of bounds (file has {num_pages} pages)")
+            }
+            StoreError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds (document has {node_count} nodes)")
+            }
+            StoreError::Parse(e) => write!(f, "load failed: {e}"),
+            StoreError::ContentTooLong(n) => write!(f, "content of {n} bytes exceeds limit"),
+            StoreError::PoolTooSmall => write!(f, "buffer pool must hold at least one page"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<xmlparse::ParseError> for StoreError {
+    fn from(e: xmlparse::ParseError) -> Self {
+        StoreError::Parse(e)
+    }
+}

@@ -1,0 +1,182 @@
+//! The content heap: element text and attribute values, packed into pages.
+//!
+//! Content is appended during load. A value is stored contiguously
+//! starting at `(page, off)`; if it does not fit in the remainder of a
+//! page it simply continues on the next page, so readers walk consecutive
+//! pages. Values never leave gaps except when a writer chooses to start a
+//! fresh page.
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StoreError};
+use crate::node::ContentPtr;
+use crate::page::{PageId, PAGE_SIZE};
+
+/// Maximum content length (addressable by `ContentPtr::len`).
+pub const MAX_CONTENT_LEN: usize = u32::MAX as usize;
+
+/// Accumulates content values into page images during document load.
+#[derive(Debug, Default)]
+pub struct HeapBuilder {
+    pages: Vec<Vec<u8>>,
+    cur_off: usize,
+}
+
+impl HeapBuilder {
+    /// A fresh, empty heap.
+    pub fn new() -> Self {
+        HeapBuilder::default()
+    }
+
+    /// Append `value`, returning its pointer.
+    pub fn append(&mut self, value: &str) -> Result<ContentPtr> {
+        let bytes = value.as_bytes();
+        if bytes.len() > MAX_CONTENT_LEN {
+            return Err(StoreError::ContentTooLong(bytes.len()));
+        }
+        if bytes.is_empty() {
+            return Ok(ContentPtr::NULL);
+        }
+        if self.pages.is_empty() || self.cur_off == PAGE_SIZE {
+            self.pages.push(vec![0u8; PAGE_SIZE]);
+            self.cur_off = 0;
+        }
+        let start_page = self.pages.len() - 1;
+        let start_off = self.cur_off;
+
+        let mut remaining = bytes;
+        loop {
+            let page = self.pages.last_mut().expect("at least one page");
+            let room = PAGE_SIZE - self.cur_off;
+            let take = remaining.len().min(room);
+            page[self.cur_off..self.cur_off + take].copy_from_slice(&remaining[..take]);
+            self.cur_off += take;
+            remaining = &remaining[take..];
+            if remaining.is_empty() {
+                break;
+            }
+            self.pages.push(vec![0u8; PAGE_SIZE]);
+            self.cur_off = 0;
+        }
+        Ok(ContentPtr {
+            page: start_page as u32,
+            off: start_off as u16,
+            len: bytes.len() as u32,
+        })
+    }
+
+    /// Number of pages the heap occupies.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Consume the builder, yielding the page images.
+    pub fn into_pages(self) -> Vec<Vec<u8>> {
+        self.pages
+    }
+}
+
+/// Read the content at `ptr` through the buffer pool. `heap_base` is the
+/// page id where heap page 0 was placed in the store file.
+pub fn read_content(pool: &mut BufferPool, heap_base: u32, ptr: ContentPtr) -> Result<String> {
+    if !ptr.is_some() {
+        return Ok(String::new());
+    }
+    let mut out = Vec::with_capacity(ptr.len as usize);
+    let mut page = heap_base + ptr.page;
+    let mut off = ptr.off as usize;
+    let mut remaining = ptr.len as usize;
+    while remaining > 0 {
+        let take = remaining.min(PAGE_SIZE - off);
+        pool.with_page(PageId(page), |p| {
+            out.extend_from_slice(&p[off..off + take]);
+        })?;
+        remaining -= take;
+        page += 1;
+        off = 0;
+    }
+    Ok(String::from_utf8(out).expect("heap content is valid UTF-8 by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::DiskManager;
+
+    fn pool_from_heap(builder: HeapBuilder) -> (BufferPool, u32) {
+        let mut disk = DiskManager::in_memory();
+        for page in builder.into_pages() {
+            let pid = disk.allocate().unwrap();
+            let arr: &[u8; PAGE_SIZE] = page.as_slice().try_into().unwrap();
+            disk.write_page(pid, arr).unwrap();
+        }
+        (BufferPool::new(disk, 4).unwrap(), 0)
+    }
+
+    #[test]
+    fn empty_value_is_null_ptr() {
+        let mut h = HeapBuilder::new();
+        let ptr = h.append("").unwrap();
+        assert!(!ptr.is_some());
+        assert_eq!(h.num_pages(), 0);
+    }
+
+    #[test]
+    fn small_values_roundtrip() {
+        let mut h = HeapBuilder::new();
+        let a = h.append("hello").unwrap();
+        let b = h.append("world!").unwrap();
+        assert_eq!(h.num_pages(), 1);
+        let (mut pool, base) = pool_from_heap(h);
+        assert_eq!(read_content(&mut pool, base, a).unwrap(), "hello");
+        assert_eq!(read_content(&mut pool, base, b).unwrap(), "world!");
+    }
+
+    #[test]
+    fn value_spanning_pages_roundtrips() {
+        let mut h = HeapBuilder::new();
+        let filler = "x".repeat(PAGE_SIZE - 10);
+        let _ = h.append(&filler).unwrap();
+        let long = "ab".repeat(PAGE_SIZE); // 2 pages worth
+        let ptr = h.append(&long).unwrap();
+        assert!(h.num_pages() >= 3);
+        let (mut pool, base) = pool_from_heap(h);
+        assert_eq!(read_content(&mut pool, base, ptr).unwrap(), long);
+    }
+
+    #[test]
+    fn exactly_page_sized_value() {
+        let mut h = HeapBuilder::new();
+        let v = "y".repeat(PAGE_SIZE);
+        let ptr = h.append(&v).unwrap();
+        let w = h.append("tail").unwrap();
+        let (mut pool, base) = pool_from_heap(h);
+        assert_eq!(read_content(&mut pool, base, ptr).unwrap(), v);
+        assert_eq!(read_content(&mut pool, base, w).unwrap(), "tail");
+    }
+
+    #[test]
+    fn multibyte_utf8_roundtrips() {
+        let mut h = HeapBuilder::new();
+        let v = "Données ↦ schön 東京".to_owned();
+        let ptr = h.append(&v).unwrap();
+        let (mut pool, base) = pool_from_heap(h);
+        assert_eq!(read_content(&mut pool, base, ptr).unwrap(), v);
+    }
+
+    #[test]
+    fn heap_base_offset_respected() {
+        // Place the heap after two unrelated pages.
+        let mut h = HeapBuilder::new();
+        let ptr = h.append("offset test").unwrap();
+        let mut disk = DiskManager::in_memory();
+        disk.allocate().unwrap();
+        disk.allocate().unwrap();
+        for page in h.into_pages() {
+            let pid = disk.allocate().unwrap();
+            let arr: &[u8; PAGE_SIZE] = page.as_slice().try_into().unwrap();
+            disk.write_page(pid, arr).unwrap();
+        }
+        let mut pool = BufferPool::new(disk, 4).unwrap();
+        assert_eq!(read_content(&mut pool, 2, ptr).unwrap(), "offset test");
+    }
+}

@@ -1,0 +1,213 @@
+//! The tag-name index (the Index Manager).
+//!
+//! For every tag, the index holds the document-order list of
+//! [`NodeEntry`] values — node id plus the `(start, end, level)` label.
+//! Because the label travels with the index entry, pattern-tree node
+//! candidates and all structural (containment) joins run **entirely on
+//! index data**, with no data-page access; this is the property Sec. 5.2
+//! of the paper relies on ("these node bindings can be found, in most
+//! cases, using indices alone, without access to the actual data").
+
+use crate::catalog::TagId;
+use crate::node::NodeId;
+
+/// An index entry: a node id together with its containment label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeEntry {
+    /// The node.
+    pub id: NodeId,
+    /// Pre-order region start.
+    pub start: u32,
+    /// Region end.
+    pub end: u32,
+    /// Depth (root = 0).
+    pub level: u16,
+}
+
+impl NodeEntry {
+    /// Is `self` a proper ancestor of `d`?
+    pub fn is_ancestor_of(&self, d: &NodeEntry) -> bool {
+        self.start < d.start && d.end < self.end
+    }
+
+    /// Is `self` the parent of `d`?
+    pub fn is_parent_of(&self, d: &NodeEntry) -> bool {
+        self.is_ancestor_of(d) && d.level == self.level + 1
+    }
+
+    /// Does `self` contain-or-equal `d` (reflexive ancestor test)?
+    pub fn contains(&self, d: &NodeEntry) -> bool {
+        self.start <= d.start && d.end <= self.end
+    }
+}
+
+/// Value index: `(TagId, content) → sorted-by-start Vec<NodeEntry>`.
+///
+/// The paper's footnote 8 discusses why value indices help less in XML
+/// than in relational systems: the index is built over a *domain*, so
+/// many element types roll into one index (here keyed by tag to keep the
+/// type confusion explicit), and it returns the node *with the value* —
+/// e.g. the author — whereas the query usually wants a related node —
+/// the article — so navigation or a structural join must follow.
+/// TIMBER's experiments used only the tag index; this one is optional
+/// (`StoreOptions::value_index`) and exercised by selection predicates.
+#[derive(Debug, Default, Clone)]
+pub struct ValueIndex {
+    map: std::collections::HashMap<(TagId, String), Vec<NodeEntry>>,
+}
+
+impl ValueIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        ValueIndex::default()
+    }
+
+    /// Record `entry` (with tag `tag`) as carrying `value`. Entries must
+    /// arrive in document order per key.
+    pub fn insert(&mut self, tag: TagId, value: &str, entry: NodeEntry) {
+        let list = self
+            .map
+            .entry((tag, value.to_owned()))
+            .or_default();
+        debug_assert!(
+            list.last().map(|p| p.start < entry.start).unwrap_or(true),
+            "value-index entries must arrive in document order"
+        );
+        list.push(entry);
+    }
+
+    /// The document-order nodes of tag `tag` whose content equals
+    /// `value`.
+    pub fn nodes(&self, tag: TagId, value: &str) -> &[NodeEntry] {
+        self.map
+            .get(&(tag, value.to_owned()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct `(tag, value)` keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total entries.
+    pub fn total_entries(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+}
+
+/// Tag-name index: `TagId → sorted-by-start Vec<NodeEntry>`.
+#[derive(Debug, Default, Clone)]
+pub struct TagIndex {
+    lists: Vec<Vec<NodeEntry>>,
+}
+
+impl TagIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        TagIndex::default()
+    }
+
+    /// Record that `entry` has tag `tag`. Entries must be inserted in
+    /// document order (which load naturally does), keeping lists sorted
+    /// by `start`.
+    pub fn insert(&mut self, tag: TagId, entry: NodeEntry) {
+        let idx = tag.0 as usize;
+        if idx >= self.lists.len() {
+            self.lists.resize_with(idx + 1, Vec::new);
+        }
+        debug_assert!(
+            self.lists[idx]
+                .last()
+                .map(|prev| prev.start < entry.start)
+                .unwrap_or(true),
+            "index entries must arrive in document order"
+        );
+        self.lists[idx].push(entry);
+    }
+
+    /// The document-order node list for `tag` (empty if the tag has no
+    /// nodes).
+    pub fn nodes(&self, tag: TagId) -> &[NodeEntry] {
+        self.lists
+            .get(tag.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of entries for `tag`.
+    pub fn cardinality(&self, tag: TagId) -> usize {
+        self.nodes(tag).len()
+    }
+
+    /// Total entries across all tags.
+    pub fn total_entries(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u32, start: u32, end: u32, level: u16) -> NodeEntry {
+        NodeEntry {
+            id: NodeId(id),
+            start,
+            end,
+            level,
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut ix = TagIndex::new();
+        ix.insert(TagId(2), entry(1, 10, 20, 1));
+        ix.insert(TagId(2), entry(5, 30, 40, 1));
+        ix.insert(TagId(0), entry(0, 0, 100, 0));
+        assert_eq!(ix.nodes(TagId(2)).len(), 2);
+        assert_eq!(ix.nodes(TagId(0)).len(), 1);
+        assert_eq!(ix.nodes(TagId(1)).len(), 0);
+        assert_eq!(ix.nodes(TagId(9)).len(), 0);
+        assert_eq!(ix.total_entries(), 3);
+    }
+
+    #[test]
+    fn lists_stay_sorted_by_start() {
+        let mut ix = TagIndex::new();
+        ix.insert(TagId(0), entry(0, 1, 2, 3));
+        ix.insert(TagId(0), entry(1, 5, 6, 3));
+        let starts: Vec<_> = ix.nodes(TagId(0)).iter().map(|e| e.start).collect();
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn value_index_roundtrip() {
+        let mut ix = ValueIndex::new();
+        ix.insert(TagId(1), "Jack", entry(1, 5, 6, 2));
+        ix.insert(TagId(1), "Jack", entry(2, 9, 10, 2));
+        ix.insert(TagId(1), "Jill", entry(3, 13, 14, 2));
+        ix.insert(TagId(2), "Jack", entry(4, 17, 18, 2));
+        assert_eq!(ix.nodes(TagId(1), "Jack").len(), 2);
+        assert_eq!(ix.nodes(TagId(1), "Jill").len(), 1);
+        // Type separation: author "Jack" vs editor "Jack" do not mix.
+        assert_eq!(ix.nodes(TagId(2), "Jack").len(), 1);
+        assert_eq!(ix.nodes(TagId(9), "Jack").len(), 0);
+        assert_eq!(ix.key_count(), 3);
+        assert_eq!(ix.total_entries(), 4);
+    }
+
+    #[test]
+    fn entry_containment() {
+        let a = entry(0, 0, 100, 0);
+        let b = entry(1, 10, 20, 1);
+        let c = entry(2, 12, 15, 2);
+        assert!(a.is_ancestor_of(&b));
+        assert!(a.is_ancestor_of(&c));
+        assert!(a.is_parent_of(&b));
+        assert!(!a.is_parent_of(&c));
+        assert!(b.is_parent_of(&c));
+        assert!(a.contains(&a));
+        assert!(!a.is_ancestor_of(&a));
+    }
+}

@@ -1,0 +1,79 @@
+//! Fixed-size pages, the unit of I/O.
+
+/// Page size in bytes. The paper's experiments use 8 KB pages (Sec. 6).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifier of a page within the store file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Byte offset of this page in the store file.
+    pub fn byte_offset(self) -> u64 {
+        self.0 as u64 * PAGE_SIZE as u64
+    }
+}
+
+/// An in-memory page image.
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// A zeroed page.
+    pub fn zeroed() -> Self {
+        Page {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+        }
+    }
+
+    /// Read access to the page bytes.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Write access to the page bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::zeroed()
+    }
+}
+
+impl Clone for Page {
+    fn clone(&self) -> Self {
+        Page {
+            data: self.data.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_is_zeroed() {
+        let p = Page::zeroed();
+        assert!(p.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn byte_offset() {
+        assert_eq!(PageId(0).byte_offset(), 0);
+        assert_eq!(PageId(3).byte_offset(), 3 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn mutation_roundtrip() {
+        let mut p = Page::zeroed();
+        p.bytes_mut()[42] = 7;
+        assert_eq!(p.bytes()[42], 7);
+        let q = p.clone();
+        assert_eq!(q.bytes()[42], 7);
+    }
+}

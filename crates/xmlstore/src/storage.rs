@@ -1,0 +1,234 @@
+//! The disk manager: a linear file of fixed-size pages, with physical
+//! I/O accounting. Stands in for Shore's volume manager.
+
+use crate::error::{Result, StoreError};
+use crate::page::{PageId, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Running counters of physical page I/O.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Pages read from the backing store.
+    pub reads: u64,
+    /// Pages written to the backing store.
+    pub writes: u64,
+}
+
+enum Backend {
+    /// A real file. The `bool` says whether to delete it on drop.
+    File { file: File, path: PathBuf, temp: bool },
+    /// In-memory pages (for tests and small examples).
+    Mem(Vec<Box<[u8]>>),
+}
+
+/// A linear page file.
+pub struct DiskManager {
+    backend: Backend,
+    num_pages: u32,
+    reads: u64,
+    writes: u64,
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl DiskManager {
+    /// An in-memory page store.
+    pub fn in_memory() -> Self {
+        DiskManager {
+            backend: Backend::Mem(Vec::new()),
+            num_pages: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// A page store backed by a fresh temporary file, removed on drop.
+    pub fn temp_file() -> Result<Self> {
+        let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "xmlstore-{}-{}.pages",
+            std::process::id(),
+            n
+        ));
+        Self::open(&path, true)
+    }
+
+    /// A page store backed by the named file (truncated), kept on drop.
+    pub fn create_at(path: &Path) -> Result<Self> {
+        Self::open(path, false)
+    }
+
+    fn open(path: &Path, temp: bool) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(DiskManager {
+            backend: Backend::File {
+                file,
+                path: path.to_owned(),
+                temp,
+            },
+            num_pages: 0,
+            reads: 0,
+            writes: 0,
+        })
+    }
+
+    /// Number of allocated pages.
+    pub fn num_pages(&self) -> u32 {
+        self.num_pages
+    }
+
+    /// Physical I/O counters.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            reads: self.reads,
+            writes: self.writes,
+        }
+    }
+
+    /// Zero the I/O counters.
+    pub fn reset_stats(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+    }
+
+    /// Allocate a new zeroed page at the end of the file.
+    pub fn allocate(&mut self) -> Result<PageId> {
+        let pid = PageId(self.num_pages);
+        self.num_pages += 1;
+        match &mut self.backend {
+            Backend::Mem(pages) => pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice()),
+            Backend::File { file, .. } => {
+                // Extend the file so later reads are valid.
+                file.seek(SeekFrom::Start(pid.byte_offset()))?;
+                file.write_all(&[0u8; PAGE_SIZE])?;
+            }
+        }
+        Ok(pid)
+    }
+
+    /// Read page `pid` into `buf`.
+    pub fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        self.check(pid)?;
+        self.reads += 1;
+        match &mut self.backend {
+            Backend::Mem(pages) => buf.copy_from_slice(&pages[pid.0 as usize]),
+            Backend::File { file, .. } => {
+                file.seek(SeekFrom::Start(pid.byte_offset()))?;
+                file.read_exact(buf)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write `buf` to page `pid`.
+    pub fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        self.check(pid)?;
+        self.writes += 1;
+        match &mut self.backend {
+            Backend::Mem(pages) => pages[pid.0 as usize].copy_from_slice(buf),
+            Backend::File { file, .. } => {
+                file.seek(SeekFrom::Start(pid.byte_offset()))?;
+                file.write_all(buf)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check(&self, pid: PageId) -> Result<()> {
+        if pid.0 >= self.num_pages {
+            Err(StoreError::PageOutOfBounds {
+                page: pid.0,
+                num_pages: self.num_pages,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Drop for DiskManager {
+    fn drop(&mut self) {
+        if let Backend::File { path, temp: true, .. } = &self.backend {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(mut dm: DiskManager) {
+        let a = dm.allocate().unwrap();
+        let b = dm.allocate().unwrap();
+        assert_eq!(a, PageId(0));
+        assert_eq!(b, PageId(1));
+
+        let mut page = [0u8; PAGE_SIZE];
+        page[0] = 0xAB;
+        page[PAGE_SIZE - 1] = 0xCD;
+        dm.write_page(b, &page).unwrap();
+
+        let mut out = [0u8; PAGE_SIZE];
+        dm.read_page(b, &mut out).unwrap();
+        assert_eq!(out[0], 0xAB);
+        assert_eq!(out[PAGE_SIZE - 1], 0xCD);
+
+        dm.read_page(a, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+
+        let stats = dm.stats();
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.writes, 1);
+    }
+
+    #[test]
+    fn mem_roundtrip() {
+        roundtrip(DiskManager::in_memory());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        roundtrip(DiskManager::temp_file().unwrap());
+    }
+
+    #[test]
+    fn out_of_bounds_read_rejected() {
+        let mut dm = DiskManager::in_memory();
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(matches!(
+            dm.read_page(PageId(0), &mut buf),
+            Err(StoreError::PageOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn temp_file_removed_on_drop() {
+        let dm = DiskManager::temp_file().unwrap();
+        let path = match &dm.backend {
+            Backend::File { path, .. } => path.clone(),
+            _ => unreachable!(),
+        };
+        assert!(path.exists());
+        drop(dm);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn reset_stats_zeroes() {
+        let mut dm = DiskManager::in_memory();
+        let p = dm.allocate().unwrap();
+        let buf = [0u8; PAGE_SIZE];
+        dm.write_page(p, &buf).unwrap();
+        dm.reset_stats();
+        assert_eq!(dm.stats(), DiskStats::default());
+    }
+}

@@ -1,0 +1,80 @@
+//! Model-based property test for the buffer pool: against any sequence
+//! of page reads and writes, the pool must behave like a plain array of
+//! pages, and its statistics must add up.
+
+use proptest::prelude::*;
+use xmlstore::buffer::BufferPool;
+use xmlstore::storage::DiskManager;
+use xmlstore::{PageId, PAGE_SIZE};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read { page: u8, offset: u16 },
+    Write { page: u8, offset: u16, value: u8 },
+    Flush,
+    Clear,
+}
+
+fn op_strategy(npages: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..npages, 0..PAGE_SIZE as u16).prop_map(|(page, offset)| Op::Read { page, offset }),
+        4 => (0..npages, 0..PAGE_SIZE as u16, any::<u8>())
+            .prop_map(|(page, offset, value)| Op::Write { page, offset, value }),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pool_behaves_like_flat_memory(
+        capacity in 1usize..6,
+        npages in 1u8..8,
+        ops in prop::collection::vec(op_strategy(8), 1..120),
+    ) {
+        let mut disk = DiskManager::in_memory();
+        for _ in 0..npages {
+            disk.allocate().unwrap();
+        }
+        let mut pool = BufferPool::new(disk, capacity).unwrap();
+        let mut model = vec![vec![0u8; PAGE_SIZE]; npages as usize];
+        let mut requests = 0u64;
+
+        for op in &ops {
+            match *op {
+                Op::Read { page, offset } => {
+                    let page = page % npages;
+                    requests += 1;
+                    let got = pool
+                        .with_page(PageId(page as u32), |p| p[offset as usize])
+                        .unwrap();
+                    prop_assert_eq!(got, model[page as usize][offset as usize]);
+                }
+                Op::Write { page, offset, value } => {
+                    let page = page % npages;
+                    requests += 1;
+                    pool.with_page_mut(PageId(page as u32), |p| p[offset as usize] = value)
+                        .unwrap();
+                    model[page as usize][offset as usize] = value;
+                }
+                Op::Flush => pool.flush_all().unwrap(),
+                Op::Clear => pool.clear().unwrap(),
+            }
+        }
+
+        // Statistics add up.
+        let stats = pool.stats();
+        prop_assert_eq!(stats.hits + stats.misses, requests);
+        prop_assert_eq!(pool.disk_stats().reads, stats.misses);
+
+        // After a final flush, the disk agrees with the model everywhere.
+        pool.flush_all().unwrap();
+        for (i, page) in model.iter().enumerate() {
+            let mut buf = [0u8; PAGE_SIZE];
+            pool.disk_mut().read_page(PageId(i as u32), &mut buf).unwrap();
+            prop_assert_eq!(&buf[..], &page[..]);
+        }
+    }
+}

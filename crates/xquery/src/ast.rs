@@ -1,0 +1,202 @@
+//! Abstract syntax of the FLWR subset.
+
+/// A FLWR expression: one `FOR`, an optional `LET`, `WHERE` comparisons,
+/// and a `RETURN` constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flwr {
+    /// The `FOR $v IN …` clause.
+    pub for_clause: ForClause,
+    /// An optional `LET $v := …` clause.
+    pub let_clause: Option<LetClause>,
+    /// Conjunctive `WHERE` comparisons.
+    pub where_clause: Vec<Comparison>,
+    /// Optional `ORDER BY $v/path [ASCENDING|DESCENDING]`.
+    pub order_by: Option<OrderBy>,
+    /// The `RETURN` expression.
+    pub return_clause: ReturnExpr,
+}
+
+/// An `ORDER BY` clause on a FLWR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderBy {
+    /// The variable whose bound element the path starts from.
+    pub var: String,
+    /// Relative child path (e.g. `title`).
+    pub path: Vec<String>,
+    /// Sort direction (ascending when unspecified).
+    pub descending: bool,
+}
+
+/// `FOR $var IN [distinct-values(] source [)]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForClause {
+    /// Variable name without the `$`.
+    pub var: String,
+    /// Whether the source is wrapped in `distinct-values(...)`.
+    pub distinct: bool,
+    /// The binding path.
+    pub source: PathExpr,
+}
+
+/// `LET $var := path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LetClause {
+    /// Variable name without the `$`.
+    pub var: String,
+    /// The bound path (may carry a `[child = $v]` predicate).
+    pub source: PathExpr,
+}
+
+/// A path expression: a root plus steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathExpr {
+    /// Where the path starts.
+    pub root: PathRoot,
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+}
+
+/// The origin of a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathRoot {
+    /// `document("file.xml")`.
+    Document(String),
+    /// A bound variable, `$v`.
+    Var(String),
+}
+
+/// One path step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// `/name` (child) or `//name` (descendant).
+    pub axis: StepAxis,
+    /// Element name.
+    pub name: String,
+    /// Optional `[relpath = operand]` predicate.
+    pub predicate: Option<StepPredicate>,
+}
+
+/// The axis of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepAxis {
+    /// `/`
+    Child,
+    /// `//`
+    Descendant,
+}
+
+/// A step predicate `[a/b = rhs]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepPredicate {
+    /// The relative child path on the left (e.g. `author` or
+    /// `author/institution`).
+    pub path: Vec<String>,
+    /// The right-hand side.
+    pub rhs: Operand,
+}
+
+/// A comparison operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// `$v`
+    Var(String),
+    /// A string literal.
+    Literal(String),
+    /// `$v/rel/path`
+    VarPath(String, Vec<String>),
+}
+
+/// An equality comparison in `WHERE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comparison {
+    /// Left operand.
+    pub left: Operand,
+    /// Right operand.
+    pub right: Operand,
+}
+
+/// The `RETURN` expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReturnExpr {
+    /// `<tag> item… </tag>`
+    Element(Constructor),
+    /// `$v/rel/path` (a bare path — used by nested FLWRs like
+    /// `RETURN $b/title`).
+    Path(String, Vec<String>),
+    /// `$v`
+    Var(String),
+}
+
+/// An element constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constructor {
+    /// Element name.
+    pub tag: String,
+    /// Embedded `{ … }` items, in order.
+    pub items: Vec<ReturnItem>,
+}
+
+/// Aggregate function names usable in a RETURN item (Sec. 4.3: "Common
+/// aggregate functions are MIN, MAX, COUNT, SUM").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggName {
+    /// `count(...)`
+    Count,
+    /// `sum(...)`
+    Sum,
+    /// `min(...)`
+    Min,
+    /// `max(...)`
+    Max,
+    /// `avg(...)`
+    Avg,
+}
+
+impl AggName {
+    /// The function (and output element) name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggName::Count => "count",
+            AggName::Sum => "sum",
+            AggName::Min => "min",
+            AggName::Max => "max",
+            AggName::Avg => "avg",
+        }
+    }
+
+    /// Parse a function name.
+    pub fn parse(s: &str) -> Option<AggName> {
+        match s {
+            "count" => Some(AggName::Count),
+            "sum" => Some(AggName::Sum),
+            "min" => Some(AggName::Min),
+            "max" => Some(AggName::Max),
+            "avg" => Some(AggName::Avg),
+            _ => None,
+        }
+    }
+}
+
+/// One embedded expression inside a constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReturnItem {
+    /// `{$v}`
+    Var(String),
+    /// `{$v/rel/path}`
+    VarPath(String, Vec<String>),
+    /// `{count($v)}`, `{sum($v)}`, `{min($v)}`, `{max($v)}`, `{avg($v)}`
+    Agg(AggName, String),
+    /// A nested FLWR.
+    Nested(Box<Flwr>),
+}
+
+impl Flwr {
+    /// The tag the outer RETURN constructs, if it is an element
+    /// constructor.
+    pub fn return_tag(&self) -> Option<&str> {
+        match &self.return_clause {
+            ReturnExpr::Element(c) => Some(&c.tag),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Tokenizer for the FLWR subset.
+
+use crate::error::{QueryError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `FOR`, `LET`, `WHERE`, `RETURN`, `IN`, `AND`, `ORDER`, `BY`,
+    /// `ASCENDING`, `DESCENDING` (case-insensitive).
+    Keyword(Keyword),
+    /// `$name`
+    Var(String),
+    /// A bare name (element name, function name).
+    Name(String),
+    /// A string literal (quotes stripped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `=`
+    Eq,
+    /// `:=`
+    Assign,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `</`
+    LtSlash,
+    /// `,`
+    Comma,
+}
+
+/// Recognized keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    For,
+    Let,
+    Where,
+    Return,
+    In,
+    And,
+    Order,
+    By,
+    Ascending,
+    Descending,
+}
+
+/// A token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token start.
+    pub offset: usize,
+}
+
+/// Tokenize an input query.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'(' => {
+                // Skip XQuery comments `(: … :)`.
+                if bytes.get(i + 1) == Some(&b':') {
+                    let mut j = i + 2;
+                    let mut depth = 1;
+                    while j + 1 < bytes.len() && depth > 0 {
+                        if bytes[j] == b'(' && bytes[j + 1] == b':' {
+                            depth += 1;
+                            j += 2;
+                        } else if bytes[j] == b':' && bytes[j + 1] == b')' {
+                            depth -= 1;
+                            j += 2;
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    if depth > 0 {
+                        return Err(QueryError::Lex {
+                            offset: start,
+                            message: "unterminated comment".into(),
+                        });
+                    }
+                    i = j;
+                    continue;
+                }
+                tokens.push(Spanned { token: Token::LParen, offset: start });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Spanned { token: Token::RParen, offset: start });
+                i += 1;
+            }
+            b'{' => {
+                tokens.push(Spanned { token: Token::LBrace, offset: start });
+                i += 1;
+            }
+            b'}' => {
+                tokens.push(Spanned { token: Token::RBrace, offset: start });
+                i += 1;
+            }
+            b'[' => {
+                tokens.push(Spanned { token: Token::LBracket, offset: start });
+                i += 1;
+            }
+            b']' => {
+                tokens.push(Spanned { token: Token::RBracket, offset: start });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Spanned { token: Token::Comma, offset: start });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Spanned { token: Token::Eq, offset: start });
+                i += 1;
+            }
+            b':' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Spanned { token: Token::Assign, offset: start });
+                i += 2;
+            }
+            b'/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    tokens.push(Spanned { token: Token::DoubleSlash, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Slash, offset: start });
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    tokens.push(Spanned { token: Token::LtSlash, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                tokens.push(Spanned { token: Token::Gt, offset: start });
+                i += 1;
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(QueryError::Lex {
+                        offset: start,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Spanned {
+                    token: Token::Str(input[i + 1..j].to_owned()),
+                    offset: start,
+                });
+                i = j + 1;
+            }
+            b'$' => {
+                let mut j = i + 1;
+                while j < bytes.len() && is_name_byte(bytes[j]) {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(QueryError::Lex {
+                        offset: start,
+                        message: "expected a variable name after '$'".into(),
+                    });
+                }
+                tokens.push(Spanned {
+                    token: Token::Var(input[i + 1..j].to_owned()),
+                    offset: start,
+                });
+                i = j;
+            }
+            _ if is_name_start_byte(b) => {
+                let mut j = i + 1;
+                while j < bytes.len() && is_name_byte(bytes[j]) {
+                    j += 1;
+                }
+                let word = &input[i..j];
+                let token = match word.to_ascii_uppercase().as_str() {
+                    "FOR" => Token::Keyword(Keyword::For),
+                    "LET" => Token::Keyword(Keyword::Let),
+                    "WHERE" => Token::Keyword(Keyword::Where),
+                    "RETURN" => Token::Keyword(Keyword::Return),
+                    "IN" => Token::Keyword(Keyword::In),
+                    "AND" => Token::Keyword(Keyword::And),
+                    "ORDER" => Token::Keyword(Keyword::Order),
+                    "BY" => Token::Keyword(Keyword::By),
+                    "ASCENDING" => Token::Keyword(Keyword::Ascending),
+                    "DESCENDING" => Token::Keyword(Keyword::Descending),
+                    _ => Token::Name(word.to_owned()),
+                };
+                tokens.push(Spanned { token, offset: start });
+                i = j;
+            }
+            _ => {
+                return Err(QueryError::Lex {
+                    offset: start,
+                    message: format!("unexpected character {:?}", b as char),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn is_name_start_byte(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            toks("FOR for For"),
+            vec![
+                Token::Keyword(Keyword::For),
+                Token::Keyword(Keyword::For),
+                Token::Keyword(Keyword::For)
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_and_names() {
+        assert_eq!(
+            toks("$a author distinct-values"),
+            vec![
+                Token::Var("a".into()),
+                Token::Name("author".into()),
+                Token::Name("distinct-values".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn slashes() {
+        assert_eq!(
+            toks("//article/author"),
+            vec![
+                Token::DoubleSlash,
+                Token::Name("article".into()),
+                Token::Slash,
+                Token::Name("author".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(
+            toks(r#""bib.xml" 'x'"#),
+            vec![Token::Str("bib.xml".into()), Token::Str("x".into())]
+        );
+    }
+
+    #[test]
+    fn assign_and_eq() {
+        assert_eq!(
+            toks(":= ="),
+            vec![Token::Assign, Token::Eq]
+        );
+    }
+
+    #[test]
+    fn angle_tokens() {
+        assert_eq!(
+            toks("<authorpubs> </authorpubs>"),
+            vec![
+                Token::Lt,
+                Token::Name("authorpubs".into()),
+                Token::Gt,
+                Token::LtSlash,
+                Token::Name("authorpubs".into()),
+                Token::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("FOR (: a (: nested :) comment :) $x"),
+            vec![Token::Keyword(Keyword::For), Token::Var("x".into())]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("$ ").is_err());
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("(: open").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let ts = tokenize("FOR $a").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 4);
+    }
+}

@@ -1,0 +1,170 @@
+//! Edge-case tests for the XQuery front end: lexical corner cases,
+//! clause combinations, and error reporting.
+
+use xquery::ast::{AggName, ReturnExpr, ReturnItem, StepAxis};
+use xquery::{parse_query, translate, QueryError};
+
+#[test]
+fn order_by_defaults_to_ascending() {
+    let q = parse_query(
+        r#"FOR $a IN document("b")//x
+           WHERE $a = $a
+           ORDER BY $a/y
+           RETURN $a"#,
+    )
+    .unwrap();
+    let ob = q.order_by.unwrap();
+    assert!(!ob.descending);
+    assert_eq!(ob.path, vec!["y".to_owned()]);
+}
+
+#[test]
+fn order_by_explicit_directions() {
+    for (kw, desc) in [("ASCENDING", false), ("DESCENDING", true), ("descending", true)] {
+        let q = parse_query(&format!(
+            r#"FOR $a IN document("b")//x ORDER BY $a/y {kw} RETURN $a"#
+        ))
+        .unwrap();
+        assert_eq!(q.order_by.unwrap().descending, desc, "{kw}");
+    }
+}
+
+#[test]
+fn nested_flwr_with_order_by() {
+    let q = parse_query(
+        r#"
+        FOR $a IN distinct-values(document("b")//author)
+        RETURN <r>
+          {$a}
+          { FOR $b IN document("b")//article
+            WHERE $a = $b/author
+            ORDER BY $b/title DESCENDING
+            RETURN $b/title }
+        </r>"#,
+    )
+    .unwrap();
+    let ReturnExpr::Element(c) = &q.return_clause else {
+        panic!()
+    };
+    let ReturnItem::Nested(nested) = &c.items[1] else {
+        panic!()
+    };
+    assert!(nested.order_by.as_ref().unwrap().descending);
+}
+
+#[test]
+fn all_aggregate_functions_parse() {
+    for (name, func) in [
+        ("count", AggName::Count),
+        ("sum", AggName::Sum),
+        ("min", AggName::Min),
+        ("max", AggName::Max),
+        ("avg", AggName::Avg),
+    ] {
+        let q = parse_query(&format!(
+            r#"FOR $a IN document("b")//x LET $t := document("b")//y[z = $a]/w
+               RETURN <r> {{$a}} {{{name}($t)}} </r>"#
+        ))
+        .unwrap();
+        let ReturnExpr::Element(c) = &q.return_clause else {
+            panic!()
+        };
+        assert_eq!(c.items[1], ReturnItem::Agg(func, "t".into()), "{name}");
+    }
+}
+
+#[test]
+fn aggregate_name_case_sensitive_lowercase_only() {
+    // `COUNT` is not a recognized function name; it parses as a bare
+    // name and the item fails.
+    assert!(parse_query(
+        r#"FOR $a IN document("b")//x RETURN <r> {COUNT($a)} </r>"#
+    )
+    .is_err());
+}
+
+#[test]
+fn axes_mix_in_paths() {
+    let q = parse_query(r#"FOR $a IN document("b")/bib//article/author RETURN $a"#).unwrap();
+    let axes: Vec<StepAxis> = q.for_clause.source.steps.iter().map(|s| s.axis).collect();
+    assert_eq!(
+        axes,
+        [StepAxis::Child, StepAxis::Descendant, StepAxis::Child]
+    );
+}
+
+#[test]
+fn error_offsets_point_at_problem() {
+    let err = parse_query(r#"FOR $a document("b")//x RETURN $a"#).unwrap_err();
+    let QueryError::Parse { offset, .. } = err else {
+        panic!("{err}")
+    };
+    assert_eq!(offset, 7, "should point at the missing IN");
+}
+
+#[test]
+fn unsupported_translations_have_clear_messages() {
+    // ORDER BY on nested variable path not on $b.
+    let q = parse_query(
+        r#"
+        FOR $a IN distinct-values(document("b")//author)
+        RETURN <r>
+          {$a}
+          { FOR $b IN document("b")//article
+            WHERE $a = $b/author
+            ORDER BY $a/name
+            RETURN $b/title }
+        </r>"#,
+    )
+    .unwrap();
+    let err = translate(&q).unwrap_err();
+    assert!(matches!(err, QueryError::Unsupported(_)), "{err}");
+    assert!(err.to_string().contains("ORDER BY"), "{err}");
+}
+
+#[test]
+fn two_nested_parts_rejected() {
+    let q = parse_query(
+        r#"
+        FOR $a IN distinct-values(document("b")//author)
+        LET $t := document("b")//article[author = $a]/title
+        RETURN <r> {$a} {$t} {count($t)} </r>"#,
+    )
+    .unwrap();
+    let err = translate(&q).unwrap_err();
+    assert!(matches!(err, QueryError::Unsupported(_)));
+}
+
+#[test]
+fn var_path_in_where_both_orientations() {
+    for q in [
+        r#"FOR $a IN distinct-values(document("b")//author)
+           RETURN <r> {$a} { FOR $b IN document("b")//article
+             WHERE $a = $b/author RETURN $b/title } </r>"#,
+        r#"FOR $a IN distinct-values(document("b")//author)
+           RETURN <r> {$a} { FOR $b IN document("b")//article
+             WHERE $b/author = $a RETURN $b/title } </r>"#,
+    ] {
+        let ast = parse_query(q).unwrap();
+        assert!(translate(&ast).is_ok(), "{q}");
+    }
+}
+
+#[test]
+fn deep_relative_paths_in_where() {
+    let q = parse_query(
+        r#"FOR $i IN distinct-values(document("b")//institution)
+           RETURN <r> {$i} { FOR $b IN document("b")//article
+             WHERE $i = $b/author/affiliation/institution
+             RETURN $b/title } </r>"#,
+    )
+    .unwrap();
+    assert!(translate(&q).is_ok());
+}
+
+#[test]
+fn keywords_inside_tags_are_names() {
+    // An element named "order" must not lex as the keyword.
+    let q = parse_query(r#"FOR $a IN document("b")//order RETURN $a"#).unwrap();
+    assert_eq!(q.for_clause.source.steps[0].name, "order");
+}

@@ -1,0 +1,41 @@
+//! Shared fixtures for the integration tests.
+
+use timber::TimberDb;
+use xmlstore::StoreOptions;
+
+/// The sample database of Figure 6: three articles, overlapping authors.
+pub const FIG6_DB: &str = "<bib>\
+    <article><author>Jack</author><author>John</author><title>Querying XML</title></article>\
+    <article><author>Jill</author><author>Jack</author><title>XML and the Web</title></article>\
+    <article><author>John</author><title>Hack HTML</title></article>\
+</bib>";
+
+/// Query 1 of the paper.
+pub const QUERY1: &str = r#"
+    FOR $a IN distinct-values(document("bib.xml")//author)
+    RETURN <authorpubs>
+      {$a}
+      { FOR $b IN document("bib.xml")//article
+        WHERE $a = $b/author
+        RETURN $b/title }
+    </authorpubs>
+"#;
+
+/// Query 2 (the unnested LET formulation of Sec. 4.2).
+pub const QUERY2: &str = r#"
+    FOR $a IN distinct-values(document("bib.xml")//author)
+    LET $t := document("bib.xml")//article[author = $a]/title
+    RETURN <authorpubs> {$a} {$t} </authorpubs>
+"#;
+
+/// The Sec. 6 count variant.
+pub const QUERY_COUNT: &str = r#"
+    FOR $a IN distinct-values(document("bib.xml")//author)
+    LET $t := document("bib.xml")//article[author = $a]/title
+    RETURN <authorpubs> {$a} {count($t)} </authorpubs>
+"#;
+
+/// Load the Figure 6 database.
+pub fn fig6_db() -> TimberDb {
+    TimberDb::load_xml(FIG6_DB, &StoreOptions::in_memory()).expect("load fig6")
+}

@@ -1,0 +1,166 @@
+//! ORDER BY (the GROUPBY ordering list, Sec. 3 / Sec. 4.1 "only if
+//! sorting was requested by the user") and the full aggregate set of
+//! Sec. 4.3 (`count`, `sum`, `min`, `max`, `avg`), under both plans.
+
+use timber::{PlanMode, TimberDb};
+use xmlstore::StoreOptions;
+
+const DB: &str = "<bib>\
+    <article><author>Jack</author><title>Zeta</title><year>2001</year></article>\
+    <article><author>Jack</author><title>Alpha</title><year>1999</year></article>\
+    <article><author>Jack</author><title>Midway</title><year>1995</year></article>\
+    <article><author>Jill</author><title>Beta</title><year>2002</year></article>\
+</bib>";
+
+fn db() -> TimberDb {
+    TimberDb::load_xml(DB, &StoreOptions::in_memory()).unwrap()
+}
+
+fn q_order(direction: &str) -> String {
+    format!(
+        r#"
+        FOR $a IN distinct-values(document("bib.xml")//author)
+        RETURN <authorpubs>
+          {{$a}}
+          {{ FOR $b IN document("bib.xml")//article
+             WHERE $a = $b/author
+             ORDER BY $b/title {direction}
+             RETURN $b/title }}
+        </authorpubs>
+    "#
+    )
+}
+
+#[test]
+fn order_by_ascending_title() {
+    let db = db();
+    for mode in [PlanMode::Direct, PlanMode::GroupByRewrite] {
+        let r = db.query(&q_order("ASCENDING"), mode).unwrap();
+        let xml = r.to_xml_on(db.store()).unwrap();
+        let jack = xml.lines().next().unwrap();
+        let titles = ["Alpha", "Midway", "Zeta"];
+        let positions: Vec<usize> = titles.iter().map(|t| jack.find(t).unwrap()).collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "{mode:?}: {jack}"
+        );
+    }
+}
+
+#[test]
+fn order_by_descending_title() {
+    let db = db();
+    for mode in [PlanMode::Direct, PlanMode::GroupByRewrite] {
+        let r = db.query(&q_order("DESCENDING"), mode).unwrap();
+        let xml = r.to_xml_on(db.store()).unwrap();
+        let jack = xml.lines().next().unwrap();
+        let z = jack.find("Zeta").unwrap();
+        let m = jack.find("Midway").unwrap();
+        let a = jack.find("Alpha").unwrap();
+        assert!(z < m && m < a, "{mode:?}: {jack}");
+    }
+}
+
+#[test]
+fn order_by_different_path_than_return() {
+    // Sort by year, emit titles: 1995 Midway, 1999 Alpha, 2001 Zeta.
+    let db = db();
+    let q = r#"
+        FOR $a IN distinct-values(document("bib.xml")//author)
+        RETURN <authorpubs>
+          {$a}
+          { FOR $b IN document("bib.xml")//article
+            WHERE $a = $b/author
+            ORDER BY $b/year ASCENDING
+            RETURN $b/title }
+        </authorpubs>
+    "#;
+    let mut outputs = Vec::new();
+    for mode in [PlanMode::Direct, PlanMode::GroupByRewrite] {
+        let r = db.query(q, mode).unwrap();
+        let xml = r.to_xml_on(db.store()).unwrap();
+        let jack = xml.lines().next().unwrap().to_owned();
+        let m = jack.find("Midway").unwrap();
+        let a = jack.find("Alpha").unwrap();
+        let z = jack.find("Zeta").unwrap();
+        assert!(m < a && a < z, "{mode:?}: {jack}");
+        // The year values themselves are not emitted.
+        assert!(!jack.contains("1999"), "{mode:?}: {jack}");
+        outputs.push(xml);
+    }
+    assert_eq!(outputs[0], outputs[1]);
+}
+
+#[test]
+fn ordered_query_still_rewrites_to_groupby() {
+    let db = db();
+    let r = db
+        .query(&q_order("DESCENDING"), PlanMode::GroupByRewrite)
+        .unwrap();
+    assert!(r.rewritten, "ORDER BY must not block the rewrite");
+    // The plan carries an ordering list.
+    let (plan, _) = db
+        .compile(&q_order("DESCENDING"), PlanMode::GroupByRewrite)
+        .unwrap();
+    assert!(plan.explain().contains("Descending"), "{}", plan.explain());
+}
+
+fn agg_query(func: &str) -> String {
+    format!(
+        r#"
+        FOR $a IN distinct-values(document("bib.xml")//author)
+        LET $y := document("bib.xml")//article[author = $a]/year
+        RETURN <authorpubs> {{$a}} {{{func}($y)}} </authorpubs>
+    "#
+    )
+}
+
+#[test]
+fn numeric_aggregates_match_across_plans() {
+    let db = db();
+    for (func, jack_expected) in [
+        ("count", "3"),
+        ("sum", "5995"),
+        ("min", "1995"),
+        ("max", "2001"),
+        ("avg", "1998.3333333333333"),
+    ] {
+        let q = agg_query(func);
+        let direct = db.query(&q, PlanMode::Direct).unwrap();
+        let grouped = db.query(&q, PlanMode::GroupByRewrite).unwrap();
+        assert!(grouped.rewritten, "{func}");
+        let dx = direct.to_xml_on(db.store()).unwrap();
+        let gx = grouped.to_xml_on(db.store()).unwrap();
+        assert_eq!(dx, gx, "{func}");
+        let jack = dx.lines().next().unwrap();
+        assert!(
+            jack.contains(&format!("<{func}>{jack_expected}</{func}>")),
+            "{func}: {jack}"
+        );
+    }
+}
+
+#[test]
+fn aggregate_over_single_member_group() {
+    let db = db();
+    let q = agg_query("avg");
+    let xml = db
+        .query(&q, PlanMode::GroupByRewrite)
+        .unwrap()
+        .to_xml_on(db.store())
+        .unwrap();
+    let jill = xml.lines().nth(1).unwrap();
+    assert!(jill.contains("<avg>2002</avg>"), "{jill}");
+}
+
+#[test]
+fn order_by_with_let_form_is_rejected() {
+    let db = db();
+    let q = r#"
+        FOR $a IN distinct-values(document("bib.xml")//author)
+        LET $t := document("bib.xml")//article[author = $a]/title
+        ORDER BY $t/title
+        RETURN <x> {$a} {$t} </x>
+    "#;
+    assert!(db.query(q, PlanMode::Direct).is_err());
+}

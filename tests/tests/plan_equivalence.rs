@@ -1,0 +1,99 @@
+//! Property-based equivalence: on randomly generated bibliographic
+//! databases, the naive join plan and the rewritten GROUPBY plan must
+//! produce identical output, for all three query forms. This is the
+//! correctness core of the rewrite (Sec. 4.1/4.2).
+
+use proptest::prelude::*;
+use timber::{PlanMode, TimberDb};
+use timber_integration_tests::{QUERY1, QUERY2, QUERY_COUNT};
+use xmlstore::StoreOptions;
+
+/// A random bibliography: articles pick 1–3 authors from a tiny pool (so
+/// shared authorship and repeated names are frequent) and may lack
+/// titles only never — every article has one title (both plans require
+/// it, mirroring the DBLP schema).
+fn bibliography_strategy() -> impl Strategy<Value = String> {
+    let authors = prop::sample::subsequence(
+        vec!["Jack", "Jill", "John", "Jane", "Joan"],
+        1..=3,
+    );
+    let article = (authors, 0..1000u32).prop_map(|(authors, n)| {
+        let mut s = String::from("<article>");
+        for a in authors {
+            s.push_str(&format!("<author>{a}</author>"));
+        }
+        s.push_str(&format!("<title>Title {n}</title>"));
+        s.push_str("</article>");
+        s
+    });
+    prop::collection::vec(article, 0..12).prop_map(|articles| {
+        let mut s = String::from("<bib>");
+        for a in articles {
+            s.push_str(&a);
+        }
+        s.push_str("</bib>");
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn direct_equals_groupby_on_random_bibliographies(xml in bibliography_strategy()) {
+        let db = TimberDb::load_xml(&xml, &StoreOptions::in_memory()).unwrap();
+        for query in [QUERY1, QUERY2, QUERY_COUNT] {
+            let direct = db.query(query, PlanMode::Direct).unwrap();
+            let grouped = db.query(query, PlanMode::GroupByRewrite).unwrap();
+            prop_assert_eq!(
+                direct.to_xml_on(db.store()).unwrap(),
+                grouped.to_xml_on(db.store()).unwrap(),
+                "query: {}", query
+            );
+        }
+    }
+
+    #[test]
+    fn nested_and_let_forms_agree(xml in bibliography_strategy()) {
+        // Sec. 4.2: the nested and unnested formulations are equivalent.
+        let db = TimberDb::load_xml(&xml, &StoreOptions::in_memory()).unwrap();
+        for mode in [PlanMode::Direct, PlanMode::GroupByRewrite] {
+            let nested = db.query(QUERY1, mode).unwrap();
+            let let_form = db.query(QUERY2, mode).unwrap();
+            prop_assert_eq!(
+                nested.to_xml_on(db.store()).unwrap(),
+                let_form.to_xml_on(db.store()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn counts_match_title_multiplicity(xml in bibliography_strategy()) {
+        // count($t) must equal the number of titles the titles-query
+        // returns for the same author.
+        let db = TimberDb::load_xml(&xml, &StoreOptions::in_memory()).unwrap();
+        let titles = db.query(QUERY1, PlanMode::GroupByRewrite).unwrap();
+        let counts = db.query(QUERY_COUNT, PlanMode::GroupByRewrite).unwrap();
+        let t_xml = titles.to_xml_on(db.store()).unwrap();
+        let c_xml = counts.to_xml_on(db.store()).unwrap();
+        let mut title_counts = std::collections::HashMap::new();
+        for line in t_xml.lines() {
+            let author = extract(line, "author");
+            title_counts.insert(author, line.matches("<title>").count());
+        }
+        for line in c_xml.lines() {
+            let author = extract(line, "author");
+            let count: usize = extract(line, "count").parse().unwrap();
+            prop_assert_eq!(title_counts.get(&author).copied().unwrap_or(0), count,
+                "author {}", author);
+        }
+    }
+}
+
+fn extract(line: &str, tag: &str) -> String {
+    let open = format!("<{tag}>");
+    let close = format!("</{tag}>");
+    let a = line.find(&open).map(|i| i + open.len()).unwrap_or(0);
+    let b = line.find(&close).unwrap_or(line.len());
+    line[a..b].to_owned()
+}

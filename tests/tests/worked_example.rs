@@ -1,0 +1,160 @@
+//! The paper's worked example (Sec. 4.1, Figs. 6–10): Query 1 executed
+//! step by step over the Figure 6 sample database, checking each
+//! intermediate collection against the figures.
+
+use tax::ops::groupby::{groupby, BasisItem};
+use tax::ops::project::ProjectItem;
+use tax::ops::{dup_elim, left_outer_join_db, project, select_db};
+use tax::pattern::{Axis, PatternTree, Pred};
+use tax::tags;
+use timber::PlanMode;
+use timber_integration_tests::{fig6_db, QUERY1};
+
+/// Fig. 4a: the outer pattern tree (doc_root -ad-> author).
+fn outer_pattern() -> PatternTree {
+    let mut p = PatternTree::with_root(Pred::tag("doc_root"));
+    p.add_child(p.root(), Axis::Descendant, Pred::tag("author"));
+    p
+}
+
+#[test]
+fn fig7_outer_selection_projection_dupelim() {
+    let db = fig6_db();
+    let store = db.store();
+    let p = outer_pattern();
+    // Selection (SL = $2), projection ($1, $2*), dup-elim on $2.content.
+    let sel = select_db(store, &p, &[1]).unwrap();
+    assert_eq!(sel.len(), 5, "five author occurrences");
+    let proj = project(
+        store,
+        &sel,
+        &p,
+        &[ProjectItem::shallow(0), ProjectItem::deep(1)],
+        true,
+    )
+    .unwrap();
+    let distinct = dup_elim(store, &proj, &p, 1).unwrap();
+    // Fig. 7: three doc_root/author trees: Jack, John, Jill.
+    assert_eq!(distinct.len(), 3);
+    let names: Vec<String> = distinct
+        .iter()
+        .map(|t| {
+            t.materialize(store)
+                .unwrap()
+                .child("author")
+                .unwrap()
+                .text()
+        })
+        .collect();
+    assert_eq!(names, ["Jack", "John", "Jill"]);
+}
+
+#[test]
+fn fig8_left_outer_join_produces_five_prod_trees() {
+    let db = fig6_db();
+    let store = db.store();
+    let p = outer_pattern();
+    let sel = select_db(store, &p, &[1]).unwrap();
+    let distinct = dup_elim(store, &sel, &p, 1).unwrap();
+
+    // Fig. 4b inner pattern: doc_root -ad-> article -pc-> author.
+    let mut right = PatternTree::with_root(Pred::tag("doc_root"));
+    let art = right.add_child(right.root(), Axis::Descendant, Pred::tag("article"));
+    let auth = right.add_child(art, Axis::Child, Pred::tag("author"));
+
+    let joined = left_outer_join_db(store, &distinct, &p, 1, &right, auth, &[art]).unwrap();
+    // Fig. 8: Jack×2, John×2, Jill×1.
+    assert_eq!(joined.len(), 5);
+    for t in &joined {
+        let e = t.materialize(store).unwrap();
+        assert_eq!(e.name, tags::PROD_ROOT);
+    }
+}
+
+#[test]
+fn fig9_article_collection() {
+    let db = fig6_db();
+    let store = db.store();
+    // Phase 2 step 1: selection+projection with the Fig. 5a pattern.
+    let mut p = PatternTree::with_root(Pred::tag("doc_root"));
+    let art = p.add_child(p.root(), Axis::Descendant, Pred::tag("article"));
+    let sel = select_db(store, &p, &[art]).unwrap();
+    let arts = project(store, &sel, &p, &[ProjectItem::deep(art)], true).unwrap();
+    assert_eq!(arts.len(), 3);
+    let titles: Vec<String> = arts
+        .iter()
+        .map(|t| {
+            t.materialize(store)
+                .unwrap()
+                .child("title")
+                .unwrap()
+                .text()
+        })
+        .collect();
+    assert_eq!(titles, ["Querying XML", "XML and the Web", "Hack HTML"]);
+}
+
+#[test]
+fn fig10_intermediate_group_trees() {
+    let db = fig6_db();
+    let store = db.store();
+    let mut p = PatternTree::with_root(Pred::tag("doc_root"));
+    let art = p.add_child(p.root(), Axis::Descendant, Pred::tag("article"));
+    let sel = select_db(store, &p, &[art]).unwrap();
+    let arts = project(store, &sel, &p, &[ProjectItem::deep(art)], true).unwrap();
+
+    // Fig. 5b: article -pc-> author; grouping basis $2.content.
+    let mut gp = PatternTree::with_root(Pred::tag("article"));
+    let author = gp.add_child(gp.root(), Axis::Child, Pred::tag("author"));
+    let groups = groupby(store, &arts, &gp, &[BasisItem::content(author)], &[]).unwrap();
+
+    // Fig. 10: three groups — Jack (2 articles), John (2), Jill (1).
+    assert_eq!(groups.len(), 3);
+    let summary: Vec<(String, usize)> = groups
+        .iter()
+        .map(|g| {
+            let e = g.materialize(store).unwrap();
+            let who = e
+                .child(tags::GROUPING_BASIS)
+                .unwrap()
+                .child("author")
+                .unwrap()
+                .text();
+            let n = e
+                .child(tags::GROUP_SUBROOT)
+                .unwrap()
+                .children_named("article")
+                .count();
+            (who, n)
+        })
+        .collect();
+    assert_eq!(
+        summary,
+        [
+            ("Jack".to_owned(), 2),
+            ("John".to_owned(), 2),
+            ("Jill".to_owned(), 1)
+        ]
+    );
+
+    // The two-author articles appear in two groups (non-partitioning).
+    let total_members: usize = summary.iter().map(|(_, n)| n).sum();
+    assert_eq!(total_members, 5, "3 articles yield 5 group memberships");
+}
+
+#[test]
+fn full_pipeline_matches_figures_end_to_end() {
+    let db = fig6_db();
+    let expected = "\
+<authorpubs><author>Jack</author><title>Querying XML</title><title>XML and the Web</title></authorpubs>\n\
+<authorpubs><author>John</author><title>Querying XML</title><title>Hack HTML</title></authorpubs>\n\
+<authorpubs><author>Jill</author><title>XML and the Web</title></authorpubs>\n";
+    for mode in [PlanMode::Direct, PlanMode::GroupByRewrite] {
+        let r = db.query(QUERY1, mode).unwrap();
+        assert_eq!(
+            r.to_xml_on(db.store()).unwrap(),
+            expected,
+            "mode {mode:?}"
+        );
+    }
+}
