@@ -3,7 +3,7 @@
 //! (≈1.81×) on DBLP Journals; the benchmark checks the same ordering and
 //! a comparable factor on the synthetic bibliography.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use timber::PlanMode;
 use timber_bench::{build_db, QUERY_TITLES};
 

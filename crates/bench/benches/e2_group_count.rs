@@ -3,7 +3,7 @@
 //! widens because the GROUPBY plan confines data look-ups to author
 //! content while the direct plan still builds the whole join result.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use timber::PlanMode;
 use timber_bench::{build_db, QUERY_COUNT};
 

@@ -5,7 +5,7 @@
 //! * the binary structural join itself: single-pass stack-tree join vs
 //!   nested loops, on the (article, author) lists.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tax::matching::structural::{nested_loop_join, stack_tree_join, JoinAxis};
 use tax::matching::{match_db, naive::match_db_scan};
 use tax::pattern::{Axis, PatternTree, Pred};

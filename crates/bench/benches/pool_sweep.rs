@@ -4,7 +4,7 @@
 //! direct plan touches ~3.5× the pages, so it degrades faster as the
 //! pool shrinks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use timber::PlanMode;
 use timber_bench::{build_db, QUERY_COUNT};
 

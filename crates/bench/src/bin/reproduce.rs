@@ -1,14 +1,17 @@
 //! Reproduce the experiments of *Grouping in XML* (EDBT 2002), Sec. 6.
 //!
 //! ```text
-//! reproduce [e1] [e2] [scale] [pool] [matching] [groupby-impl] [value-index] [all]
-//!           [--articles N] [--mem]
+//! reproduce [e1] [e2] [scale] [pool] [matching] [groupby-impl] [value-index]
+//!           [threads] [all] [--articles N] [--mem] [--threads N]
 //! ```
 //!
 //! With no experiment argument, `all` is assumed. `--articles` sets the
 //! synthetic DBLP size for E1/E2 (default 20 000 ≈ 310 k stored nodes;
 //! the paper's DBLP Journals had 4.6 M nodes — pass a larger value to
 //! approach it). `--mem` keeps the page file in memory (for quick runs).
+//! `--threads N` evaluates the operators with N worker threads (output is
+//! byte-identical to a single-threaded run); the `threads` experiment
+//! sweeps E1 over 1/2/4/8 threads.
 
 use timber::PlanMode;
 use timber_bench::*;
@@ -18,6 +21,7 @@ fn main() {
     let mut experiments: Vec<String> = Vec::new();
     let mut articles = 20_000usize;
     let mut on_disk = true;
+    let mut threads = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,6 +33,13 @@ fn main() {
                     .expect("--articles N");
             }
             "--mem" => on_disk = false,
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads N");
+            }
             other => experiments.push(other.to_owned()),
         }
         i += 1;
@@ -41,12 +52,13 @@ fn main() {
 
     println!("== Grouping in XML (EDBT 2002) — experiment reproduction ==");
     println!(
-        "synthetic DBLP: {articles} articles, 8 KB pages, 32 MB buffer pool, {} backend\n",
+        "synthetic DBLP: {articles} articles, 8 KB pages, 32 MB buffer pool, {} backend, {threads} worker thread(s)\n",
         if on_disk { "file" } else { "memory" }
     );
 
     if wants("e1") || wants("e2") {
-        let db = build_db(articles, None, on_disk);
+        let mut db = build_db(articles, None, on_disk);
+        db.set_threads(threads);
         println!(
             "database: {} stored nodes, {} pages ({:.1} MB)\n",
             db.store().node_count(),
@@ -61,10 +73,10 @@ fn main() {
         }
     }
     if wants("scale") {
-        run_scale(on_disk);
+        run_scale(on_disk, threads);
     }
     if wants("pool") {
-        run_pool(articles, on_disk);
+        run_pool(articles, on_disk, threads);
     }
     if wants("matching") {
         run_matching(articles);
@@ -74,6 +86,9 @@ fn main() {
     }
     if wants("value-index") {
         run_value_index();
+    }
+    if wants("threads") {
+        run_threads(articles, on_disk);
     }
 }
 
@@ -108,10 +123,11 @@ fn run_e2(db: &timber::TimberDb) {
     );
 }
 
-fn run_scale(on_disk: bool) {
+fn run_scale(on_disk: bool, threads: usize) {
     println!("-- X1: scale sweep (direct/GROUPBY ratio vs database size) --");
     for articles in [2_000, 5_000, 10_000, 20_000, 50_000] {
-        let db = build_db(articles, None, on_disk);
+        let mut db = build_db(articles, None, on_disk);
+        db.set_threads(threads);
         let d = measure(&db, QUERY_TITLES, PlanMode::Direct);
         let g = measure(&db, QUERY_TITLES, PlanMode::GroupByRewrite);
         let dc = measure(&db, QUERY_COUNT, PlanMode::Direct);
@@ -126,10 +142,11 @@ fn run_scale(on_disk: bool) {
     println!();
 }
 
-fn run_pool(articles: usize, on_disk: bool) {
+fn run_pool(articles: usize, on_disk: bool, threads: usize) {
     println!("-- X2: buffer-pool sweep (Query 1 titles, {articles} articles) --");
     for mb in [4, 8, 16, 32, 64, 128] {
-        let db = build_db(articles, Some(mb << 20), on_disk);
+        let mut db = build_db(articles, Some(mb << 20), on_disk);
+        db.set_threads(threads);
         let d = measure(&db, QUERY_TITLES, PlanMode::Direct);
         let g = measure(&db, QUERY_TITLES, PlanMode::GroupByRewrite);
         println!(
@@ -220,6 +237,25 @@ fn run_value_index() {
         );
     }
     println!();
+}
+
+fn run_threads(articles: usize, on_disk: bool) {
+    println!("-- X5: worker-thread sweep (E1 queries, {articles} articles) --");
+    let mut db = build_db(articles, None, on_disk);
+    let mut base: Option<(f64, f64)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        db.set_threads(threads);
+        let d = measure(&db, QUERY_TITLES, PlanMode::Direct);
+        let g = measure(&db, QUERY_TITLES, PlanMode::GroupByRewrite);
+        let (dt, gt) = (d.elapsed.as_secs_f64(), g.elapsed.as_secs_f64());
+        let (d1, g1) = *base.get_or_insert((dt, gt));
+        println!(
+            "{threads:>2} thread(s): direct {dt:>8.3}s ({:>4.2}x vs 1T) | groupby {gt:>8.3}s ({:>4.2}x vs 1T)",
+            d1 / dt,
+            g1 / gt,
+        );
+    }
+    println!("(outputs are byte-identical across thread counts by construction)\n");
 }
 
 fn run_groupby_impl() {

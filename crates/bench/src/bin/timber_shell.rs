@@ -10,6 +10,7 @@
 //! .load <file.xml>     load an XML document
 //! .gen <articles>      load a synthetic DBLP of the given size
 //! .mode direct|groupby|both
+//! .threads <n>         worker threads for operator evaluation
 //! .explain             explain instead of executing
 //! .stats               database and I/O statistics
 //! .help                this text
@@ -25,6 +26,7 @@ struct Shell {
     db: Option<TimberDb>,
     mode: Mode,
     explain_only: bool,
+    threads: usize,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -39,6 +41,7 @@ fn main() {
         db: None,
         mode: Mode::GroupBy,
         explain_only: false,
+        threads: 1,
     };
     if let Some(path) = std::env::args().nth(1) {
         shell.load(&path);
@@ -87,7 +90,7 @@ impl Shell {
             ".help" => {
                 println!(
                     ".load <file.xml> | .gen <articles> | .mode direct|groupby|both\n\
-                     .explain (toggle) | .stats | .quit\n\
+                     .threads <n> | .explain (toggle) | .stats | .quit\n\
                      end a query with ';' to run it"
                 );
             }
@@ -97,7 +100,8 @@ impl Shell {
                     let xml = datagen::DblpGenerator::new(datagen::DblpConfig::sized(n))
                         .generate_xml();
                     match TimberDb::load_xml(&xml, &StoreOptions::default()) {
-                        Ok(db) => {
+                        Ok(mut db) => {
+                            db.set_threads(self.threads);
                             println!(
                                 "generated {n} articles: {} nodes, {:.1} MB",
                                 db.store().node_count(),
@@ -121,6 +125,16 @@ impl Shell {
                     }
                 }
             }
+            ".threads" => match arg.parse::<usize>() {
+                Ok(n) => {
+                    self.threads = n.max(1);
+                    if let Some(db) = &mut self.db {
+                        db.set_threads(self.threads);
+                    }
+                    println!("evaluating with {} worker thread(s)", self.threads);
+                }
+                Err(_) => eprintln!(".threads needs a thread count"),
+            },
             ".explain" => {
                 self.explain_only = !self.explain_only;
                 println!(
@@ -157,7 +171,8 @@ impl Shell {
         match std::fs::read_to_string(path) {
             Err(e) => eprintln!("cannot read {path}: {e}"),
             Ok(xml) => match TimberDb::load_xml(&xml, &StoreOptions::default()) {
-                Ok(db) => {
+                Ok(mut db) => {
+                    db.set_threads(self.threads);
                     println!(
                         "loaded {path}: {} nodes, {} pages",
                         db.store().node_count(),

@@ -21,8 +21,8 @@
 
 pub mod zipf;
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use smallrand::rngs::StdRng;
+use smallrand::{RngExt, SeedableRng};
 use std::fmt::Write as _;
 use zipf::Zipf;
 
@@ -239,7 +239,7 @@ impl DblpGenerator {
 
 /// 1–`max` authors with a skew towards small counts
 /// (≈45% one author, ≈30% two, tapering off).
-fn sample_author_count<R: RngExt + ?Sized>(rng: &mut R, max: usize) -> usize {
+fn sample_author_count<R: RngExt>(rng: &mut R, max: usize) -> usize {
     let max = max.max(1);
     let u: f64 = rng.random_range(0.0..1.0);
     let mut p = 0.45;

@@ -6,7 +6,7 @@
 //! DBLP draws authors from a Zipf distribution, giving the grouping
 //! workload realistic group-size skew.
 
-use rand::RngExt;
+use smallrand::RngExt;
 
 /// Samples ranks `0..n` with probability proportional to
 /// `1 / (rank + 1)^s`.
@@ -47,7 +47,7 @@ impl Zipf {
     }
 
     /// Draw one rank.
-    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
+    pub fn sample<R: RngExt>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random_range(0.0..1.0);
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
@@ -56,8 +56,8 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use smallrand::rngs::StdRng;
+    use smallrand::SeedableRng;
 
     #[test]
     fn skew_puts_mass_on_low_ranks() {

@@ -1,0 +1,154 @@
+//! Execution options and the parallel per-tree driver.
+//!
+//! TAX operators are bulk operators: most of their work is an
+//! independent computation per input tree (match the pattern, build
+//! witnesses, extract grouping values). With the store's sharded buffer
+//! pool those per-tree computations are safe to run concurrently, so
+//! the operators fan them out over [`ExecOptions::threads`] worker
+//! threads via [`par_map`].
+//!
+//! Determinism: `par_map` splits the input into *contiguous* chunks,
+//! one per worker, and concatenates the chunk results in input order.
+//! Whatever an operator computes from the mapped results is therefore
+//! byte-identical to a sequential run; parallelism only changes I/O
+//! interleaving (hit/miss counts may differ), never output.
+
+use crate::error::Result;
+
+/// Knobs controlling operator evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads for per-tree fan-out. `1` (the default) evaluates
+    /// inline with no thread spawns; `0` is treated as `1`.
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { threads: 1 }
+    }
+}
+
+impl ExecOptions {
+    /// Inline, single-threaded evaluation (the default).
+    pub fn sequential() -> Self {
+        ExecOptions::default()
+    }
+
+    /// Evaluate with up to `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions {
+            threads: threads.max(1),
+        }
+    }
+}
+
+/// Apply `f` to every item, in parallel over contiguous chunks, and
+/// return the results in input order.
+///
+/// `f` receives the item's index alongside the item. On error, the
+/// reported error is the one a sequential run would hit first: workers
+/// stop their chunk at its first failure and chunks are concatenated in
+/// order, so the lowest failing index wins.
+pub fn par_map<T, R, F>(opts: &ExecOptions, items: &[T], f: F) -> Result<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R> + Sync,
+{
+    let threads = opts.threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let chunk_results: Vec<Result<Vec<R>>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                scope.spawn(move || {
+                    let base = ci * chunk;
+                    let mut out = Vec::with_capacity(slice.len());
+                    for (j, item) in slice.iter().enumerate() {
+                        out.push(f(base + j, item)?);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for r in chunk_results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..103).collect();
+        for threads in [1, 2, 4, 7] {
+            let opts = ExecOptions::with_threads(threads);
+            let out = par_map(&opts, &items, |i, &x| {
+                assert_eq!(i, x);
+                Ok(x * 2)
+            })
+            .unwrap();
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_threads_behaves_as_one() {
+        let opts = ExecOptions { threads: 0 };
+        let out = par_map(&opts, &[1, 2, 3], |_, &x| Ok(x)).unwrap();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let opts = ExecOptions::with_threads(4);
+        let out: Vec<i32> = par_map(&opts, &[] as &[i32], |_, &x| Ok(x)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn first_error_by_index_wins() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 3, 8] {
+            let opts = ExecOptions::with_threads(threads);
+            let err = par_map(&opts, &items, |_, &x| {
+                if x >= 17 {
+                    Err(Error::UnknownLabel(format!("${x}")))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+            match err {
+                Error::UnknownLabel(l) => assert_eq!(l, "$17"),
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let opts = ExecOptions::with_threads(64);
+        let out = par_map(&opts, &[10, 20], |_, &x| Ok(x + 1)).unwrap();
+        assert_eq!(out, vec![11, 21]);
+    }
+}

@@ -27,6 +27,8 @@
 //!   citing Al-Khalifa et al. ICDE'02) and touches **no data pages**
 //!   unless a predicate needs content; a naive full-scan matcher is kept
 //!   as the ablation baseline;
+//! * [`exec`] — execution options ([`ExecOptions`]) and the
+//!   deterministic parallel per-tree driver used by the bulk operators;
 //! * [`ops`] — the operators: selection (with adornment list), projection
 //!   (with projection list), duplicate elimination, left/full outer join
 //!   ("stitching"), **groupby** (pattern + grouping basis + ordering
@@ -69,6 +71,7 @@
 //! ```
 
 pub mod error;
+pub mod exec;
 pub mod matching;
 pub mod ops;
 pub mod pattern;
@@ -76,6 +79,7 @@ pub mod tree;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use exec::ExecOptions;
 pub use pattern::{Axis, PatternNodeId, PatternTree, Pred};
 pub use tree::{Collection, Tree, TreeNode, TreeNodeKind};
 pub use value::{compare_values, CmpOp};

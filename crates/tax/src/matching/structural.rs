@@ -234,7 +234,8 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use smallrand::prop::{check, Gen};
+    use smallrand::RngCore;
     use xmlstore::{NodeEntry, NodeId};
 
     /// Generate a random labelled forest by simulating a DFS, then split
@@ -276,11 +277,15 @@ mod proptests {
         entries
     }
 
-    proptest! {
-        #[test]
-        fn stack_tree_equals_nested_loop(seed in proptest::collection::vec(any::<u8>(), 0..120),
-                                         mask in any::<u64>()) {
-            let forest = random_forest(seed);
+    fn random_depth_seed(g: &mut Gen) -> Vec<u8> {
+        g.vec(0, 119, |g| g.usize_in(0, 255) as u8)
+    }
+
+    #[test]
+    fn stack_tree_equals_nested_loop() {
+        check("stack_tree_equals_nested_loop", 256, |g| {
+            let forest = random_forest(random_depth_seed(g));
+            let mask = g.rng().next_u64();
             let mut ancestors = Vec::new();
             let mut descendants = Vec::new();
             for (i, e) in forest.iter().enumerate() {
@@ -296,15 +301,19 @@ mod proptests {
                 let key = |p: &(NodeEntry, NodeEntry)| (p.0.id.0, p.1.id.0);
                 fast.sort_by_key(key);
                 slow.sort_by_key(key);
-                prop_assert_eq!(fast, slow);
+                assert_eq!(fast, slow);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn contained_in_equals_filter(seed in proptest::collection::vec(any::<u8>(), 0..120),
-                                      pick in any::<usize>()) {
-            let forest = random_forest(seed);
-            prop_assume!(!forest.is_empty());
+    #[test]
+    fn contained_in_equals_filter() {
+        check("contained_in_equals_filter", 256, |g| {
+            let forest = random_forest(random_depth_seed(g));
+            if forest.is_empty() {
+                return;
+            }
+            let pick = g.rng().next_u64() as usize;
             let scope = forest[pick % forest.len()];
             let by_search: Vec<_> = contained_in(&forest, &scope).to_vec();
             let by_filter: Vec<_> = forest
@@ -312,7 +321,7 @@ mod proptests {
                 .filter(|e| scope.is_ancestor_of(e))
                 .copied()
                 .collect();
-            prop_assert_eq!(by_search, by_filter);
-        }
+            assert_eq!(by_search, by_filter);
+        });
     }
 }

@@ -9,6 +9,7 @@
 //! which is what lets grouping restructure trees without any aggregation.
 
 use crate::error::{Error, Result};
+use crate::exec::{par_map, ExecOptions};
 use crate::matching::match_tree;
 use crate::matching::vnode::{VNode, VTree};
 use crate::pattern::{PatternNodeId, PatternTree};
@@ -62,6 +63,32 @@ pub fn aggregate(
     new_tag: &str,
     spec: UpdateSpec,
 ) -> Result<Collection> {
+    aggregate_opts(
+        store,
+        input,
+        pattern,
+        func,
+        of,
+        new_tag,
+        spec,
+        &ExecOptions::default(),
+    )
+}
+
+/// [`aggregate`] with explicit execution options. Each input tree's
+/// aggregate is independent of every other tree's, so the whole operator
+/// fans out per tree.
+#[allow(clippy::too_many_arguments)]
+pub fn aggregate_opts(
+    store: &DocumentStore,
+    input: &Collection,
+    pattern: &PatternTree,
+    func: AggFunc,
+    of: PatternNodeId,
+    new_tag: &str,
+    spec: UpdateSpec,
+    opts: &ExecOptions,
+) -> Result<Collection> {
     let anchor_label = match spec {
         UpdateSpec::AfterLastChild(l) | UpdateSpec::Precedes(l) | UpdateSpec::Follows(l) => l,
     };
@@ -72,12 +99,10 @@ pub fn aggregate(
         return Err(Error::UnknownLabel(format!("${}", anchor_label + 1)));
     }
 
-    let mut out = Vec::with_capacity(input.len());
-    for tree in input {
+    par_map(opts, input, |_, tree| {
         let bindings = match_tree(store, tree, pattern, false)?;
         if bindings.is_empty() {
-            out.push(tree.clone());
-            continue;
+            return Ok(tree.clone());
         }
         // Gather values.
         let vt = VTree::new(store, tree);
@@ -93,8 +118,7 @@ pub fn aggregate(
         }
         let computed = compute(func, bindings.len(), &values);
         let Some(value) = computed else {
-            out.push(tree.clone());
-            continue;
+            return Ok(tree.clone());
         };
 
         // Insert at the anchor of the first witness.
@@ -134,9 +158,8 @@ pub fn aggregate(
                 new_tree.insert_node(parent, pos, kind);
             }
         }
-        out.push(new_tree);
-    }
-    Ok(out)
+        Ok(new_tree)
+    })
 }
 
 /// Apply an aggregate function to the gathered numeric values;

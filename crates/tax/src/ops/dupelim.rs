@@ -9,6 +9,7 @@
 //! up the actual data values").
 
 use crate::error::Result;
+use crate::exec::{par_map, ExecOptions};
 use crate::matching::match_tree;
 use crate::pattern::{PatternNodeId, PatternTree};
 use crate::tree::Collection;
@@ -25,18 +26,38 @@ pub fn dup_elim(
     pattern: &PatternTree,
     by: PatternNodeId,
 ) -> Result<Collection> {
+    dup_elim_opts(store, input, pattern, by, &ExecOptions::default())
+}
+
+/// [`dup_elim`] with explicit execution options. Key extraction (the
+/// pattern match and data value look-up) fans out per tree; the
+/// first-occurrence scan itself stays sequential in input order, so the
+/// survivors are the same trees a single-threaded run keeps.
+pub fn dup_elim_opts(
+    store: &DocumentStore,
+    input: &Collection,
+    pattern: &PatternTree,
+    by: PatternNodeId,
+    opts: &ExecOptions,
+) -> Result<Collection> {
     if by >= pattern.len() {
         return Err(crate::error::Error::UnknownLabel(format!("${}", by + 1)));
     }
-    let mut seen: HashSet<Option<String>> = HashSet::new();
-    let mut out = Vec::new();
-    for tree in input {
+    // `None`: the pattern did not match (tree kept unconditionally);
+    // `Some(value)`: the duplicate key.
+    let keys: Vec<Option<Option<String>>> = par_map(opts, input, |_, tree| {
         let bindings = match_tree(store, tree, pattern, false)?;
         match bindings.first() {
+            None => Ok(None),
+            Some(b) => Ok(Some(VTree::new(store, tree).content(b[by])?)),
+        }
+    })?;
+    let mut seen: HashSet<Option<String>> = HashSet::new();
+    let mut out = Vec::new();
+    for (tree, key) in input.iter().zip(keys) {
+        match key {
             None => out.push(tree.clone()),
-            Some(b) => {
-                let vt = VTree::new(store, tree);
-                let value = vt.content(b[by])?;
+            Some(value) => {
                 if seen.insert(value) {
                     out.push(tree.clone());
                 }

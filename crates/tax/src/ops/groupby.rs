@@ -28,6 +28,7 @@
 //!   before sorting. Kept as the ablation baseline (experiment X4).
 
 use crate::error::Result;
+use crate::exec::{par_map, ExecOptions};
 use crate::matching::match_tree;
 use crate::matching::vnode::{VNode, VTree};
 use crate::pattern::{PatternNodeId, PatternTree};
@@ -111,6 +112,14 @@ struct Group {
     members: Vec<(usize, Vec<Option<String>>, usize)>,
 }
 
+/// Grouping/ordering values of one witness, extracted tree-locally (and
+/// so in parallel) before the sequential merge.
+struct Witness {
+    key: Key,
+    sort_key: Vec<Option<String>>,
+    basis_nodes: Vec<VNode>,
+}
+
 /// Identifier-processing grouping (Sec. 5.3).
 pub fn groupby(
     store: &DocumentStore,
@@ -119,16 +128,30 @@ pub fn groupby(
     basis: &[BasisItem],
     ordering: &[GroupOrder],
 ) -> Result<Collection> {
-    validate(pattern, basis, ordering)?;
-    let mut index: HashMap<Key, usize> = HashMap::new();
-    let mut groups: Vec<(Key, Group)> = Vec::new();
-    let mut arrivals = 0usize;
+    groupby_opts(store, input, pattern, basis, ordering, &ExecOptions::default())
+}
 
-    for (tree_idx, tree) in input.iter().enumerate() {
+/// [`groupby`] with explicit execution options. Key extraction (pattern
+/// matching + value look-ups) fans out per input tree; group formation
+/// then merges the per-tree witnesses sequentially in input order, so
+/// group order (first arrival) and member order are identical to a
+/// single-threaded run.
+pub fn groupby_opts(
+    store: &DocumentStore,
+    input: &Collection,
+    pattern: &PatternTree,
+    basis: &[BasisItem],
+    ordering: &[GroupOrder],
+    opts: &ExecOptions,
+) -> Result<Collection> {
+    validate(pattern, basis, ordering)?;
+
+    // Per-tree extraction: populate only the grouping and ordering
+    // values — the "minimum information" sort of Sec. 5.3.
+    let per_tree: Vec<Vec<Witness>> = par_map(opts, input, |_, tree| {
         let vt = VTree::new(store, tree);
+        let mut witnesses = Vec::new();
         for binding in match_tree(store, tree, pattern, false)? {
-            // Populate only the grouping and ordering values — the
-            // "minimum information" sort of Sec. 5.3.
             let mut key: Key = Vec::with_capacity(basis.len());
             for item in basis {
                 let v = binding[item.label];
@@ -142,16 +165,30 @@ pub fn groupby(
                 .iter()
                 .map(|o| vt.content(binding[o.label]))
                 .collect::<Result<_>>()?;
+            witnesses.push(Witness {
+                key,
+                sort_key,
+                basis_nodes: basis.iter().map(|b| binding[b.label]).collect(),
+            });
+        }
+        Ok(witnesses)
+    })?;
 
-            let gid = match index.get(&key) {
+    // Sequential merge in input order: first arrival fixes group order.
+    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut groups: Vec<(Key, Group)> = Vec::new();
+    let mut arrivals = 0usize;
+    for (tree_idx, witnesses) in per_tree.into_iter().enumerate() {
+        for w in witnesses {
+            let gid = match index.get(&w.key) {
                 Some(&g) => g,
                 None => {
                     let g = groups.len();
-                    index.insert(key.clone(), g);
+                    index.insert(w.key.clone(), g);
                     groups.push((
-                        key.clone(),
+                        w.key,
                         Group {
-                            basis_nodes: basis.iter().map(|b| binding[b.label]).collect(),
+                            basis_nodes: w.basis_nodes,
                             basis_tree: tree_idx,
                             members: Vec::new(),
                         },
@@ -166,7 +203,7 @@ pub fn groupby(
             // Same-tree witnesses arrive consecutively, so checking the
             // group's last member suffices.
             if groups[gid].1.members.last().map(|m| m.0) != Some(tree_idx) {
-                groups[gid].1.members.push((tree_idx, sort_key, arrivals));
+                groups[gid].1.members.push((tree_idx, w.sort_key, arrivals));
                 arrivals += 1;
             }
         }
@@ -203,9 +240,14 @@ pub fn groupby_replicated(
         /// The tag of each basis node's match (for the basis children).
         basis_tags: Vec<String>,
         arrival: usize,
-        source: usize,
     }
     let mut replicas: Vec<Replica> = Vec::new();
+    // Last source tree replicated under each key. Checking only the
+    // globally last replica would miss same-tree witnesses whose keys
+    // interleave (e.g. authors from institutions X, Y, X), duplicating
+    // the tree in group X — the per-key map matches the identifier
+    // implementation's per-group member dedup exactly.
+    let mut last_source: HashMap<Key, usize> = HashMap::new();
     for (tree_idx, tree) in input.iter().enumerate() {
         let vt = VTree::new(store, tree);
         for binding in match_tree(store, tree, pattern, false)? {
@@ -229,13 +271,10 @@ pub fn groupby_replicated(
                 .collect::<Result<Vec<_>>>()?;
             // Same-key witnesses of one source tree collapse, matching
             // the identifier implementation's member semantics.
-            if replicas
-                .last()
-                .map(|r| r.source == tree_idx && r.key == key)
-                .unwrap_or(false)
-            {
+            if last_source.get(&key) == Some(&tree_idx) {
                 continue;
             }
+            last_source.insert(key.clone(), tree_idx);
             // Eager full materialization — the expensive step.
             let materialized = Tree::from_element(&tree.materialize(store)?);
             let arrival = replicas.len();
@@ -246,7 +285,6 @@ pub fn groupby_replicated(
                 tree: materialized,
                 basis_tags,
                 arrival,
-                source: tree_idx,
             });
         }
     }
@@ -895,5 +933,53 @@ mod tests {
         let p = PatternTree::with_root(Pred::tag("article"));
         let groups = groupby(&s, &arts, &p, &[BasisItem::attr(p.root(), "year")], &[]).unwrap();
         assert_eq!(groups.len(), 2); // "1999" and missing
+    }
+
+    #[test]
+    fn interleaved_keys_agree_across_implementations() {
+        // One article whose author institutions interleave (X, Y, X):
+        // the article must appear exactly once in group X under both
+        // implementations. The replicated path once deduped only
+        // *adjacent* same-key witnesses and emitted it twice.
+        let xml = "<bib>\
+            <article><title>P1</title>\
+              <author><name>A</name><institution>X</institution></author>\
+              <author><name>B</name><institution>Y</institution></author>\
+              <author><name>C</name><institution>X</institution></author>\
+            </article>\
+            <article><title>P2</title>\
+              <author><name>D</name><institution>Y</institution></author>\
+            </article>\
+        </bib>";
+        let s = DocumentStore::from_xml(xml, &StoreOptions::in_memory()).unwrap();
+        let article = s.tag_id("article").unwrap();
+        let arts: Collection = s
+            .nodes_with_tag(article)
+            .iter()
+            .map(|e| Tree::new_ref(*e, true))
+            .collect();
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        let author = p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+        let inst = p.add_child(author, Axis::Child, Pred::tag("institution"));
+        let basis = [BasisItem::content(inst)];
+
+        let fast = groupby(&s, &arts, &p, &basis, &[]).unwrap();
+        let slow = groupby_replicated(&s, &arts, &p, &basis, &[]).unwrap();
+        assert_eq!(fast.len(), 2); // X, Y
+        assert_eq!(fast.len(), slow.len());
+        for (f, sl) in fast.iter().zip(slow.iter()) {
+            let fe = xmlparse::serialize::element_to_string(&f.materialize(&s).unwrap());
+            let se = xmlparse::serialize::element_to_string(&sl.materialize(&s).unwrap());
+            assert_eq!(fe, se);
+        }
+        // Group X holds the first article exactly once.
+        let x = fast[0].materialize(&s).unwrap();
+        assert_eq!(
+            x.child(tags::GROUP_SUBROOT)
+                .unwrap()
+                .children_named("article")
+                .count(),
+            1
+        );
     }
 }

@@ -6,6 +6,7 @@
 //! is one-many: a pattern can match many times in one input tree.
 
 use crate::error::Result;
+use crate::exec::{par_map, ExecOptions};
 use crate::matching::vnode::VNode;
 use crate::matching::{match_db, match_tree, Binding};
 use crate::pattern::{PatternNodeId, PatternTree};
@@ -18,11 +19,22 @@ pub fn select_db(
     pattern: &PatternTree,
     sl: &[PatternNodeId],
 ) -> Result<Collection> {
+    select_db_opts(store, pattern, sl, &ExecOptions::default())
+}
+
+/// [`select_db`] with explicit execution options: the pattern match runs
+/// single-threaded over the indexes, then witness-tree construction fans
+/// out per binding.
+pub fn select_db_opts(
+    store: &DocumentStore,
+    pattern: &PatternTree,
+    sl: &[PatternNodeId],
+    opts: &ExecOptions,
+) -> Result<Collection> {
     let bindings = match_db(store, pattern)?;
-    bindings
-        .into_iter()
-        .map(|b| witness_tree(store, None, pattern, &b, sl))
-        .collect()
+    par_map(opts, &bindings, |_, b| {
+        witness_tree(store, None, pattern, b, sl)
+    })
 }
 
 /// Selection over an in-memory collection. Witness trees are produced per
@@ -33,13 +45,26 @@ pub fn select(
     pattern: &PatternTree,
     sl: &[PatternNodeId],
 ) -> Result<Collection> {
-    let mut out = Vec::new();
-    for tree in input {
+    select_opts(store, input, pattern, sl, &ExecOptions::default())
+}
+
+/// [`select`] with explicit execution options: matching and witness
+/// construction fan out per input tree.
+pub fn select_opts(
+    store: &DocumentStore,
+    input: &Collection,
+    pattern: &PatternTree,
+    sl: &[PatternNodeId],
+    opts: &ExecOptions,
+) -> Result<Collection> {
+    let per_tree = par_map(opts, input, |_, tree| {
+        let mut witnesses = Vec::new();
         for b in match_tree(store, tree, pattern, false)? {
-            out.push(witness_tree(store, Some(tree), pattern, &b, sl)?);
+            witnesses.push(witness_tree(store, Some(tree), pattern, &b, sl)?);
         }
-    }
-    Ok(out)
+        Ok(witnesses)
+    })?;
+    Ok(per_tree.into_iter().flatten().collect())
 }
 
 /// Build the witness tree for one binding: it mirrors the pattern's

@@ -2,6 +2,7 @@
 
 use crate::error::Result;
 use std::collections::HashMap;
+use tax::exec::ExecOptions;
 use tax::matching::match_tree;
 use tax::matching::vnode::{VNode, VTree};
 use tax::ops;
@@ -11,22 +12,29 @@ use tax::Collection;
 use xmlstore::DocumentStore;
 use xquery::Plan;
 
-/// Evaluate a plan against the store.
+/// Evaluate a plan against the store, single-threaded.
 pub fn eval(store: &DocumentStore, plan: &Plan) -> Result<Collection> {
+    eval_with(store, plan, &ExecOptions::default())
+}
+
+/// Evaluate a plan against the store with explicit execution options.
+/// The bulk operators (selection, duplicate elimination, grouping,
+/// aggregation) fan their per-tree work out over `opts.threads`.
+pub fn eval_with(store: &DocumentStore, plan: &Plan, opts: &ExecOptions) -> Result<Collection> {
     Ok(match plan {
-        Plan::SelectDb { pattern, sl } => ops::select::select_db(store, pattern, sl)?,
+        Plan::SelectDb { pattern, sl } => ops::select::select_db_opts(store, pattern, sl, opts)?,
         Plan::Project {
             input,
             pattern,
             pl,
             anchor_root,
         } => {
-            let c = eval(store, input)?;
+            let c = eval_with(store, input, opts)?;
             ops::project::project(store, &c, pattern, pl, *anchor_root)?
         }
         Plan::DupElim { input, pattern, by } => {
-            let c = eval(store, input)?;
-            ops::dupelim::dup_elim(store, &c, pattern, *by)?
+            let c = eval_with(store, input, opts)?;
+            ops::dupelim::dup_elim_opts(store, &c, pattern, *by, opts)?
         }
         Plan::LeftOuterJoinDb {
             left,
@@ -38,7 +46,7 @@ pub fn eval(store: &DocumentStore, plan: &Plan) -> Result<Collection> {
             right_extract: _,
             order: _,
         } => {
-            let l = eval(store, left)?;
+            let l = eval_with(store, left, opts)?;
             ops::join::left_outer_join_db(
                 store,
                 &l,
@@ -55,8 +63,8 @@ pub fn eval(store: &DocumentStore, plan: &Plan) -> Result<Collection> {
             basis,
             ordering,
         } => {
-            let c = eval(store, input)?;
-            ops::groupby::groupby(store, &c, pattern, basis, ordering)?
+            let c = eval_with(store, input, opts)?;
+            ops::groupby::groupby_opts(store, &c, pattern, basis, ordering, opts)?
         }
         Plan::Aggregate {
             input,
@@ -66,11 +74,11 @@ pub fn eval(store: &DocumentStore, plan: &Plan) -> Result<Collection> {
             new_tag,
             spec,
         } => {
-            let c = eval(store, input)?;
-            ops::aggregate::aggregate(store, &c, pattern, *func, *of, new_tag, *spec)?
+            let c = eval_with(store, input, opts)?;
+            ops::aggregate::aggregate_opts(store, &c, pattern, *func, *of, new_tag, *spec, opts)?
         }
         Plan::Rename { input, tag } => {
-            let c = eval(store, input)?;
+            let c = eval_with(store, input, opts)?;
             ops::rename::rename_root(store, &c, tag)?
         }
         Plan::StitchConstruct {
@@ -85,9 +93,9 @@ pub fn eval(store: &DocumentStore, plan: &Plan) -> Result<Collection> {
             order,
             tag,
         } => {
-            let outer_c = eval(store, outer)?;
+            let outer_c = eval_with(store, outer, opts)?;
             let inner_c = match inner {
-                Some(p) => eval(store, p)?,
+                Some(p) => eval_with(store, p, opts)?,
                 None => Vec::new(),
             };
             stitch(

@@ -58,6 +58,7 @@ pub enum PlanMode {
 /// A loaded database plus the query pipeline.
 pub struct TimberDb {
     store: DocumentStore,
+    exec: tax::ExecOptions,
 }
 
 impl TimberDb {
@@ -65,6 +66,7 @@ impl TimberDb {
     pub fn load_xml(xml: &str, opts: &StoreOptions) -> Result<Self> {
         Ok(TimberDb {
             store: DocumentStore::from_xml(xml, opts)?,
+            exec: tax::ExecOptions::default(),
         })
     }
 
@@ -72,12 +74,30 @@ impl TimberDb {
     pub fn load_document(doc: &xmlparse::Document, opts: &StoreOptions) -> Result<Self> {
         Ok(TimberDb {
             store: DocumentStore::load(doc, opts)?,
+            exec: tax::ExecOptions::default(),
         })
     }
 
     /// The underlying store (statistics, direct access).
     pub fn store(&self) -> &DocumentStore {
         &self.store
+    }
+
+    /// Worker threads used for operator evaluation (`0` acts as `1`).
+    /// Parallel evaluation is deterministic: outputs are byte-identical
+    /// to a single-threaded run.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.exec = tax::ExecOptions::with_threads(threads);
+    }
+
+    /// The current worker-thread setting.
+    pub fn threads(&self) -> usize {
+        self.exec.threads
+    }
+
+    /// The execution options queries run with.
+    pub fn exec_options(&self) -> tax::ExecOptions {
+        self.exec
     }
 
     /// Compile a query to a logical plan under the given mode. Returns
@@ -101,7 +121,7 @@ impl TimberDb {
     pub fn run_plan(&self, plan: &Plan, rewritten: bool) -> Result<QueryResult> {
         let start = std::time::Instant::now();
         let io_before = self.store.io_stats();
-        let trees = eval::eval(&self.store, plan)?;
+        let trees = eval::eval_with(&self.store, plan, &self.exec)?;
         let elapsed = start.elapsed();
         let io_after = self.store.io_stats();
         Ok(QueryResult {

@@ -1,84 +1,97 @@
 //! Property-based round-trip tests: any DOM we can build serializes to
 //! text that parses back to the identical DOM.
+//!
+//! Ported from proptest to the in-tree `smallrand::prop` harness.
 
-use proptest::prelude::*;
+use smallrand::prop::{check, Gen};
+use smallrand::RngExt;
 use xmlparse::{parse_document, to_string, Document, Element, XmlNode};
 
-/// Strategy for XML names (ASCII subset, never empty, no leading digit).
-fn name_strategy() -> impl Strategy<Value = String> {
-    "[a-zA-Z_][a-zA-Z0-9_.-]{0,8}"
+/// Random XML name (ASCII subset, never empty, no leading digit) —
+/// `[a-zA-Z_][a-zA-Z0-9_.-]{0,8}`.
+fn gen_name(g: &mut Gen) -> String {
+    g.ident(8)
 }
 
-/// Strategy for text content. Avoid text that is empty (the parser never
-/// produces empty text nodes) and avoid the `]]>`-free constraint issues
-/// by using plain printable text including characters that need escaping.
-fn text_strategy() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[ -~]{1,20}")
-        .unwrap()
-        .prop_filter("no empty", |s| !s.is_empty())
+/// Random text content: printable ASCII including characters that need
+/// escaping, never empty (the parser never produces empty text nodes).
+fn gen_text(g: &mut Gen) -> String {
+    g.printable_string(1, 20)
 }
 
-fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (
-        name_strategy(),
-        prop::collection::vec((name_strategy(), text_strategy()), 0..3),
-        prop::option::of(text_strategy()),
-    )
-        .prop_map(|(name, attrs, text)| {
-            let mut e = Element::new(name);
-            for (n, v) in attrs {
-                if e.attr(&n).is_none() {
-                    e.attributes.push((n, v));
-                }
-            }
-            if let Some(t) = text {
-                e.children.push(XmlNode::Text(t));
-            }
-            e
-        });
-    leaf.prop_recursive(4, 32, 4, |inner| {
-        (
-            name_strategy(),
-            prop::collection::vec((name_strategy(), text_strategy()), 0..2),
-            prop::collection::vec(inner, 0..4),
-        )
-            .prop_map(|(name, attrs, children)| {
-                let mut e = Element::new(name);
-                for (n, v) in attrs {
-                    if e.attr(&n).is_none() {
-                        e.attributes.push((n, v));
-                    }
-                }
-                for c in children {
-                    e.children.push(XmlNode::Element(c));
-                }
-                e
-            })
-    })
+fn push_attrs(g: &mut Gen, e: &mut Element, max: usize) {
+    for _ in 0..g.usize_in(0, max) {
+        let n = gen_name(g);
+        if e.attr(&n).is_none() {
+            let v = gen_text(g);
+            e.attributes.push((n, v));
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Random element tree up to `depth` levels deep, mirroring the old
+/// `prop_recursive(4, 32, 4, ..)` strategy: leaves carry optional text,
+/// interior nodes carry 0–3 child elements.
+fn gen_element(g: &mut Gen, depth: usize) -> Element {
+    let mut e = Element::new(gen_name(g));
+    if depth == 0 || g.ratio(1, 3) {
+        push_attrs(g, &mut e, 2);
+        if g.bool() {
+            let t = gen_text(g);
+            e.children.push(XmlNode::Text(t));
+        }
+    } else {
+        push_attrs(g, &mut e, 1);
+        for _ in 0..g.usize_in(0, 3) {
+            e.children.push(XmlNode::Element(gen_element(g, depth - 1)));
+        }
+    }
+    e
+}
 
-    #[test]
-    fn serialize_then_parse_is_identity(root in element_strategy()) {
-        let doc = Document::new(root);
+#[test]
+fn serialize_then_parse_is_identity() {
+    check("serialize_then_parse_is_identity", 256, |g| {
+        let doc = Document::new(gen_element(g, 4));
         let text = to_string(&doc);
         let reparsed = parse_document(&text).expect("serializer output must parse");
-        prop_assert_eq!(&doc, &reparsed);
-    }
+        assert_eq!(&doc, &reparsed, "source text: {text}");
+    });
+}
 
-    #[test]
-    fn parse_never_panics(input in "\\PC{0,100}") {
-        let _ = parse_document(&input);
-    }
+#[test]
+fn parse_never_panics() {
+    // Arbitrary garbage: half XML-ish punctuation (to reach deep parser
+    // states), half arbitrary Unicode scalars.
+    const XMLISH: &[u8] = b"<>&;/=\"' abc!?-[]";
+    check("parse_never_panics", 256, |g| {
+        let n = g.usize_in(0, 100);
+        let mut s = String::with_capacity(n);
+        for _ in 0..n {
+            if g.bool() {
+                s.push(char::from(*g.pick(XMLISH)));
+            } else {
+                let c = loop {
+                    let v = g.rng().random_range(0u32..0x11_0000);
+                    if let Some(c) = char::from_u32(v) {
+                        break c;
+                    }
+                };
+                s.push(c);
+            }
+        }
+        let _ = parse_document(&s);
+    });
+}
 
-    #[test]
-    fn escaped_text_roundtrips(t in text_strategy()) {
+#[test]
+fn escaped_text_roundtrips() {
+    check("escaped_text_roundtrips", 256, |g| {
+        let t = gen_text(g);
         let doc = Document::new(Element::new("a").with_text(t.clone()));
         let reparsed = parse_document(&to_string(&doc)).unwrap();
-        prop_assert_eq!(reparsed.root().text(), t);
-    }
+        assert_eq!(reparsed.root().text(), t);
+    });
 }
 
 #[test]
@@ -87,5 +100,8 @@ fn pretty_output_reparses() {
     let doc = parse_document(src).unwrap();
     let pretty = xmlparse::to_string_pretty(&doc);
     let doc2 = parse_document(&pretty).unwrap();
-    assert_eq!(doc2.root().descendants().count(), doc.root().descendants().count());
+    assert_eq!(
+        doc2.root().descendants().count(),
+        doc.root().descendants().count()
+    );
 }

@@ -9,8 +9,9 @@
 
 use crate::error::{Result, StoreError};
 use crate::page::{PageId, PAGE_SIZE};
-use crate::storage::{DiskManager, DiskStats};
+use crate::storage::{DiskManager, DiskStats, SharedDisk};
 use std::collections::HashMap;
+use std::sync::MutexGuard;
 
 /// Buffer pool counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -46,8 +47,12 @@ impl Frame {
 }
 
 /// A fixed-capacity page cache with second-chance (clock) replacement.
+///
+/// The pool does not lock internally; a store that wants concurrent
+/// reads runs several pool shards, each behind its own mutex, all over
+/// one [`SharedDisk`].
 pub struct BufferPool {
-    disk: DiskManager,
+    disk: SharedDisk,
     frames: Vec<Frame>,
     table: HashMap<PageId, usize>,
     hand: usize,
@@ -57,6 +62,11 @@ pub struct BufferPool {
 impl BufferPool {
     /// Create a pool of `capacity_pages` frames over `disk`.
     pub fn new(disk: DiskManager, capacity_pages: usize) -> Result<Self> {
+        Self::with_shared(SharedDisk::new(disk), capacity_pages)
+    }
+
+    /// Create a pool shard over an already-shared disk.
+    pub fn with_shared(disk: SharedDisk, capacity_pages: usize) -> Result<Self> {
         if capacity_pages == 0 {
             return Err(StoreError::PoolTooSmall);
         }
@@ -91,8 +101,13 @@ impl BufferPool {
     }
 
     /// Access to the underlying disk manager (for allocation during load).
-    pub fn disk_mut(&mut self) -> &mut DiskManager {
-        &mut self.disk
+    pub fn disk_mut(&mut self) -> MutexGuard<'_, DiskManager> {
+        self.disk.lock()
+    }
+
+    /// A clone of the shared-disk handle this pool reads through.
+    pub fn shared_disk(&self) -> SharedDisk {
+        self.disk.clone()
     }
 
     /// Run `f` over the bytes of page `pid`, faulting it in if necessary.
@@ -116,7 +131,7 @@ impl BufferPool {
     pub fn flush_all(&mut self) -> Result<()> {
         for i in 0..self.frames.len() {
             if self.frames[i].valid && self.frames[i].dirty {
-                self.disk.write_page(self.frames[i].pid, &self.frames[i].data)?;
+                self.disk.lock().write_page(self.frames[i].pid, &self.frames[i].data)?;
                 self.frames[i].dirty = false;
                 self.stats.writebacks += 1;
             }
@@ -150,11 +165,11 @@ impl BufferPool {
             if self.frames[idx].dirty {
                 let old = self.frames[idx].pid;
                 // Split-borrow: copy out the page id before writing back.
-                self.disk.write_page(old, &self.frames[idx].data)?;
+                self.disk.lock().write_page(old, &self.frames[idx].data)?;
                 self.stats.writebacks += 1;
             }
         }
-        self.disk.read_page(pid, &mut self.frames[idx].data)?;
+        self.disk.lock().read_page(pid, &mut self.frames[idx].data)?;
         self.frames[idx].pid = pid;
         self.frames[idx].valid = true;
         self.frames[idx].dirty = false;

@@ -14,16 +14,27 @@
 use crate::buffer::{BufferPool, BufferStats};
 use crate::catalog::{attr_tag_name, TagDict, TagId, TEXT_TAG};
 use crate::error::{Result, StoreError};
-use crate::heap::{read_content, HeapBuilder};
+use crate::heap::{read_content_via, HeapBuilder};
 use crate::index::{NodeEntry, TagIndex, ValueIndex};
 use crate::node::{
     node_location, ContentPtr, NodeId, NodeKind, NodeRecord, NO_PARENT, RECORDS_PER_PAGE,
     RECORD_SIZE,
 };
 use crate::page::{PageId, PAGE_SIZE};
-use crate::storage::{DiskManager, DiskStats};
-use std::cell::RefCell;
+use crate::storage::{DiskManager, DiskStats, SharedDisk};
+use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, RwLock};
+
+/// Maximum number of buffer-pool shards per store. Page ids are striped
+/// across shards (`pid % nshards`), so concurrent readers touching
+/// different pages usually take different locks.
+const MAX_POOL_SHARDS: usize = 8;
+
+/// Entry cap per header-cache shard: the cache is a small read
+/// accelerator, not a second buffer pool.
+const HEADER_CACHE_SHARD_CAP: usize = 4096;
 
 /// The reserved tag of the synthetic document root.
 pub const DOC_ROOT_TAG: &str = "doc_root";
@@ -48,6 +59,10 @@ pub struct StoreOptions {
     /// explains the limits of value indices in XML), so this is off by
     /// default.
     pub value_index: bool,
+    /// Cache decoded node headers (`NodeId → NodeRecord`) on the read
+    /// path, skipping the buffer pool for repeat fetches. Off by default
+    /// so I/O counters keep measuring true page traffic.
+    pub header_cache: bool,
 }
 
 impl Default for StoreOptions {
@@ -58,6 +73,7 @@ impl Default for StoreOptions {
             path: None,
             strip_whitespace: true,
             value_index: false,
+            header_cache: false,
         }
     }
 }
@@ -71,12 +87,19 @@ impl StoreOptions {
             path: None,
             strip_whitespace: true,
             value_index: false,
+            header_cache: false,
         }
     }
 
     /// Enable the content value index.
     pub fn with_value_index(mut self) -> Self {
         self.value_index = true;
+        self
+    }
+
+    /// Enable the node-header cache.
+    pub fn with_header_cache(mut self) -> Self {
+        self.header_cache = true;
         self
     }
 
@@ -110,7 +133,76 @@ impl IoStats {
     }
 }
 
+/// Hit/miss counters of the in-memory read-path caches (tag-index
+/// lookups and the optional node-header cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Node-header fetches answered from the header cache.
+    pub header_hits: u64,
+    /// Node-header fetches that had to decode a buffered page.
+    pub header_misses: u64,
+    /// Tag-name lookups that resolved to an interned tag.
+    pub tag_hits: u64,
+    /// Tag-name lookups for names absent from the document.
+    pub tag_misses: u64,
+}
+
+/// A sharded `NodeId → NodeRecord` cache. Shards are striped the same
+/// way as the buffer pool (by node page), each behind a reader-writer
+/// lock, so concurrent readers on a warm cache take no exclusive lock.
+struct HeaderCache {
+    shards: Vec<RwLock<HashMap<u32, NodeRecord>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl HeaderCache {
+    fn new(nshards: usize) -> Self {
+        HeaderCache {
+            shards: (0..nshards.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: u32) -> &RwLock<HashMap<u32, NodeRecord>> {
+        &self.shards[id as usize % self.shards.len()]
+    }
+
+    fn get(&self, id: u32) -> Option<NodeRecord> {
+        let found = self
+            .shard(id)
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, id: u32, rec: NodeRecord) {
+        let mut shard = self.shard(id).write().unwrap_or_else(|e| e.into_inner());
+        if shard.len() < HEADER_CACHE_SHARD_CAP {
+            shard.insert(id, rec);
+        }
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+}
+
 /// A document loaded into the paged store.
+///
+/// All read methods take `&self` and the store is `Sync`: pages live in
+/// buffer-pool shards striped by page id, each behind its own mutex, all
+/// sharing one [`SharedDisk`]. The tag dictionary and tag/value indexes
+/// are immutable after load and need no locking.
 pub struct DocumentStore {
     tags: TagDict,
     index: TagIndex,
@@ -118,7 +210,24 @@ pub struct DocumentStore {
     heap_base: u32,
     node_base: u32,
     node_count: u32,
-    pool: RefCell<BufferPool>,
+    shards: Vec<Mutex<BufferPool>>,
+    disk: SharedDisk,
+    header_cache: Option<HeaderCache>,
+    tag_hits: AtomicU64,
+    tag_misses: AtomicU64,
+}
+
+// The whole point of the sharded design: a loaded store can be shared
+// across threads by reference.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<DocumentStore>()
+};
+
+fn lock_pool(shard: &Mutex<BufferPool>) -> MutexGuard<'_, BufferPool> {
+    // A poisoned shard only means another reader panicked mid-access;
+    // the pool's bookkeeping is update-then-return, so keep going.
+    shard.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl DocumentStore {
@@ -229,7 +338,18 @@ impl DocumentStore {
         }
         disk.reset_stats();
 
-        let pool = BufferPool::new(disk, opts.pool_pages)?;
+        // Stripe the pool across shards; every shard gets at least one
+        // frame (remainder pages go to the first shards). A zero-page
+        // pool still fails with `PoolTooSmall`, as before.
+        let disk = SharedDisk::new(disk);
+        let nshards = opts.pool_pages.clamp(1, MAX_POOL_SHARDS);
+        let base_cap = opts.pool_pages / nshards;
+        let rem = opts.pool_pages % nshards;
+        let mut shards = Vec::with_capacity(nshards);
+        for i in 0..nshards {
+            let cap = base_cap + usize::from(i < rem);
+            shards.push(Mutex::new(BufferPool::with_shared(disk.clone(), cap)?));
+        }
         Ok(DocumentStore {
             tags,
             index,
@@ -237,8 +357,29 @@ impl DocumentStore {
             heap_base,
             node_base,
             node_count,
-            pool: RefCell::new(pool),
+            shards,
+            disk,
+            header_cache: opts.header_cache.then(|| HeaderCache::new(MAX_POOL_SHARDS)),
+            tag_hits: AtomicU64::new(0),
+            tag_misses: AtomicU64::new(0),
         })
+    }
+
+    // ---- sharded page access ------------------------------------------
+
+    fn shard_of(&self, pid: PageId) -> &Mutex<BufferPool> {
+        &self.shards[pid.0 as usize % self.shards.len()]
+    }
+
+    /// Run `f` over page `pid` via the pool shard that owns it.
+    fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+        lock_pool(self.shard_of(pid)).with_page(pid, f)
+    }
+
+    /// Read heap content, routing each page to its shard. A value that
+    /// spans pages may cross shards; pages are locked one at a time.
+    fn read_heap(&self, ptr: ContentPtr) -> Result<String> {
+        read_content_via(|pid, f| self.with_page(pid, |p| f(p)), self.heap_base, ptr)
     }
 
     // ---- metadata ----------------------------------------------------
@@ -266,12 +407,20 @@ impl DocumentStore {
 
     /// Id of an element tag name, if present in the document.
     pub fn tag_id(&self, name: &str) -> Option<TagId> {
-        self.tags.get(name)
+        self.count_tag_lookup(self.tags.get(name))
     }
 
     /// Id of an attribute `name` (stored as `@name`), if present.
     pub fn attr_tag_id(&self, name: &str) -> Option<TagId> {
-        self.tags.get(&attr_tag_name(name))
+        self.count_tag_lookup(self.tags.get(&attr_tag_name(name)))
+    }
+
+    fn count_tag_lookup(&self, found: Option<TagId>) -> Option<TagId> {
+        match found {
+            Some(_) => self.tag_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.tag_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
     }
 
     /// Name of a tag id.
@@ -324,10 +473,18 @@ impl DocumentStore {
                 node_count: self.node_count,
             });
         }
+        if let Some(cache) = &self.header_cache {
+            if let Some(rec) = cache.get(id.0) {
+                return Ok(rec);
+            }
+        }
         let (page, slot) = node_location(self.node_base, id);
-        self.pool
-            .borrow_mut()
-            .with_page(PageId(page), |p| NodeRecord::decode(&p[slot..slot + RECORD_SIZE]))
+        let rec =
+            self.with_page(PageId(page), |p| NodeRecord::decode(&p[slot..slot + RECORD_SIZE]))?;
+        if let Some(cache) = &self.header_cache {
+            cache.insert(id.0, rec);
+        }
+        Ok(rec)
     }
 
     /// The index-style entry of `id` (via its record).
@@ -349,8 +506,7 @@ impl DocumentStore {
         if !rec.content.is_some() {
             return Ok(None);
         }
-        let mut pool = self.pool.borrow_mut();
-        Ok(Some(read_content(&mut pool, self.heap_base, rec.content)?))
+        Ok(Some(self.read_heap(rec.content)?))
     }
 
     /// Parent node id (None for the root).
@@ -407,15 +563,10 @@ impl DocumentStore {
         let rec = self.record(id)?;
         let mut elem = xmlparse::Element::new(self.tags.name(rec.tag));
         if rec.content.is_some() {
-            let mut pool = self.pool.borrow_mut();
-            let text = read_content(&mut pool, self.heap_base, rec.content)?;
-            drop(pool);
-            if rec.kind == NodeKind::Element {
-                elem.children.push(xmlparse::XmlNode::Text(text));
-            } else {
-                // For attribute/text nodes materialized directly.
-                elem.children.push(xmlparse::XmlNode::Text(text));
-            }
+            // Element content and attribute/text nodes materialized
+            // directly both surface as a text child.
+            let text = self.read_heap(rec.content)?;
+            elem.children.push(xmlparse::XmlNode::Text(text));
         }
         for child in self.children(id)? {
             let crec = self.record(child)?;
@@ -440,28 +591,77 @@ impl DocumentStore {
 
     // ---- statistics ----------------------------------------------------
 
-    /// Current I/O counters.
+    /// Current I/O counters, summed over the pool shards.
     pub fn io_stats(&self) -> IoStats {
-        let pool = self.pool.borrow();
+        let mut buffer = BufferStats::default();
+        for shard in &self.shards {
+            let s = lock_pool(shard).stats();
+            buffer.hits += s.hits;
+            buffer.misses += s.misses;
+            buffer.evictions += s.evictions;
+            buffer.writebacks += s.writebacks;
+        }
         IoStats {
-            buffer: pool.stats(),
-            disk: pool.disk_stats(),
+            buffer,
+            disk: self.disk.stats(),
         }
     }
 
-    /// Zero the I/O counters.
+    /// Zero the I/O and cache counters.
     pub fn reset_io_stats(&self) {
-        self.pool.borrow_mut().reset_stats();
+        for shard in &self.shards {
+            lock_pool(shard).reset_stats();
+        }
+        if let Some(cache) = &self.header_cache {
+            cache.hits.store(0, Ordering::Relaxed);
+            cache.misses.store(0, Ordering::Relaxed);
+        }
+        self.tag_hits.store(0, Ordering::Relaxed);
+        self.tag_misses.store(0, Ordering::Relaxed);
     }
 
-    /// Empty the buffer pool so the next operation starts cold.
+    /// Empty every buffer-pool shard (and the header cache) so the next
+    /// operation starts cold.
     pub fn clear_buffer_pool(&self) -> Result<()> {
-        self.pool.borrow_mut().clear()
+        for shard in &self.shards {
+            lock_pool(shard).clear()?;
+        }
+        if let Some(cache) = &self.header_cache {
+            cache.clear();
+        }
+        Ok(())
     }
 
-    /// Buffer pool capacity in pages.
+    /// Buffer pool capacity in pages, summed over shards.
     pub fn pool_capacity(&self) -> usize {
-        self.pool.borrow().capacity()
+        self.shards.iter().map(|s| lock_pool(s).capacity()).sum()
+    }
+
+    /// Number of buffer-pool shards.
+    pub fn pool_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read-path cache counters (header cache + tag-index lookups).
+    pub fn cache_stats(&self) -> CacheStats {
+        let (header_hits, header_misses) = match &self.header_cache {
+            Some(c) => (
+                c.hits.load(Ordering::Relaxed),
+                c.misses.load(Ordering::Relaxed),
+            ),
+            None => (0, 0),
+        };
+        CacheStats {
+            header_hits,
+            header_misses,
+            tag_hits: self.tag_hits.load(Ordering::Relaxed),
+            tag_misses: self.tag_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether the node-header cache was enabled at load time.
+    pub fn header_cache_enabled(&self) -> bool {
+        self.header_cache.is_some()
     }
 }
 
@@ -774,6 +974,106 @@ mod tests {
         assert_eq!(s.content(t.id).unwrap().as_deref(), Some(long_title.as_str()));
         // The heap needs at least three pages for this value.
         assert!(s.total_pages() >= 3);
+    }
+
+    #[test]
+    fn pool_capacity_and_shards_cover_request() {
+        let s = store(); // in_memory: 1024 pages
+        assert_eq!(s.pool_capacity(), 1024);
+        assert_eq!(s.pool_shards(), 8);
+        // Tiny pools get fewer shards but never zero-frame ones.
+        let tiny = DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory().with_pool_pages(3))
+            .unwrap();
+        assert_eq!(tiny.pool_capacity(), 3);
+        assert_eq!(tiny.pool_shards(), 3);
+    }
+
+    #[test]
+    fn concurrent_reads_agree_with_sequential() {
+        let mut xml = String::from("<bib>");
+        for i in 0..300 {
+            xml.push_str(&format!(
+                "<article><title>T{i}</title><author>A{}</author></article>",
+                i % 7
+            ));
+        }
+        xml.push_str("</bib>");
+        // A pool much smaller than the document, so threads contend and
+        // evict under each other.
+        let s = DocumentStore::from_xml(&xml, &StoreOptions::in_memory().with_pool_pages(4))
+            .unwrap();
+        let title = s.tag_id("title").unwrap();
+        let entries: Vec<NodeEntry> = s.nodes_with_tag(title).to_vec();
+        let expected: Vec<String> = entries
+            .iter()
+            .map(|e| s.content(e.id).unwrap().unwrap())
+            .collect();
+
+        let results: Vec<Vec<String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        entries
+                            .iter()
+                            .map(|e| s.content(e.id).unwrap().unwrap())
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in results {
+            assert_eq!(r, expected);
+        }
+    }
+
+    #[test]
+    fn header_cache_serves_repeat_fetches() {
+        let s = DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory().with_header_cache())
+            .unwrap();
+        assert!(s.header_cache_enabled());
+        let title = s.tag_id("title").unwrap();
+        let t = s.nodes_with_tag(title)[0];
+        s.reset_io_stats();
+        let first = s.record(t.id).unwrap();
+        let again = s.record(t.id).unwrap();
+        assert_eq!(first, again);
+        let cs = s.cache_stats();
+        assert_eq!(cs.header_misses, 1);
+        assert_eq!(cs.header_hits, 1);
+        // The repeat fetch never reached the buffer pool.
+        assert_eq!(s.io_stats().page_requests(), 1);
+    }
+
+    #[test]
+    fn header_cache_off_by_default_and_counters_track_tags() {
+        let s = store();
+        assert!(!s.header_cache_enabled());
+        s.reset_io_stats();
+        let _ = s.record(NodeId(1)).unwrap();
+        let _ = s.record(NodeId(1)).unwrap();
+        let cs = s.cache_stats();
+        assert_eq!((cs.header_hits, cs.header_misses), (0, 0));
+        // Both requests hit the pool instead.
+        assert_eq!(s.io_stats().page_requests(), 2);
+        let _ = s.tag_id("title");
+        let _ = s.tag_id("no_such_tag");
+        let cs = s.cache_stats();
+        assert_eq!(cs.tag_hits, 1);
+        assert_eq!(cs.tag_misses, 1);
+    }
+
+    #[test]
+    fn clear_buffer_pool_drops_header_cache() {
+        let s = DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory().with_header_cache())
+            .unwrap();
+        let _ = s.record(NodeId(1)).unwrap();
+        s.clear_buffer_pool().unwrap();
+        s.reset_io_stats();
+        let _ = s.record(NodeId(1)).unwrap();
+        // Cold again: the fetch missed the cache and faulted a page.
+        assert_eq!(s.cache_stats().header_misses, 1);
+        assert_eq!(s.io_stats().buffer.misses, 1);
     }
 
     #[test]

@@ -75,9 +75,14 @@ impl HeapBuilder {
     }
 }
 
-/// Read the content at `ptr` through the buffer pool. `heap_base` is the
-/// page id where heap page 0 was placed in the store file.
-pub fn read_content(pool: &mut BufferPool, heap_base: u32, ptr: ContentPtr) -> Result<String> {
+/// Read the content at `ptr`, fetching each page through `with_page`.
+/// `heap_base` is the page id where heap page 0 was placed in the store
+/// file. Generic over the page accessor so a sharded store can route
+/// each page to the pool shard that owns it.
+pub fn read_content_via<F>(mut with_page: F, heap_base: u32, ptr: ContentPtr) -> Result<String>
+where
+    F: FnMut(PageId, &mut dyn FnMut(&[u8; PAGE_SIZE])) -> Result<()>,
+{
     if !ptr.is_some() {
         return Ok(String::new());
     }
@@ -87,7 +92,7 @@ pub fn read_content(pool: &mut BufferPool, heap_base: u32, ptr: ContentPtr) -> R
     let mut remaining = ptr.len as usize;
     while remaining > 0 {
         let take = remaining.min(PAGE_SIZE - off);
-        pool.with_page(PageId(page), |p| {
+        with_page(PageId(page), &mut |p| {
             out.extend_from_slice(&p[off..off + take]);
         })?;
         remaining -= take;
@@ -95,6 +100,11 @@ pub fn read_content(pool: &mut BufferPool, heap_base: u32, ptr: ContentPtr) -> R
         off = 0;
     }
     Ok(String::from_utf8(out).expect("heap content is valid UTF-8 by construction"))
+}
+
+/// Read the content at `ptr` through a single buffer pool.
+pub fn read_content(pool: &mut BufferPool, heap_base: u32, ptr: ContentPtr) -> Result<String> {
+    read_content_via(|pid, f| pool.with_page(pid, |p| f(p)), heap_base, ptr)
 }
 
 #[cfg(test)]

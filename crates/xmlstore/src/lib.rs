@@ -49,7 +49,7 @@ pub mod page;
 pub mod storage;
 
 pub use catalog::{TagDict, TagId};
-pub use document::{DocumentStore, IoStats, StoreOptions};
+pub use document::{CacheStats, DocumentStore, IoStats, StoreOptions};
 pub use error::{Result, StoreError};
 pub use index::NodeEntry;
 pub use node::{NodeId, NodeKind, NodeRecord};

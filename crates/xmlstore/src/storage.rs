@@ -7,6 +7,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Running counters of physical page I/O.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -151,6 +152,44 @@ impl DiskManager {
         } else {
             Ok(())
         }
+    }
+}
+
+/// A cloneable, thread-safe handle to one [`DiskManager`].
+///
+/// The buffer-pool shards of a store each hold a clone; the mutex is
+/// taken only for the duration of a single page transfer, so shards
+/// faulting different pages serialize on physical I/O but nothing else.
+#[derive(Clone)]
+pub struct SharedDisk(Arc<Mutex<DiskManager>>);
+
+impl SharedDisk {
+    /// Wrap a disk manager for shared use.
+    pub fn new(disk: DiskManager) -> Self {
+        SharedDisk(Arc::new(Mutex::new(disk)))
+    }
+
+    /// Exclusive access for a sequence of operations (allocation during
+    /// load, direct reads in tests).
+    pub fn lock(&self) -> MutexGuard<'_, DiskManager> {
+        // Poisoning carries no meaning here: the manager holds no
+        // invariants a panicked page transfer could break.
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Physical I/O counters.
+    pub fn stats(&self) -> DiskStats {
+        self.lock().stats()
+    }
+
+    /// Zero the I/O counters.
+    pub fn reset_stats(&self) {
+        self.lock().reset_stats();
+    }
+
+    /// Number of allocated pages.
+    pub fn num_pages(&self) -> u32 {
+        self.lock().num_pages()
     }
 }
 

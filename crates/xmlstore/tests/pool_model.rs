@@ -1,8 +1,10 @@
 //! Model-based property test for the buffer pool: against any sequence
 //! of page reads and writes, the pool must behave like a plain array of
 //! pages, and its statistics must add up.
+//!
+//! Ported from proptest to the in-tree `smallrand::prop` harness.
 
-use proptest::prelude::*;
+use smallrand::prop::{check, Gen};
 use xmlstore::buffer::BufferPool;
 use xmlstore::storage::DiskManager;
 use xmlstore::{PageId, PAGE_SIZE};
@@ -15,25 +17,34 @@ enum Op {
     Clear,
 }
 
-fn op_strategy(npages: u8) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..npages, 0..PAGE_SIZE as u16).prop_map(|(page, offset)| Op::Read { page, offset }),
-        4 => (0..npages, 0..PAGE_SIZE as u16, any::<u8>())
-            .prop_map(|(page, offset, value)| Op::Write { page, offset, value }),
-        1 => Just(Op::Flush),
-        1 => Just(Op::Clear),
-    ]
+fn gen_op(g: &mut Gen, npages: u8) -> Op {
+    // Same weights as the old proptest strategy: 4 read : 4 write :
+    // 1 flush : 1 clear.
+    match g.usize_in(0, 9) {
+        0..=3 => Op::Read {
+            page: g.usize_in(0, npages as usize - 1) as u8,
+            offset: g.usize_in(0, PAGE_SIZE - 1) as u16,
+        },
+        4..=7 => Op::Write {
+            page: g.usize_in(0, npages as usize - 1) as u8,
+            offset: g.usize_in(0, PAGE_SIZE - 1) as u16,
+            value: g.usize_in(0, 255) as u8,
+        },
+        8 => Op::Flush,
+        _ => Op::Clear,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn pool_behaves_like_flat_memory() {
+    check("pool_behaves_like_flat_memory", 64, |g| {
+        let capacity = g.usize_in(1, 5);
+        let npages = g.usize_in(1, 7) as u8;
+        let ops: Vec<Op> = {
+            let n = g.usize_in(1, 119);
+            (0..n).map(|_| gen_op(g, npages)).collect()
+        };
 
-    #[test]
-    fn pool_behaves_like_flat_memory(
-        capacity in 1usize..6,
-        npages in 1u8..8,
-        ops in prop::collection::vec(op_strategy(8), 1..120),
-    ) {
         let mut disk = DiskManager::in_memory();
         for _ in 0..npages {
             disk.allocate().unwrap();
@@ -50,7 +61,7 @@ proptest! {
                     let got = pool
                         .with_page(PageId(page as u32), |p| p[offset as usize])
                         .unwrap();
-                    prop_assert_eq!(got, model[page as usize][offset as usize]);
+                    assert_eq!(got, model[page as usize][offset as usize]);
                 }
                 Op::Write { page, offset, value } => {
                     let page = page % npages;
@@ -66,15 +77,17 @@ proptest! {
 
         // Statistics add up.
         let stats = pool.stats();
-        prop_assert_eq!(stats.hits + stats.misses, requests);
-        prop_assert_eq!(pool.disk_stats().reads, stats.misses);
+        assert_eq!(stats.hits + stats.misses, requests);
+        assert_eq!(pool.disk_stats().reads, stats.misses);
 
         // After a final flush, the disk agrees with the model everywhere.
         pool.flush_all().unwrap();
         for (i, page) in model.iter().enumerate() {
             let mut buf = [0u8; PAGE_SIZE];
-            pool.disk_mut().read_page(PageId(i as u32), &mut buf).unwrap();
-            prop_assert_eq!(&buf[..], &page[..]);
+            pool.disk_mut()
+                .read_page(PageId(i as u32), &mut buf)
+                .unwrap();
+            assert_eq!(&buf[..], &page[..]);
         }
-    }
+    });
 }

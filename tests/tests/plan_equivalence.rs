@@ -2,75 +2,83 @@
 //! databases, the naive join plan and the rewritten GROUPBY plan must
 //! produce identical output, for all three query forms. This is the
 //! correctness core of the rewrite (Sec. 4.1/4.2).
+//!
+//! Ported from proptest to the in-tree `smallrand::prop` harness.
 
-use proptest::prelude::*;
+use smallrand::prop::{check, Gen};
 use timber::{PlanMode, TimberDb};
 use timber_integration_tests::{QUERY1, QUERY2, QUERY_COUNT};
 use xmlstore::StoreOptions;
 
 /// A random bibliography: articles pick 1–3 authors from a tiny pool (so
-/// shared authorship and repeated names are frequent) and may lack
-/// titles only never — every article has one title (both plans require
-/// it, mirroring the DBLP schema).
-fn bibliography_strategy() -> impl Strategy<Value = String> {
-    let authors = prop::sample::subsequence(
-        vec!["Jack", "Jill", "John", "Jane", "Joan"],
-        1..=3,
-    );
-    let article = (authors, 0..1000u32).prop_map(|(authors, n)| {
-        let mut s = String::from("<article>");
-        for a in authors {
-            s.push_str(&format!("<author>{a}</author>"));
+/// shared authorship and repeated names are frequent); every article has
+/// exactly one title (both plans require it, mirroring the DBLP schema).
+fn bibliography(g: &mut Gen) -> String {
+    const POOL: [&str; 5] = ["Jack", "Jill", "John", "Jane", "Joan"];
+    let articles = g.usize_in(0, 11);
+    let mut s = String::from("<bib>");
+    for _ in 0..articles {
+        s.push_str("<article>");
+        // An ordered subsequence of 1–3 names from the pool.
+        let k = g.usize_in(1, 3);
+        let mut picked = Vec::new();
+        while picked.len() < k {
+            let i = g.usize_in(0, POOL.len() - 1);
+            if !picked.contains(&i) {
+                picked.push(i);
+            }
         }
-        s.push_str(&format!("<title>Title {n}</title>"));
+        picked.sort_unstable();
+        for &i in &picked {
+            s.push_str(&format!("<author>{}</author>", POOL[i]));
+        }
+        s.push_str(&format!("<title>Title {}</title>", g.usize_in(0, 999)));
         s.push_str("</article>");
-        s
-    });
-    prop::collection::vec(article, 0..12).prop_map(|articles| {
-        let mut s = String::from("<bib>");
-        for a in articles {
-            s.push_str(&a);
-        }
-        s.push_str("</bib>");
-        s
-    })
+    }
+    s.push_str("</bib>");
+    s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn direct_equals_groupby_on_random_bibliographies(xml in bibliography_strategy()) {
+#[test]
+fn direct_equals_groupby_on_random_bibliographies() {
+    check("direct_equals_groupby_on_random_bibliographies", 48, |g| {
+        let xml = bibliography(g);
         let db = TimberDb::load_xml(&xml, &StoreOptions::in_memory()).unwrap();
         for query in [QUERY1, QUERY2, QUERY_COUNT] {
             let direct = db.query(query, PlanMode::Direct).unwrap();
             let grouped = db.query(query, PlanMode::GroupByRewrite).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 direct.to_xml_on(db.store()).unwrap(),
                 grouped.to_xml_on(db.store()).unwrap(),
-                "query: {}", query
+                "query: {query} on {xml}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn nested_and_let_forms_agree(xml in bibliography_strategy()) {
+#[test]
+fn nested_and_let_forms_agree() {
+    check("nested_and_let_forms_agree", 48, |g| {
         // Sec. 4.2: the nested and unnested formulations are equivalent.
+        let xml = bibliography(g);
         let db = TimberDb::load_xml(&xml, &StoreOptions::in_memory()).unwrap();
         for mode in [PlanMode::Direct, PlanMode::GroupByRewrite] {
             let nested = db.query(QUERY1, mode).unwrap();
             let let_form = db.query(QUERY2, mode).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 nested.to_xml_on(db.store()).unwrap(),
                 let_form.to_xml_on(db.store()).unwrap()
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn counts_match_title_multiplicity(xml in bibliography_strategy()) {
+#[test]
+fn counts_match_title_multiplicity() {
+    check("counts_match_title_multiplicity", 48, |g| {
         // count($t) must equal the number of titles the titles-query
         // returns for the same author.
+        let xml = bibliography(g);
         let db = TimberDb::load_xml(&xml, &StoreOptions::in_memory()).unwrap();
         let titles = db.query(QUERY1, PlanMode::GroupByRewrite).unwrap();
         let counts = db.query(QUERY_COUNT, PlanMode::GroupByRewrite).unwrap();
@@ -84,10 +92,13 @@ proptest! {
         for line in c_xml.lines() {
             let author = extract(line, "author");
             let count: usize = extract(line, "count").parse().unwrap();
-            prop_assert_eq!(title_counts.get(&author).copied().unwrap_or(0), count,
-                "author {}", author);
+            assert_eq!(
+                title_counts.get(&author).copied().unwrap_or(0),
+                count,
+                "author {author}"
+            );
         }
-    }
+    });
 }
 
 fn extract(line: &str, tag: &str) -> String {
