@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [e1] [e2] [scale] [pool] [matching] [groupby-impl] [value-index]
-//!           [threads] [all] [--articles N] [--mem] [--threads N]
+//!           [threads] [faults] [all] [--articles N] [--mem] [--threads N]
+//!           [--faults SPEC]
 //! ```
 //!
 //! With no experiment argument, `all` is assumed. `--articles` sets the
@@ -12,6 +13,14 @@
 //! `--threads N` evaluates the operators with N worker threads (output is
 //! byte-identical to a single-threaded run); the `threads` experiment
 //! sweeps E1 over 1/2/4/8 threads.
+//!
+//! The `faults` experiment replays a deterministic fault schedule against
+//! the E1/E2 workload and reports per-run outcomes (absorbed via retry,
+//! or a typed error — never a panic or a wrong answer). `--faults SPEC`
+//! sets the schedule, e.g. `--faults seed=3,read_err=0.01,flip=0.005`;
+//! the same spec syntax the `crash_recovery` suite uses, so any CI
+//! failure is replayable from the command line. Passing `--faults`
+//! without an experiment list implies `faults`.
 
 use timber::PlanMode;
 use timber_bench::*;
@@ -22,6 +31,7 @@ fn main() {
     let mut articles = 20_000usize;
     let mut on_disk = true;
     let mut threads = 1usize;
+    let mut fault_spec: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -40,12 +50,21 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--threads N");
             }
+            "--faults" => {
+                i += 1;
+                fault_spec = Some(args.get(i).expect("--faults SPEC").clone());
+            }
             other => experiments.push(other.to_owned()),
         }
         i += 1;
     }
     if experiments.is_empty() {
-        experiments.push("all".to_owned());
+        // A bare `--faults SPEC` means "replay this schedule".
+        experiments.push(if fault_spec.is_some() {
+            "faults".to_owned()
+        } else {
+            "all".to_owned()
+        });
     }
     let run_all = experiments.iter().any(|e| e == "all");
     let wants = |name: &str| run_all || experiments.iter().any(|e| e == name);
@@ -90,6 +109,66 @@ fn main() {
     if wants("threads") {
         run_threads(articles, on_disk);
     }
+    if wants("faults") {
+        run_faults(threads, fault_spec.as_deref());
+    }
+}
+
+fn run_faults(threads: usize, spec: Option<&str>) {
+    use xmlstore::FaultConfig;
+
+    let schedule: FaultConfig = spec
+        .unwrap_or("seed=1,read_err=0.005,flip=0.005")
+        .parse()
+        .expect("--faults SPEC (e.g. seed=3,read_err=0.01,flip=0.005,torn=0.01,after=100)");
+    // A small database against a deliberately tiny pool: nearly every
+    // page access is a physical read the schedule can hit.
+    let articles = 2_000;
+    println!("-- X10: deterministic fault-schedule replay ({articles} articles, 8-page pool) --");
+    println!("schedule: {schedule}");
+    let mut db = build_db(articles, Some(8 * 8192), true);
+    db.set_threads(threads);
+
+    let runs = [
+        ("E1 titles/direct", QUERY_TITLES, PlanMode::Direct),
+        ("E1 titles/groupby", QUERY_TITLES, PlanMode::GroupByRewrite),
+        ("E2 count/direct", QUERY_COUNT, PlanMode::Direct),
+        ("E2 count/groupby", QUERY_COUNT, PlanMode::GroupByRewrite),
+    ];
+    let reference: Vec<RunStats> = runs
+        .iter()
+        .map(|&(_, q, m)| measure(&db, q, m))
+        .collect();
+
+    db.set_faults(Some(schedule)).expect("arm fault schedule");
+    for (i, &(label, q, m)) in runs.iter().enumerate() {
+        match try_measure(&db, q, m) {
+            Ok(s) => {
+                assert_eq!(
+                    (s.output_trees, s.output_bytes),
+                    (reference[i].output_trees, reference[i].output_bytes),
+                    "{label}: output diverged under faults"
+                );
+                println!(
+                    "{label:<20} ok     {:>8.3}s, {:>6} retries absorbed, output matches fault-free run",
+                    s.elapsed.as_secs_f64(),
+                    s.io.buffer.retries,
+                );
+            }
+            Err(e) => println!("{label:<20} error  {e}"),
+        }
+    }
+    let stats = db.fault_stats().expect("schedule is armed");
+    db.set_faults(None).expect("disarm fault schedule");
+    println!(
+        "injected over {} eligible ops: {} read errors, {} write errors, {} read flips, {} write flips, {} torn writes\n",
+        stats.ops,
+        stats.read_errors,
+        stats.write_errors,
+        stats.read_flips,
+        stats.write_flips,
+        stats.torn_writes,
+    );
 }
 
 fn run_e1(db: &timber::TimberDb) {

@@ -12,6 +12,8 @@
 //! .mode direct|groupby|both
 //! .threads <n>         worker threads for operator evaluation
 //! .explain             explain instead of executing
+//! .faults <spec|off>   arm a deterministic fault schedule, e.g.
+//!                      .faults seed=3,read_err=0.01,flip=0.005
 //! .stats               database and I/O statistics
 //! .help                this text
 //! .quit
@@ -90,7 +92,7 @@ impl Shell {
             ".help" => {
                 println!(
                     ".load <file.xml> | .gen <articles> | .mode direct|groupby|both\n\
-                     .threads <n> | .explain (toggle) | .stats | .quit\n\
+                     .threads <n> | .explain (toggle) | .faults <spec|off> | .stats | .quit\n\
                      end a query with ';' to run it"
                 );
             }
@@ -142,6 +144,34 @@ impl Shell {
                     if self.explain_only { "on" } else { "off" }
                 );
             }
+            ".faults" => match &self.db {
+                None => eprintln!("no database loaded (.load or .gen first)"),
+                Some(db) => {
+                    if arg == "off" {
+                        match db.set_faults(None) {
+                            Ok(()) => println!("fault injection off"),
+                            Err(e) => eprintln!("disarm failed: {e}"),
+                        }
+                    } else if arg.is_empty() {
+                        match db.fault_stats() {
+                            None => println!("fault injection off"),
+                            Some(s) => println!(
+                                "armed; {} eligible ops, {} faults injected",
+                                s.ops,
+                                s.total()
+                            ),
+                        }
+                    } else {
+                        match arg.parse::<xmlstore::FaultConfig>() {
+                            Err(e) => eprintln!("{e}"),
+                            Ok(cfg) => match db.set_faults(Some(cfg.clone())) {
+                                Ok(()) => println!("fault schedule armed: {cfg}"),
+                                Err(e) => eprintln!("arming failed: {e}"),
+                            },
+                        }
+                    }
+                }
+            },
             ".stats" => match &self.db {
                 None => println!("no database loaded"),
                 Some(db) => {

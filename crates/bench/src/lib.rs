@@ -85,20 +85,34 @@ pub struct RunStats {
 
 /// Evaluate `query` under `mode`, cold buffer pool, materializing the
 /// full output (as the paper's runs do).
+///
+/// Panics on evaluation errors — use [`try_measure`] when a fault
+/// schedule is armed and typed errors are expected outcomes.
 pub fn measure(db: &TimberDb, query: &str, mode: PlanMode) -> RunStats {
-    db.clear_buffer_pool().expect("clear pool");
+    try_measure(db, query, mode).expect("fault-free measurement")
+}
+
+/// Fallible [`measure`]: identical run protocol, but injected storage
+/// faults surface as the typed [`timber::TimberError`] instead of a
+/// panic, so fault-schedule replays can report per-run outcomes.
+pub fn try_measure(
+    db: &TimberDb,
+    query: &str,
+    mode: PlanMode,
+) -> timber::Result<RunStats> {
+    db.clear_buffer_pool()?;
     db.reset_io_stats();
     let start = std::time::Instant::now();
-    let result = db.query(query, mode).expect("query evaluation");
-    let xml = result.to_xml_on(db.store()).expect("materialize output");
+    let result = db.query(query, mode)?;
+    let xml = result.to_xml_on(db.store())?;
     let elapsed = start.elapsed();
-    RunStats {
+    Ok(RunStats {
         elapsed,
         io: db.io_stats(),
         output_trees: result.len(),
         output_bytes: xml.len(),
         rewritten: result.rewritten,
-    }
+    })
 }
 
 /// Direct-over-groupby slowdown factor.
@@ -149,6 +163,18 @@ mod tests {
                 g.to_xml_on(db.store()).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn try_measure_surfaces_injected_faults() {
+        // A certain-failure schedule: every physical read errors, retries
+        // included, so the run must end in a typed error, not a panic.
+        let db = build_db(200, Some(4 * 8192), true);
+        let schedule: xmlstore::FaultConfig = "seed=1,read_err=1.0".parse().unwrap();
+        db.set_faults(Some(schedule)).unwrap();
+        assert!(try_measure(&db, QUERY_COUNT, PlanMode::GroupByRewrite).is_err());
+        db.set_faults(None).unwrap();
+        assert!(try_measure(&db, QUERY_COUNT, PlanMode::GroupByRewrite).is_ok());
     }
 
     #[test]

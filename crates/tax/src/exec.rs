@@ -13,7 +13,27 @@
 //! byte-identical to a sequential run; parallelism only changes I/O
 //! interleaving (hit/miss counts may differ), never output.
 
-use crate::error::Result;
+use crate::error::{Error, Result};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Run one per-item computation with panic containment: a panicking
+/// closure becomes [`Error::Panic`] carrying the item's index and the
+/// panic message, instead of unwinding through the operator (and, in the
+/// parallel path, poisoning whatever the worker held).
+fn contained<R>(index: usize, f: impl FnOnce() -> Result<R>) -> Result<R> {
+    // AssertUnwindSafe: on Err the result of `f` is discarded entirely
+    // and the error path reads no state `f` may have left inconsistent.
+    catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        };
+        Err(Error::Panic { index, message })
+    })
+}
 
 /// Knobs controlling operator evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +78,11 @@ where
 {
     let threads = opts.threads.max(1).min(items.len());
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| contained(i, || f(i, t)))
+            .collect();
     }
     let chunk = items.len().div_ceil(threads);
     let chunk_results: Vec<Result<Vec<R>>> = std::thread::scope(|scope| {
@@ -71,7 +95,10 @@ where
                     let base = ci * chunk;
                     let mut out = Vec::with_capacity(slice.len());
                     for (j, item) in slice.iter().enumerate() {
-                        out.push(f(base + j, item)?);
+                        // Containment is per item, so one poisoned tree
+                        // fails only itself; first-error-by-index
+                        // semantics treat the panic like any error.
+                        out.push(contained(base + j, || f(base + j, item))?);
                     }
                     Ok(out)
                 })
@@ -81,6 +108,8 @@ where
             .into_iter()
             .map(|h| match h.join() {
                 Ok(r) => r,
+                // Unreachable for panics in `f` (contained above); only
+                // a panic in the bookkeeping itself still unwinds.
                 Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect()
@@ -150,5 +179,67 @@ mod tests {
         let opts = ExecOptions::with_threads(64);
         let out = par_map(&opts, &[10, 20], |_, &x| Ok(x + 1)).unwrap();
         assert_eq!(out, vec![11, 21]);
+    }
+
+    #[test]
+    fn panic_becomes_typed_error() {
+        let items: Vec<usize> = (0..40).collect();
+        for threads in [1, 2, 8] {
+            let opts = ExecOptions::with_threads(threads);
+            let err = par_map(&opts, &items, |_, &x| {
+                if x == 23 {
+                    panic!("poisoned tree {x}");
+                }
+                Ok(x)
+            })
+            .unwrap_err();
+            match err {
+                Error::Panic { index, message } => {
+                    assert_eq!(index, 23);
+                    assert_eq!(message, "poisoned tree 23");
+                }
+                other => panic!("expected Error::Panic, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn first_failure_wins_across_panics_and_errors() {
+        // A panic at index 30 must lose to an error at index 11: the
+        // reported failure is the one a sequential run hits first.
+        let items: Vec<usize> = (0..50).collect();
+        for threads in [1, 4] {
+            let opts = ExecOptions::with_threads(threads);
+            let err = par_map(&opts, &items, |_, &x| {
+                if x == 30 {
+                    panic!("late panic");
+                }
+                if x == 11 {
+                    return Err(Error::Unsupported("early error".into()));
+                }
+                Ok(x)
+            })
+            .unwrap_err();
+            assert!(
+                matches!(err, Error::Unsupported(ref m) if m == "early error"),
+                "got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_survives_a_contained_panic() {
+        // After a panic is contained, the same par_map machinery keeps
+        // working — nothing is poisoned.
+        let opts = ExecOptions::with_threads(4);
+        let items: Vec<usize> = (0..16).collect();
+        let _ = par_map(&opts, &items, |_, &x| -> Result<usize> {
+            if x % 5 == 0 {
+                panic!("boom");
+            }
+            Ok(x)
+        });
+        let out = par_map(&opts, &items, |_, &x| Ok(x)).unwrap();
+        assert_eq!(out, items);
     }
 }

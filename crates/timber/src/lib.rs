@@ -41,7 +41,7 @@ pub mod result;
 pub use error::{Result, TimberError};
 pub use result::QueryResult;
 
-use xmlstore::{DocumentStore, IoStats, StoreOptions};
+use xmlstore::{DocumentStore, FaultConfig, FaultStats, IoStats, StoreOptions};
 use xquery::Plan;
 
 /// Which evaluation plan to run.
@@ -161,6 +161,19 @@ impl TimberDb {
     pub fn clear_buffer_pool(&self) -> Result<()> {
         Ok(self.store.clear_buffer_pool()?)
     }
+
+    /// Arm (or with `None` disarm) a deterministic fault schedule on the
+    /// store's disk. With a schedule armed, queries either return correct
+    /// results, absorb transient faults via retry, or fail with a typed
+    /// [`TimberError`] — never a panic, never silent corruption.
+    pub fn set_faults(&self, config: Option<FaultConfig>) -> Result<()> {
+        Ok(self.store.inject_faults(config)?)
+    }
+
+    /// Counters from the armed fault schedule, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.store.fault_stats()
+    }
 }
 
 fn diff_io(before: IoStats, after: IoStats) -> IoStats {
@@ -170,6 +183,7 @@ fn diff_io(before: IoStats, after: IoStats) -> IoStats {
             misses: after.buffer.misses - before.buffer.misses,
             evictions: after.buffer.evictions - before.buffer.evictions,
             writebacks: after.buffer.writebacks - before.buffer.writebacks,
+            retries: after.buffer.retries - before.buffer.retries,
         },
         disk: xmlstore::storage::DiskStats {
             reads: after.disk.reads - before.disk.reads,

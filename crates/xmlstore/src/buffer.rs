@@ -6,12 +6,27 @@
 //! Accesses are scoped by closures rather than guards, which keeps the
 //! pool simple and makes every page touch visible to the hit/miss
 //! counters.
+//!
+//! Callers see only the checksummed page's *data region*
+//! (`PAGE_DATA_SIZE` bytes); the 8-byte header belongs to the storage
+//! layer. Transient faults — interrupted I/O, read-path bit flips caught
+//! by the checksum — are retried with exponential backoff before being
+//! surfaced, and a failed transfer always leaves the pool in a
+//! consistent state (the frame either still holds its old page or is
+//! invalid, never a half-installed mapping).
 
 use crate::error::{Result, StoreError};
-use crate::page::{PageId, PAGE_SIZE};
+use crate::page::{self, PageId, PAGE_DATA_SIZE, PAGE_SIZE};
 use crate::storage::{DiskManager, DiskStats, SharedDisk};
 use std::collections::HashMap;
 use std::sync::MutexGuard;
+use std::time::Duration;
+
+/// Extra attempts after a transient failure before giving up.
+const MAX_RETRIES: u32 = 3;
+
+/// Base backoff before the first retry; doubles per attempt.
+const BACKOFF: Duration = Duration::from_micros(50);
 
 /// Buffer pool counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -24,6 +39,25 @@ pub struct BufferStats {
     pub evictions: u64,
     /// Dirty pages written back during eviction or flush.
     pub writebacks: u64,
+    /// Page transfers retried after a transient fault.
+    pub retries: u64,
+}
+
+/// Run `op`, retrying transient failures with exponential backoff.
+/// Increments `*retries` once per extra attempt.
+fn with_retry<T>(retries: &mut u64, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < MAX_RETRIES => {
+                attempt += 1;
+                *retries += 1;
+                std::thread::sleep(BACKOFF * 2u32.pow(attempt - 1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 struct Frame {
@@ -38,7 +72,7 @@ impl Frame {
     fn empty() -> Self {
         Frame {
             pid: PageId(u32::MAX),
-            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+            data: Box::new([0u8; PAGE_SIZE]),
             dirty: false,
             refbit: false,
             valid: false,
@@ -110,28 +144,40 @@ impl BufferPool {
         self.disk.clone()
     }
 
-    /// Run `f` over the bytes of page `pid`, faulting it in if necessary.
-    pub fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+    /// Run `f` over the data region of page `pid`, faulting it in if
+    /// necessary.
+    pub fn with_page<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&[u8; PAGE_DATA_SIZE]) -> R,
+    ) -> Result<R> {
         let idx = self.fetch(pid)?;
-        Ok(f(&self.frames[idx].data))
+        Ok(f(page::data(&self.frames[idx].data)))
     }
 
-    /// Run `f` over the mutable bytes of page `pid`, marking it dirty.
+    /// Run `f` over the mutable data region of page `pid`, marking it
+    /// dirty.
     pub fn with_page_mut<R>(
         &mut self,
         pid: PageId,
-        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+        f: impl FnOnce(&mut [u8; PAGE_DATA_SIZE]) -> R,
     ) -> Result<R> {
         let idx = self.fetch(pid)?;
         self.frames[idx].dirty = true;
-        Ok(f(&mut self.frames[idx].data))
+        Ok(f(page::data_mut(&mut self.frames[idx].data)))
     }
 
     /// Write all dirty frames back to disk.
     pub fn flush_all(&mut self) -> Result<()> {
+        let mut retries = 0;
         for i in 0..self.frames.len() {
             if self.frames[i].valid && self.frames[i].dirty {
-                self.disk.lock().write_page(self.frames[i].pid, &self.frames[i].data)?;
+                let pid = self.frames[i].pid;
+                let res = with_retry(&mut retries, || {
+                    self.disk.lock().write_page(pid, &self.frames[i].data)
+                });
+                self.stats.retries += std::mem::take(&mut retries);
+                res?;
                 self.frames[i].dirty = false;
                 self.stats.writebacks += 1;
             }
@@ -159,17 +205,31 @@ impl BufferPool {
         }
         self.stats.misses += 1;
         let idx = self.victim()?;
+        let mut retries = 0;
         if self.frames[idx].valid {
-            self.table.remove(&self.frames[idx].pid);
-            self.stats.evictions += 1;
             if self.frames[idx].dirty {
                 let old = self.frames[idx].pid;
-                // Split-borrow: copy out the page id before writing back.
-                self.disk.lock().write_page(old, &self.frames[idx].data)?;
+                let res = with_retry(&mut retries, || {
+                    self.disk.lock().write_page(old, &self.frames[idx].data)
+                });
+                self.stats.retries += std::mem::take(&mut retries);
+                // On failure the frame still holds its (dirty) page and
+                // the table still maps it: nothing was lost.
+                res?;
+                self.frames[idx].dirty = false;
                 self.stats.writebacks += 1;
             }
+            // Unmap only once the old contents are safe on disk.
+            self.table.remove(&self.frames[idx].pid);
+            self.frames[idx].valid = false;
+            self.stats.evictions += 1;
         }
-        self.disk.lock().read_page(pid, &mut self.frames[idx].data)?;
+        let res = with_retry(&mut retries, || {
+            self.disk.lock().read_page(pid, &mut self.frames[idx].data)
+        });
+        self.stats.retries += retries;
+        // On failure the frame is already invalid and unmapped.
+        res?;
         self.frames[idx].pid = pid;
         self.frames[idx].valid = true;
         self.frames[idx].dirty = false;
@@ -201,13 +261,15 @@ impl BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultConfig, FaultInjector};
+    use crate::page::PAGE_HEADER_SIZE;
 
     fn pool_with_pages(capacity: usize, npages: u32) -> BufferPool {
         let mut disk = DiskManager::in_memory();
         for i in 0..npages {
             let pid = disk.allocate().unwrap();
             let mut buf = [0u8; PAGE_SIZE];
-            buf[0] = i as u8;
+            buf[PAGE_HEADER_SIZE] = i as u8;
             disk.write_page(pid, &buf).unwrap();
         }
         disk.reset_stats();
@@ -272,10 +334,10 @@ mod tests {
         pool.with_page_mut(PageId(1), |p| p[7] = 42).unwrap();
         pool.flush_all().unwrap();
         assert_eq!(pool.stats().writebacks, 1);
-        // Direct disk read sees the change.
+        // Direct disk read sees the change in the data region.
         let mut buf = [0u8; PAGE_SIZE];
         pool.disk_mut().read_page(PageId(1), &mut buf).unwrap();
-        assert_eq!(buf[7], 42);
+        assert_eq!(buf[PAGE_HEADER_SIZE + 7], 42);
     }
 
     #[test]
@@ -309,5 +371,63 @@ mod tests {
         }
         assert_eq!(pool.stats().hits, 0);
         assert_eq!(pool.stats().misses, 12);
+    }
+
+    #[test]
+    fn transient_read_errors_absorbed_by_retry() {
+        let mut pool = pool_with_pages(2, 4);
+        pool.shared_disk().set_fault_injector(Some(FaultInjector::new(
+            FaultConfig::seeded(11).with_read_error(0.3),
+        )));
+        // Deterministic schedule (seed 11): every fetch succeeds within
+        // the retry budget.
+        for round in 0..5 {
+            for i in 0..4 {
+                let v = pool.with_page(PageId(i), |p| p[0]).unwrap();
+                assert_eq!(v, i as u8, "round {round}");
+            }
+        }
+        assert!(pool.stats().retries > 0, "schedule must exercise retries");
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_retries() {
+        let mut pool = pool_with_pages(2, 2);
+        pool.disk_mut()
+            .poke_byte(PageId(0), PAGE_HEADER_SIZE + 3, 0xFF)
+            .unwrap();
+        let err = pool.with_page(PageId(0), |_| ()).unwrap_err();
+        assert!(matches!(err, StoreError::Corruption { page: 0, .. }));
+        assert_eq!(pool.stats().retries, MAX_RETRIES as u64);
+        // The pool is still usable for healthy pages afterwards...
+        pool.with_page(PageId(1), |p| assert_eq!(p[0], 1)).unwrap();
+        // ...and the damaged page recovers once the damage is undone.
+        pool.disk_mut()
+            .poke_byte(PageId(0), PAGE_HEADER_SIZE + 3, 0xFF)
+            .unwrap();
+        pool.with_page(PageId(0), |p| assert_eq!(p[0], 0)).unwrap();
+    }
+
+    #[test]
+    fn failed_writeback_keeps_dirty_page_mapped() {
+        let mut pool = pool_with_pages(1, 2);
+        pool.with_page_mut(PageId(0), |p| p[5] = 99).unwrap();
+        // Every write fails: evicting the dirty page must error out
+        // without losing it.
+        pool.shared_disk().set_fault_injector(Some(FaultInjector::new(
+            FaultConfig::seeded(1).with_write_error(1.0),
+        )));
+        let err = pool.with_page(PageId(1), |_| ()).unwrap_err();
+        assert!(err.is_transient());
+        pool.shared_disk().set_fault_injector(None);
+        // The dirty page is still cached with its modification.
+        let s = pool.stats();
+        let v = pool.with_page(PageId(0), |p| p[5]).unwrap();
+        assert_eq!(v, 99);
+        assert_eq!(pool.stats().hits, s.hits + 1, "page 0 must still be a hit");
+        // And eviction works again once writes heal.
+        pool.with_page(PageId(1), |_| ()).unwrap();
+        let v = pool.with_page(PageId(0), |p| p[5]).unwrap();
+        assert_eq!(v, 99);
     }
 }

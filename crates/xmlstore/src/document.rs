@@ -14,13 +14,14 @@
 use crate::buffer::{BufferPool, BufferStats};
 use crate::catalog::{attr_tag_name, TagDict, TagId, TEXT_TAG};
 use crate::error::{Result, StoreError};
+use crate::fault::{FaultConfig, FaultInjector, FaultStats};
 use crate::heap::{read_content_via, HeapBuilder};
 use crate::index::{NodeEntry, TagIndex, ValueIndex};
 use crate::node::{
     node_location, ContentPtr, NodeId, NodeKind, NodeRecord, NO_PARENT, RECORDS_PER_PAGE,
     RECORD_SIZE,
 };
-use crate::page::{PageId, PAGE_SIZE};
+use crate::page::{PageId, PAGE_DATA_SIZE, PAGE_HEADER_SIZE, PAGE_SIZE};
 use crate::storage::{DiskManager, DiskStats, SharedDisk};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -210,6 +211,7 @@ pub struct DocumentStore {
     heap_base: u32,
     node_base: u32,
     node_count: u32,
+    root_end: u32,
     shards: Vec<Mutex<BufferPool>>,
     disk: SharedDisk,
     header_cache: Option<HeaderCache>,
@@ -322,16 +324,17 @@ impl DocumentStore {
         let heap_base = 0u32;
         for page in &heap_pages {
             let pid = disk.allocate()?;
-            let arr: &[u8; PAGE_SIZE] = page.as_slice().try_into().expect("heap page size");
-            disk.write_page(pid, arr)?;
+            disk.write_page(pid, page)?;
         }
         let node_base = heap_pages.len() as u32;
         let node_count = records.len() as u32;
+        let root_end = records[0].end;
         let mut page_buf = [0u8; PAGE_SIZE];
         for chunk in records.chunks(RECORDS_PER_PAGE) {
             page_buf.fill(0);
             for (slot, rec) in chunk.iter().enumerate() {
-                rec.encode(&mut page_buf[slot * RECORD_SIZE..(slot + 1) * RECORD_SIZE]);
+                let at = PAGE_HEADER_SIZE + slot * RECORD_SIZE;
+                rec.encode(&mut page_buf[at..at + RECORD_SIZE]);
             }
             let pid = disk.allocate()?;
             disk.write_page(pid, &page_buf)?;
@@ -357,6 +360,7 @@ impl DocumentStore {
             heap_base,
             node_base,
             node_count,
+            root_end,
             shards,
             disk,
             header_cache: opts.header_cache.then(|| HeaderCache::new(MAX_POOL_SHARDS)),
@@ -371,8 +375,9 @@ impl DocumentStore {
         &self.shards[pid.0 as usize % self.shards.len()]
     }
 
-    /// Run `f` over page `pid` via the pool shard that owns it.
-    fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+    /// Run `f` over the data region of page `pid` via the pool shard
+    /// that owns it.
+    fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8; PAGE_DATA_SIZE]) -> R) -> Result<R> {
         lock_pool(self.shard_of(pid)).with_page(pid, f)
     }
 
@@ -440,7 +445,7 @@ impl DocumentStore {
         NodeEntry {
             id: NodeId(0),
             start: 0,
-            end: self.index.nodes(self.tags.get(DOC_ROOT_TAG).expect("root tag"))[0].end,
+            end: self.root_end,
             level: 0,
         }
     }
@@ -600,6 +605,7 @@ impl DocumentStore {
             buffer.misses += s.misses;
             buffer.evictions += s.evictions;
             buffer.writebacks += s.writebacks;
+            buffer.retries += s.retries;
         }
         IoStats {
             buffer,
@@ -662,6 +668,36 @@ impl DocumentStore {
     /// Whether the node-header cache was enabled at load time.
     pub fn header_cache_enabled(&self) -> bool {
         self.header_cache.is_some()
+    }
+
+    // ---- fault injection ----------------------------------------------
+
+    /// Install a deterministic fault schedule on the underlying disk (or
+    /// remove it with `None`). Loading always happens fault-free — this
+    /// is called afterwards, so schedules corrupt query-time page
+    /// traffic, not the initial layout. Cached pages are dropped so the
+    /// schedule applies to every subsequent page touch.
+    pub fn inject_faults(&self, config: Option<FaultConfig>) -> Result<()> {
+        // Flush through the *clean* disk before arming the injector, so
+        // dirty frames are not lost to injected write errors.
+        self.clear_buffer_pool()?;
+        self.disk.set_fault_injector(config.map(FaultInjector::new));
+        Ok(())
+    }
+
+    /// Counters from the installed fault injector, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.disk.fault_stats()
+    }
+
+    /// XOR one raw physical byte of page `page`, bypassing checksums —
+    /// a corruption backdoor for recovery tests. Cached copies of the
+    /// page are NOT invalidated; pair with [`clear_buffer_pool`] to make
+    /// the damage visible to the next read.
+    ///
+    /// [`clear_buffer_pool`]: DocumentStore::clear_buffer_pool
+    pub fn poke_page_byte(&self, page: u32, offset: usize, xor: u8) -> Result<()> {
+        self.disk.lock().poke_byte(PageId(page), offset, xor)
     }
 }
 
@@ -1074,6 +1110,46 @@ mod tests {
         // Cold again: the fetch missed the cache and faulted a page.
         assert_eq!(s.cache_stats().header_misses, 1);
         assert_eq!(s.io_stats().buffer.misses, 1);
+    }
+
+    #[test]
+    fn poisoned_pool_shard_recovers() {
+        let s = store();
+        let title = s.tag_id("title").unwrap();
+        let t = s.nodes_with_tag(title)[0];
+        let before = s.content(t.id).unwrap();
+        // Panic while holding every shard's lock, poisoning the mutexes.
+        for shard in &s.shards {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = shard.lock().unwrap();
+                panic!("reader dies while holding the pool lock");
+            }));
+            assert!(result.is_err());
+            assert!(shard.lock().is_err(), "shard must actually be poisoned");
+        }
+        // The store keeps answering reads identically.
+        assert_eq!(s.content(t.id).unwrap(), before);
+        assert!(s.io_stats().page_requests() > 0);
+        s.clear_buffer_pool().unwrap();
+        assert_eq!(s.content(t.id).unwrap(), before);
+    }
+
+    #[test]
+    fn inject_faults_round_trip() {
+        let s = store();
+        assert!(s.fault_stats().is_none());
+        let cfg: FaultConfig = "seed=9,read_err=1.0".parse().unwrap();
+        s.inject_faults(Some(cfg)).unwrap();
+        // Every read now fails even after retries, as a typed error.
+        let title = s.tag_id("title").unwrap();
+        let t = s.nodes_with_tag(title)[0];
+        let err = s.content(t.id).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert!(s.fault_stats().unwrap().read_errors > 0);
+        // Disarming restores normal service.
+        s.inject_faults(None).unwrap();
+        assert!(s.fault_stats().is_none());
+        assert_eq!(s.content(t.id).unwrap().as_deref(), Some("Querying XML"));
     }
 
     #[test]

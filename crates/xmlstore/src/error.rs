@@ -20,6 +20,40 @@ pub enum StoreError {
     ContentTooLong(usize),
     /// The buffer pool cannot hold even one page.
     PoolTooSmall,
+    /// A page failed checksum verification on read.
+    Corruption {
+        /// The page whose image failed verification.
+        page: u32,
+        /// Checksum recomputed from the bytes actually read.
+        expected: u32,
+        /// Checksum stored in the page header.
+        actual: u32,
+    },
+    /// Stored content bytes are not valid UTF-8 (undetected page damage
+    /// or a stale content pointer).
+    CorruptContent {
+        /// The heap page the content was read from.
+        page: u32,
+    },
+}
+
+impl StoreError {
+    /// Is this error worth retrying? Transient faults — interrupted I/O
+    /// and checksum mismatches, which on the read path can come from an
+    /// in-flight bit flip that a re-read clears — may succeed on the next
+    /// attempt; everything else is permanent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            StoreError::Corruption { .. } => true,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -35,6 +69,18 @@ impl fmt::Display for StoreError {
             StoreError::Parse(e) => write!(f, "load failed: {e}"),
             StoreError::ContentTooLong(n) => write!(f, "content of {n} bytes exceeds limit"),
             StoreError::PoolTooSmall => write!(f, "buffer pool must hold at least one page"),
+            StoreError::Corruption {
+                page,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "page {page} failed checksum verification \
+                 (computed {expected:#010x}, header says {actual:#010x})"
+            ),
+            StoreError::CorruptContent { page } => {
+                write!(f, "content on page {page} is not valid UTF-8")
+            }
         }
     }
 }

@@ -4,12 +4,13 @@
 //! starting at `(page, off)`; if it does not fit in the remainder of a
 //! page it simply continues on the next page, so readers walk consecutive
 //! pages. Values never leave gaps except when a writer chooses to start a
-//! fresh page.
+//! fresh page. All offsets are relative to the page *data region* — the
+//! checksum header is invisible at this layer.
 
 use crate::buffer::BufferPool;
 use crate::error::{Result, StoreError};
 use crate::node::ContentPtr;
-use crate::page::{PageId, PAGE_SIZE};
+use crate::page::{PageId, PAGE_DATA_SIZE, PAGE_SIZE};
 
 /// Maximum content length (addressable by `ContentPtr::len`).
 pub const MAX_CONTENT_LEN: usize = u32::MAX as usize;
@@ -17,7 +18,10 @@ pub const MAX_CONTENT_LEN: usize = u32::MAX as usize;
 /// Accumulates content values into page images during document load.
 #[derive(Debug, Default)]
 pub struct HeapBuilder {
-    pages: Vec<Vec<u8>>,
+    /// Full page images; content lives in the data region, the header
+    /// bytes stay zero until the disk manager seals them.
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Fill level of the last page's data region.
     cur_off: usize,
 }
 
@@ -36,8 +40,8 @@ impl HeapBuilder {
         if bytes.is_empty() {
             return Ok(ContentPtr::NULL);
         }
-        if self.pages.is_empty() || self.cur_off == PAGE_SIZE {
-            self.pages.push(vec![0u8; PAGE_SIZE]);
+        if self.pages.is_empty() || self.cur_off == PAGE_DATA_SIZE {
+            self.pages.push(Box::new([0u8; PAGE_SIZE]));
             self.cur_off = 0;
         }
         let start_page = self.pages.len() - 1;
@@ -45,16 +49,18 @@ impl HeapBuilder {
 
         let mut remaining = bytes;
         loop {
-            let page = self.pages.last_mut().expect("at least one page");
-            let room = PAGE_SIZE - self.cur_off;
+            let last = self.pages.len() - 1;
+            let page = &mut self.pages[last];
+            let room = PAGE_DATA_SIZE - self.cur_off;
             let take = remaining.len().min(room);
-            page[self.cur_off..self.cur_off + take].copy_from_slice(&remaining[..take]);
+            let at = PAGE_SIZE - PAGE_DATA_SIZE + self.cur_off;
+            page[at..at + take].copy_from_slice(&remaining[..take]);
             self.cur_off += take;
             remaining = &remaining[take..];
             if remaining.is_empty() {
                 break;
             }
-            self.pages.push(vec![0u8; PAGE_SIZE]);
+            self.pages.push(Box::new([0u8; PAGE_SIZE]));
             self.cur_off = 0;
         }
         Ok(ContentPtr {
@@ -69,8 +75,9 @@ impl HeapBuilder {
         self.pages.len()
     }
 
-    /// Consume the builder, yielding the page images.
-    pub fn into_pages(self) -> Vec<Vec<u8>> {
+    /// Consume the builder, yielding the full page images (headers still
+    /// zero; the disk manager seals them on write).
+    pub fn into_pages(self) -> Vec<Box<[u8; PAGE_SIZE]>> {
         self.pages
     }
 }
@@ -81,17 +88,18 @@ impl HeapBuilder {
 /// each page to the pool shard that owns it.
 pub fn read_content_via<F>(mut with_page: F, heap_base: u32, ptr: ContentPtr) -> Result<String>
 where
-    F: FnMut(PageId, &mut dyn FnMut(&[u8; PAGE_SIZE])) -> Result<()>,
+    F: FnMut(PageId, &mut dyn FnMut(&[u8; PAGE_DATA_SIZE])) -> Result<()>,
 {
     if !ptr.is_some() {
         return Ok(String::new());
     }
     let mut out = Vec::with_capacity(ptr.len as usize);
-    let mut page = heap_base + ptr.page;
+    let first_page = heap_base + ptr.page;
+    let mut page = first_page;
     let mut off = ptr.off as usize;
     let mut remaining = ptr.len as usize;
     while remaining > 0 {
-        let take = remaining.min(PAGE_SIZE - off);
+        let take = remaining.min(PAGE_DATA_SIZE - off);
         with_page(PageId(page), &mut |p| {
             out.extend_from_slice(&p[off..off + take]);
         })?;
@@ -99,7 +107,10 @@ where
         page += 1;
         off = 0;
     }
-    Ok(String::from_utf8(out).expect("heap content is valid UTF-8 by construction"))
+    // The loader only stores valid UTF-8, so a decode failure means the
+    // pointer is stale or the page was damaged in a way the checksum
+    // could not see (e.g. corrupted in memory after verification).
+    String::from_utf8(out).map_err(|_| StoreError::CorruptContent { page: first_page })
 }
 
 /// Read the content at `ptr` through a single buffer pool.
@@ -116,10 +127,9 @@ mod tests {
         let mut disk = DiskManager::in_memory();
         for page in builder.into_pages() {
             let pid = disk.allocate().unwrap();
-            let arr: &[u8; PAGE_SIZE] = page.as_slice().try_into().unwrap();
-            disk.write_page(pid, arr).unwrap();
+            disk.write_page(pid, &page).unwrap();
         }
-        (BufferPool::new(disk, 4).unwrap(), 0)
+        (BufferPool::new(disk, 6).unwrap(), 0)
     }
 
     #[test]
@@ -144,9 +154,9 @@ mod tests {
     #[test]
     fn value_spanning_pages_roundtrips() {
         let mut h = HeapBuilder::new();
-        let filler = "x".repeat(PAGE_SIZE - 10);
+        let filler = "x".repeat(PAGE_DATA_SIZE - 10);
         let _ = h.append(&filler).unwrap();
-        let long = "ab".repeat(PAGE_SIZE); // 2 pages worth
+        let long = "ab".repeat(PAGE_DATA_SIZE); // 2 pages worth
         let ptr = h.append(&long).unwrap();
         assert!(h.num_pages() >= 3);
         let (mut pool, base) = pool_from_heap(h);
@@ -156,7 +166,7 @@ mod tests {
     #[test]
     fn exactly_page_sized_value() {
         let mut h = HeapBuilder::new();
-        let v = "y".repeat(PAGE_SIZE);
+        let v = "y".repeat(PAGE_DATA_SIZE);
         let ptr = h.append(&v).unwrap();
         let w = h.append("tail").unwrap();
         let (mut pool, base) = pool_from_heap(h);
@@ -183,10 +193,30 @@ mod tests {
         disk.allocate().unwrap();
         for page in h.into_pages() {
             let pid = disk.allocate().unwrap();
-            let arr: &[u8; PAGE_SIZE] = page.as_slice().try_into().unwrap();
-            disk.write_page(pid, arr).unwrap();
+            disk.write_page(pid, &page).unwrap();
         }
         let mut pool = BufferPool::new(disk, 4).unwrap();
         assert_eq!(read_content(&mut pool, 2, ptr).unwrap(), "offset test");
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_typed_error() {
+        // A stale pointer into non-text bytes must not panic.
+        let mut disk = DiskManager::in_memory();
+        let pid = disk.allocate().unwrap();
+        let mut raw = [0u8; PAGE_SIZE];
+        raw[PAGE_SIZE - PAGE_DATA_SIZE] = 0xFF; // lone continuation byte
+        raw[PAGE_SIZE - PAGE_DATA_SIZE + 1] = 0xFE;
+        disk.write_page(pid, &raw).unwrap();
+        let mut pool = BufferPool::new(disk, 2).unwrap();
+        let ptr = ContentPtr {
+            page: 0,
+            off: 0,
+            len: 2,
+        };
+        match read_content(&mut pool, 0, ptr) {
+            Err(StoreError::CorruptContent { page: 0 }) => {}
+            other => panic!("expected CorruptContent, got {other:?}"),
+        }
     }
 }

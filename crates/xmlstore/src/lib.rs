@@ -23,7 +23,14 @@
 //!   the paper requires;
 //! * [`document::DocumentStore`] — the loaded document: accessors for
 //!   records, content, navigation, and subtree materialization, all routed
-//!   through the buffer pool so that I/O behaviour is observable.
+//!   through the buffer pool so that I/O behaviour is observable;
+//! * [`checksum`] / [`fault`] — the robustness layer: CRC32 page
+//!   checksums sealed on every write and verified on every read, plus a
+//!   deterministic fault injector for crash-recovery testing.
+//!
+//! This is a library crate on the I/O path of every query, so it must
+//! never panic on an I/O problem: `unwrap`/`expect` are denied outside
+//! tests and all fallible paths return [`error::StoreError`].
 //!
 //! # Example
 //!
@@ -38,10 +45,14 @@
 //! assert_eq!(store.content(entries[0].id).unwrap().as_deref(), Some("Jack"));
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod buffer;
 pub mod catalog;
+pub mod checksum;
 pub mod document;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod index;
 pub mod node;
@@ -51,6 +62,7 @@ pub mod storage;
 pub use catalog::{TagDict, TagId};
 pub use document::{CacheStats, DocumentStore, IoStats, StoreOptions};
 pub use error::{Result, StoreError};
+pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use index::NodeEntry;
 pub use node::{NodeId, NodeKind, NodeRecord};
-pub use page::{PageId, PAGE_SIZE};
+pub use page::{PageId, PAGE_DATA_SIZE, PAGE_HEADER_SIZE, PAGE_SIZE};

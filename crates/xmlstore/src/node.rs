@@ -11,7 +11,7 @@
 //! * `a` is the parent of `d` ⇔ ancestor test ∧ `d.level == a.level + 1`
 
 use crate::catalog::TagId;
-use crate::page::PAGE_SIZE;
+use crate::page::PAGE_DATA_SIZE;
 
 /// Identifier of a node within a document: its pre-order ordinal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -23,8 +23,12 @@ pub const NO_PARENT: u32 = u32::MAX;
 /// Size of one encoded node record in bytes.
 pub const RECORD_SIZE: usize = 32;
 
-/// Node records per page (exactly 256 with 8 KB pages).
-pub const RECORDS_PER_PAGE: usize = PAGE_SIZE / RECORD_SIZE;
+/// Node records per page: 255 with 8 KB pages, after the 8-byte
+/// checksum header claims one record's worth of space (with 24 bytes
+/// left over).
+pub const RECORDS_PER_PAGE: usize = PAGE_DATA_SIZE / RECORD_SIZE;
+
+const _: () = assert!(RECORDS_PER_PAGE * RECORD_SIZE <= PAGE_DATA_SIZE);
 
 /// What kind of node a record describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,8 +134,10 @@ impl NodeRecord {
     /// Decode from a 32-byte buffer.
     pub fn decode(buf: &[u8]) -> NodeRecord {
         debug_assert!(buf.len() >= RECORD_SIZE);
-        let u32le = |r: std::ops::Range<usize>| u32::from_le_bytes(buf[r].try_into().unwrap());
-        let u16le = |r: std::ops::Range<usize>| u16::from_le_bytes(buf[r].try_into().unwrap());
+        let u32le = |r: std::ops::Range<usize>| {
+            u32::from_le_bytes([buf[r.start], buf[r.start + 1], buf[r.start + 2], buf[r.start + 3]])
+        };
+        let u16le = |r: std::ops::Range<usize>| u16::from_le_bytes([buf[r.start], buf[r.start + 1]]);
         NodeRecord {
             tag: TagId(u32le(0..4)),
             start: u32le(4..8),
@@ -192,9 +198,8 @@ mod tests {
     }
 
     #[test]
-    fn record_size_divides_page() {
-        assert_eq!(PAGE_SIZE % RECORD_SIZE, 0);
-        assert_eq!(RECORDS_PER_PAGE, 256);
+    fn records_fit_in_data_region() {
+        assert_eq!(RECORDS_PER_PAGE, 255);
     }
 
     #[test]
@@ -216,10 +221,11 @@ mod tests {
 
     #[test]
     fn node_location_math() {
+        let per = RECORDS_PER_PAGE as u32;
         assert_eq!(node_location(10, NodeId(0)), (10, 0));
         assert_eq!(node_location(10, NodeId(1)), (10, RECORD_SIZE));
-        assert_eq!(node_location(10, NodeId(256)), (11, 0));
-        assert_eq!(node_location(10, NodeId(257)), (11, RECORD_SIZE));
+        assert_eq!(node_location(10, NodeId(per)), (11, 0));
+        assert_eq!(node_location(10, NodeId(per + 1)), (11, RECORD_SIZE));
     }
 
     #[test]

@@ -1,7 +1,28 @@
 //! Fixed-size pages, the unit of I/O.
+//!
+//! Every page carries a small header owned by the storage layer:
+//!
+//! ```text
+//! byte 0..4   CRC32 over (page id ‖ data region), little-endian
+//! byte 4..8   page id echo, little-endian (misdirected-write detection)
+//! byte 8..    data region (PAGE_DATA_SIZE bytes), owned by callers
+//! ```
+//!
+//! [`DiskManager`](crate::storage::DiskManager) seals the header on every
+//! write and verifies it on every read; layers above the buffer pool only
+//! ever see the data region, so slot/offset arithmetic in the node and
+//! heap layers stays zero-based.
+
+use crate::checksum::page_checksum;
 
 /// Page size in bytes. The paper's experiments use 8 KB pages (Sec. 6).
 pub const PAGE_SIZE: usize = 8192;
+
+/// Bytes reserved at the front of each page for the checksum header.
+pub const PAGE_HEADER_SIZE: usize = 8;
+
+/// Bytes of each page available to callers (node records, heap content).
+pub const PAGE_DATA_SIZE: usize = PAGE_SIZE - PAGE_HEADER_SIZE;
 
 /// Identifier of a page within the store file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -14,6 +35,46 @@ impl PageId {
     }
 }
 
+/// The data region of a full page image.
+pub fn data(page: &[u8; PAGE_SIZE]) -> &[u8; PAGE_DATA_SIZE] {
+    match page[PAGE_HEADER_SIZE..].try_into() {
+        Ok(region) => region,
+        // PAGE_SIZE - PAGE_HEADER_SIZE == PAGE_DATA_SIZE by construction.
+        Err(_) => unreachable!(),
+    }
+}
+
+/// Mutable data region of a full page image.
+pub fn data_mut(page: &mut [u8; PAGE_SIZE]) -> &mut [u8; PAGE_DATA_SIZE] {
+    match (&mut page[PAGE_HEADER_SIZE..]).try_into() {
+        Ok(region) => region,
+        Err(_) => unreachable!(),
+    }
+}
+
+/// Write a fresh header (checksum + id echo) into `page`.
+pub fn seal(pid: PageId, page: &mut [u8; PAGE_SIZE]) {
+    let crc = page_checksum(pid.0, &page[PAGE_HEADER_SIZE..]);
+    page[0..4].copy_from_slice(&crc.to_le_bytes());
+    page[4..8].copy_from_slice(&pid.0.to_le_bytes());
+}
+
+/// Check the header of `page` against its contents.
+///
+/// Returns `Err((expected, actual))` when the stored checksum does not
+/// match the recomputed one — which also catches a wrong page-id echo,
+/// since the id participates in the checksum.
+pub fn verify(pid: PageId, page: &[u8; PAGE_SIZE]) -> Result<(), (u32, u32)> {
+    let stored = u32::from_le_bytes([page[0], page[1], page[2], page[3]]);
+    let echoed = u32::from_le_bytes([page[4], page[5], page[6], page[7]]);
+    let computed = page_checksum(echoed, &page[PAGE_HEADER_SIZE..]);
+    if stored != computed || echoed != pid.0 {
+        let expected = page_checksum(pid.0, &page[PAGE_HEADER_SIZE..]);
+        return Err((expected, stored));
+    }
+    Ok(())
+}
+
 /// An in-memory page image.
 pub struct Page {
     data: Box<[u8; PAGE_SIZE]>,
@@ -23,7 +84,7 @@ impl Page {
     /// A zeroed page.
     pub fn zeroed() -> Self {
         Page {
-            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+            data: Box::new([0u8; PAGE_SIZE]),
         }
     }
 
@@ -75,5 +136,47 @@ mod tests {
         assert_eq!(p.bytes()[42], 7);
         let q = p.clone();
         assert_eq!(q.bytes()[42], 7);
+    }
+
+    #[test]
+    fn data_region_layout() {
+        let mut p = Page::zeroed();
+        data_mut(p.bytes_mut())[0] = 0xAB;
+        assert_eq!(p.bytes()[PAGE_HEADER_SIZE], 0xAB);
+        assert_eq!(data(p.bytes()).len(), PAGE_DATA_SIZE);
+    }
+
+    #[test]
+    fn seal_then_verify() {
+        let mut p = Page::zeroed();
+        data_mut(p.bytes_mut())[17] = 99;
+        seal(PageId(4), p.bytes_mut());
+        assert_eq!(verify(PageId(4), p.bytes()), Ok(()));
+    }
+
+    #[test]
+    fn verify_catches_data_corruption() {
+        let mut p = Page::zeroed();
+        seal(PageId(4), p.bytes_mut());
+        p.bytes_mut()[PAGE_HEADER_SIZE + 100] ^= 0x01;
+        let err = verify(PageId(4), p.bytes()).unwrap_err();
+        assert_ne!(err.0, err.1);
+    }
+
+    #[test]
+    fn verify_catches_header_corruption() {
+        let mut p = Page::zeroed();
+        seal(PageId(4), p.bytes_mut());
+        p.bytes_mut()[2] ^= 0x80;
+        assert!(verify(PageId(4), p.bytes()).is_err());
+    }
+
+    #[test]
+    fn verify_catches_misdirected_page() {
+        // A page sealed for slot 4 must not verify at slot 5.
+        let mut p = Page::zeroed();
+        seal(PageId(4), p.bytes_mut());
+        assert!(verify(PageId(5), p.bytes()).is_err());
+        assert_eq!(verify(PageId(4), p.bytes()), Ok(()));
     }
 }

@@ -1,8 +1,18 @@
 //! The disk manager: a linear file of fixed-size pages, with physical
 //! I/O accounting. Stands in for Shore's volume manager.
+//!
+//! Every page image crossing this layer carries the checksum header from
+//! [`crate::page`]: `write_page` seals a private copy of the caller's
+//! buffer (so all writers get checksums, whatever bytes they left in the
+//! header region), and `read_page` verifies the image it hands back,
+//! surfacing damage as [`StoreError::Corruption`]. An optional
+//! [`FaultInjector`] sits between the checksum logic and the physical
+//! backend, corrupting traffic deterministically for the crash-recovery
+//! suites.
 
 use crate::error::{Result, StoreError};
-use crate::page::{PageId, PAGE_SIZE};
+use crate::fault::{FaultInjector, FaultStats, ReadFault, WriteFault};
+use crate::page::{self, PageId, PAGE_SIZE};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -25,15 +35,38 @@ enum Backend {
     Mem(Vec<Box<[u8]>>),
 }
 
+impl Backend {
+    /// Persist the first `len` bytes of `buf` at page `pid` (the tail of
+    /// the page keeps whatever it held before — how a torn write looks).
+    fn write_prefix(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE], len: usize) -> Result<()> {
+        match self {
+            Backend::Mem(pages) => pages[pid.0 as usize][..len].copy_from_slice(&buf[..len]),
+            Backend::File { file, .. } => {
+                file.seek(SeekFrom::Start(pid.byte_offset()))?;
+                file.write_all(&buf[..len])?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A linear page file.
 pub struct DiskManager {
     backend: Backend,
     num_pages: u32,
     reads: u64,
     writes: u64,
+    fault: Option<FaultInjector>,
 }
 
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn transient_io(what: &str, pid: PageId) -> StoreError {
+    StoreError::Io(std::io::Error::new(
+        std::io::ErrorKind::Interrupted,
+        format!("injected transient {what} error on page {}", pid.0),
+    ))
+}
 
 impl DiskManager {
     /// An in-memory page store.
@@ -43,6 +76,7 @@ impl DiskManager {
             num_pages: 0,
             reads: 0,
             writes: 0,
+            fault: None,
         }
     }
 
@@ -78,6 +112,7 @@ impl DiskManager {
             num_pages: 0,
             reads: 0,
             writes: 0,
+            fault: None,
         })
     }
 
@@ -100,24 +135,45 @@ impl DiskManager {
         self.writes = 0;
     }
 
-    /// Allocate a new zeroed page at the end of the file.
+    /// Install (or with `None`, remove) a fault injector. Subsequent
+    /// reads and writes consult it; allocation never does, so freshly
+    /// allocated pages always start validly sealed.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.fault = injector;
+    }
+
+    /// Counters from the installed injector, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Allocate a new sealed, zero-data page at the end of the file.
     pub fn allocate(&mut self) -> Result<PageId> {
         let pid = PageId(self.num_pages);
-        self.num_pages += 1;
+        let mut image = [0u8; PAGE_SIZE];
+        page::seal(pid, &mut image);
         match &mut self.backend {
-            Backend::Mem(pages) => pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice()),
+            Backend::Mem(pages) => pages.push(Box::from(&image[..])),
             Backend::File { file, .. } => {
                 // Extend the file so later reads are valid.
                 file.seek(SeekFrom::Start(pid.byte_offset()))?;
-                file.write_all(&[0u8; PAGE_SIZE])?;
+                file.write_all(&image)?;
             }
         }
+        self.num_pages += 1;
         Ok(pid)
     }
 
-    /// Read page `pid` into `buf`.
+    /// Read page `pid` into `buf`, verifying its checksum header.
     pub fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
         self.check(pid)?;
+        let fault = match &mut self.fault {
+            Some(inj) => inj.on_read(pid),
+            None => ReadFault::None,
+        };
+        if fault == ReadFault::Error {
+            return Err(transient_io("read", pid));
+        }
         self.reads += 1;
         match &mut self.backend {
             Backend::Mem(pages) => buf.copy_from_slice(&pages[pid.0 as usize]),
@@ -126,18 +182,58 @@ impl DiskManager {
                 file.read_exact(buf)?;
             }
         }
+        if let ReadFault::FlipBit { bit } = fault {
+            buf[bit / 8] ^= 1 << (bit % 8);
+        }
+        if let Err((expected, actual)) = page::verify(pid, buf) {
+            return Err(StoreError::Corruption {
+                page: pid.0,
+                expected,
+                actual,
+            });
+        }
         Ok(())
     }
 
-    /// Write `buf` to page `pid`.
+    /// Seal `buf`'s header (in a private copy) and write it to page
+    /// `pid`. The caller's header bytes are ignored.
     pub fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
         self.check(pid)?;
+        let mut sealed = *buf;
+        page::seal(pid, &mut sealed);
+        let fault = match &mut self.fault {
+            Some(inj) => inj.on_write(pid),
+            None => WriteFault::None,
+        };
+        let len = match fault {
+            WriteFault::Error => return Err(transient_io("write", pid)),
+            WriteFault::FlipBit { bit } => {
+                sealed[bit / 8] ^= 1 << (bit % 8);
+                PAGE_SIZE
+            }
+            WriteFault::Torn { len } => len,
+            WriteFault::None => PAGE_SIZE,
+        };
         self.writes += 1;
+        self.backend.write_prefix(pid, &sealed, len)
+    }
+
+    /// XOR one raw physical byte of page `pid`, bypassing checksums,
+    /// counters, and fault injection. A corruption backdoor for tests:
+    /// damage planted this way must be caught by the next verified read.
+    pub fn poke_byte(&mut self, pid: PageId, offset: usize, xor: u8) -> Result<()> {
+        self.check(pid)?;
+        assert!(offset < PAGE_SIZE, "poke offset {offset} out of page");
         match &mut self.backend {
-            Backend::Mem(pages) => pages[pid.0 as usize].copy_from_slice(buf),
+            Backend::Mem(pages) => pages[pid.0 as usize][offset] ^= xor,
             Backend::File { file, .. } => {
-                file.seek(SeekFrom::Start(pid.byte_offset()))?;
-                file.write_all(buf)?;
+                let at = pid.byte_offset() + offset as u64;
+                let mut b = [0u8; 1];
+                file.seek(SeekFrom::Start(at))?;
+                file.read_exact(&mut b)?;
+                b[0] ^= xor;
+                file.seek(SeekFrom::Start(at))?;
+                file.write_all(&b)?;
             }
         }
         Ok(())
@@ -191,6 +287,16 @@ impl SharedDisk {
     pub fn num_pages(&self) -> u32 {
         self.lock().num_pages()
     }
+
+    /// Install (or remove) a fault injector on the underlying manager.
+    pub fn set_fault_injector(&self, injector: Option<FaultInjector>) {
+        self.lock().set_fault_injector(injector);
+    }
+
+    /// Counters from the installed injector, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.lock().fault_stats()
+    }
 }
 
 impl Drop for DiskManager {
@@ -204,6 +310,8 @@ impl Drop for DiskManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
+    use crate::page::PAGE_HEADER_SIZE;
 
     fn roundtrip(mut dm: DiskManager) {
         let a = dm.allocate().unwrap();
@@ -212,17 +320,17 @@ mod tests {
         assert_eq!(b, PageId(1));
 
         let mut page = [0u8; PAGE_SIZE];
-        page[0] = 0xAB;
+        page[PAGE_HEADER_SIZE] = 0xAB;
         page[PAGE_SIZE - 1] = 0xCD;
         dm.write_page(b, &page).unwrap();
 
         let mut out = [0u8; PAGE_SIZE];
         dm.read_page(b, &mut out).unwrap();
-        assert_eq!(out[0], 0xAB);
+        assert_eq!(out[PAGE_HEADER_SIZE], 0xAB);
         assert_eq!(out[PAGE_SIZE - 1], 0xCD);
 
         dm.read_page(a, &mut out).unwrap();
-        assert!(out.iter().all(|&x| x == 0));
+        assert!(out[PAGE_HEADER_SIZE..].iter().all(|&x| x == 0));
 
         let stats = dm.stats();
         assert_eq!(stats.reads, 2);
@@ -269,5 +377,133 @@ mod tests {
         dm.write_page(p, &buf).unwrap();
         dm.reset_stats();
         assert_eq!(dm.stats(), DiskStats::default());
+    }
+
+    #[test]
+    fn header_region_is_storage_owned() {
+        // Garbage in the caller's header bytes must not survive a write.
+        let mut dm = DiskManager::in_memory();
+        let p = dm.allocate().unwrap();
+        let mut page = [0u8; PAGE_SIZE];
+        page[0] = 0xFF;
+        page[7] = 0xFF;
+        dm.write_page(p, &page).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        dm.read_page(p, &mut out).unwrap();
+    }
+
+    fn poke_detected(mut dm: DiskManager) {
+        let p = dm.allocate().unwrap();
+        let mut page = [0u8; PAGE_SIZE];
+        page[PAGE_HEADER_SIZE + 10] = 42;
+        dm.write_page(p, &page).unwrap();
+        dm.poke_byte(p, PAGE_HEADER_SIZE + 10, 0x04).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        match dm.read_page(p, &mut out) {
+            Err(StoreError::Corruption {
+                page: 0,
+                expected,
+                actual,
+            }) => assert_ne!(expected, actual),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        // Un-poking repairs the page.
+        dm.poke_byte(p, PAGE_HEADER_SIZE + 10, 0x04).unwrap();
+        dm.read_page(p, &mut out).unwrap();
+        assert_eq!(out[PAGE_HEADER_SIZE + 10], 42);
+    }
+
+    #[test]
+    fn mem_poke_detected() {
+        poke_detected(DiskManager::in_memory());
+    }
+
+    #[test]
+    fn file_poke_detected() {
+        poke_detected(DiskManager::temp_file().unwrap());
+    }
+
+    #[test]
+    fn injected_read_error_is_transient() {
+        let mut dm = DiskManager::in_memory();
+        let p = dm.allocate().unwrap();
+        dm.set_fault_injector(Some(FaultInjector::new(
+            FaultConfig::seeded(1).with_read_error(1.0),
+        )));
+        let mut out = [0u8; PAGE_SIZE];
+        let err = dm.read_page(p, &mut out).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        // Removing the injector restores clean reads.
+        dm.set_fault_injector(None);
+        dm.read_page(p, &mut out).unwrap();
+    }
+
+    #[test]
+    fn injected_read_flip_caught_and_clears() {
+        let mut dm = DiskManager::in_memory();
+        let p = dm.allocate().unwrap();
+        dm.set_fault_injector(Some(FaultInjector::new(
+            FaultConfig::seeded(2).with_read_flip(1.0).with_after_ops(0),
+        )));
+        let mut out = [0u8; PAGE_SIZE];
+        let err = dm.read_page(p, &mut out).unwrap_err();
+        assert!(matches!(err, StoreError::Corruption { page: 0, .. }));
+        assert_eq!(dm.fault_stats().unwrap().read_flips, 1);
+        // The persisted image is intact: a fault-free read succeeds.
+        dm.set_fault_injector(None);
+        dm.read_page(p, &mut out).unwrap();
+    }
+
+    #[test]
+    fn injected_write_flip_is_persistent() {
+        let mut dm = DiskManager::in_memory();
+        let p = dm.allocate().unwrap();
+        dm.set_fault_injector(Some(FaultInjector::new(
+            FaultConfig::seeded(3).with_write_flip(1.0),
+        )));
+        let page = [0u8; PAGE_SIZE];
+        dm.write_page(p, &page).unwrap();
+        dm.set_fault_injector(None);
+        let mut out = [0u8; PAGE_SIZE];
+        let err = dm.read_page(p, &mut out).unwrap_err();
+        assert!(matches!(err, StoreError::Corruption { page: 0, .. }));
+    }
+
+    #[test]
+    fn torn_write_detected_on_read() {
+        let mut dm = DiskManager::in_memory();
+        let p = dm.allocate().unwrap();
+        let mut page = [0u8; PAGE_SIZE];
+        for (i, b) in page[PAGE_HEADER_SIZE..].iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        dm.write_page(p, &page).unwrap();
+        // Now tear the next write of different data over it.
+        dm.set_fault_injector(Some(FaultInjector::new(
+            FaultConfig::seeded(4).with_torn_write(1.0),
+        )));
+        let other = [0x5Au8; PAGE_SIZE];
+        dm.write_page(p, &other).unwrap();
+        dm.set_fault_injector(None);
+        let mut out = [0u8; PAGE_SIZE];
+        let err = dm.read_page(p, &mut out).unwrap_err();
+        assert!(matches!(err, StoreError::Corruption { page: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn injected_write_error_persists_nothing() {
+        let mut dm = DiskManager::in_memory();
+        let p = dm.allocate().unwrap();
+        dm.set_fault_injector(Some(FaultInjector::new(
+            FaultConfig::seeded(5).with_write_error(1.0),
+        )));
+        let mut page = [0u8; PAGE_SIZE];
+        page[PAGE_HEADER_SIZE] = 9;
+        let err = dm.write_page(p, &page).unwrap_err();
+        assert!(err.is_transient());
+        dm.set_fault_injector(None);
+        let mut out = [0u8; PAGE_SIZE];
+        dm.read_page(p, &mut out).unwrap();
+        assert_eq!(out[PAGE_HEADER_SIZE], 0, "failed write must not persist");
     }
 }
