@@ -4,7 +4,9 @@
 //! witness before grouping).
 
 use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tax::ops::groupby::{groupby, groupby_opts, groupby_replicated, BasisItem, Direction, GroupOrder};
+use tax::ops::groupby::{
+    groupby, groupby_opts, groupby_replicated, BasisItem, Direction, GroupOrder,
+};
 use tax::ops::project::ProjectItem;
 use tax::ops::{project, select_db};
 use tax::pattern::{Axis, PatternTree, Pred};
@@ -82,19 +84,15 @@ fn bench_groupby_threads(c: &mut Criterion) {
     }];
     for &threads in &[1usize, 2, 4] {
         let opts = ExecOptions::with_threads(threads);
-        group.bench_with_input(
-            BenchmarkId::new("identifier", threads),
-            &threads,
-            |b, _| {
-                b.iter(|| {
-                    std::hint::black_box(
-                        groupby_opts(db.store(), &input, &gp, &basis, &ordering, &opts)
-                            .unwrap()
-                            .len(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("identifier", threads), &threads, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    groupby_opts(db.store(), &input, &gp, &basis, &ordering, &opts)
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
     }
     group.finish();
 }

@@ -46,16 +46,12 @@ fn bench_binary_joins(c: &mut Criterion) {
         let a = &articles[..size.min(articles.len())];
         group.bench_with_input(BenchmarkId::new("stack_tree", name), &a, |b, a| {
             b.iter(|| {
-                std::hint::black_box(
-                    stack_tree_join(a, &authors, JoinAxis::ParentChild).len(),
-                )
+                std::hint::black_box(stack_tree_join(a, &authors, JoinAxis::ParentChild).len())
             })
         });
         group.bench_with_input(BenchmarkId::new("nested_loop", name), &a, |b, a| {
             b.iter(|| {
-                std::hint::black_box(
-                    nested_loop_join(a, &authors, JoinAxis::ParentChild).len(),
-                )
+                std::hint::black_box(nested_loop_join(a, &authors, JoinAxis::ParentChild).len())
             })
         });
     }

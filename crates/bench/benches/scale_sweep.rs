@@ -43,16 +43,12 @@ fn bench_threads(c: &mut Criterion) {
             ("direct", PlanMode::Direct),
             ("groupby", PlanMode::GroupByRewrite),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, threads),
-                &threads,
-                |b, _| {
-                    b.iter(|| {
-                        let r = db.query(QUERY_TITLES, mode).expect("query");
-                        std::hint::black_box(r.len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, _| {
+                b.iter(|| {
+                    let r = db.query(QUERY_TITLES, mode).expect("query");
+                    std::hint::black_box(r.len())
+                })
+            });
         }
     }
     group.finish();

@@ -3,8 +3,13 @@
 //! ```text
 //! reproduce [e1] [e2] [scale] [pool] [matching] [groupby-impl] [value-index]
 //!           [threads] [faults] [all] [--articles N] [--mem] [--threads N]
-//!           [--faults SPEC]
+//!           [--faults SPEC] [--analyze]
 //! ```
+//!
+//! `--analyze` additionally prints an `EXPLAIN ANALYZE` report for the
+//! E1/E2 queries: the executed plan, the optimizer's rule-firing trace,
+//! and per-operator trees in/out, batches, wall time and I/O from the
+//! physical executor.
 //!
 //! With no experiment argument, `all` is assumed. `--articles` sets the
 //! synthetic DBLP size for E1/E2 (default 20 000 ≈ 310 k stored nodes;
@@ -32,6 +37,7 @@ fn main() {
     let mut on_disk = true;
     let mut threads = 1usize;
     let mut fault_spec: Option<String> = None;
+    let mut analyze = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -54,6 +60,7 @@ fn main() {
                 i += 1;
                 fault_spec = Some(args.get(i).expect("--faults SPEC").clone());
             }
+            "--analyze" => analyze = true,
             other => experiments.push(other.to_owned()),
         }
         i += 1;
@@ -86,9 +93,15 @@ fn main() {
         );
         if wants("e1") {
             run_e1(&db);
+            if analyze {
+                run_analyze(&db, "E1 titles", QUERY_TITLES);
+            }
         }
         if wants("e2") {
             run_e2(&db);
+            if analyze {
+                run_analyze(&db, "E2 count", QUERY_COUNT);
+            }
         }
     }
     if wants("scale") {
@@ -114,6 +127,19 @@ fn main() {
     }
 }
 
+fn run_analyze(db: &timber::TimberDb, label: &str, query: &str) {
+    for (name, mode) in [
+        ("direct", PlanMode::Direct),
+        ("groupby", PlanMode::GroupByRewrite),
+    ] {
+        println!("-- EXPLAIN ANALYZE: {label}, {name} plan --");
+        match db.explain_analyze(query, mode) {
+            Ok(a) => println!("{}", a.render()),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
 fn run_faults(threads: usize, spec: Option<&str>) {
     use xmlstore::FaultConfig;
 
@@ -135,10 +161,7 @@ fn run_faults(threads: usize, spec: Option<&str>) {
         ("E2 count/direct", QUERY_COUNT, PlanMode::Direct),
         ("E2 count/groupby", QUERY_COUNT, PlanMode::GroupByRewrite),
     ];
-    let reference: Vec<RunStats> = runs
-        .iter()
-        .map(|&(_, q, m)| measure(&db, q, m))
-        .collect();
+    let reference: Vec<RunStats> = runs.iter().map(|&(_, q, m)| measure(&db, q, m)).collect();
 
     db.set_faults(Some(schedule)).expect("arm fault schedule");
     for (i, &(label, q, m)) in runs.iter().enumerate() {
@@ -172,7 +195,9 @@ fn run_faults(threads: usize, spec: Option<&str>) {
 }
 
 fn run_e1(db: &timber::TimberDb) {
-    println!("-- E1: Query 1, titles output (paper: direct 323.966 s vs GROUPBY 178.607 s, 1.81x) --");
+    println!(
+        "-- E1: Query 1, titles output (paper: direct 323.966 s vs GROUPBY 178.607 s, 1.81x) --"
+    );
     let d = measure(db, QUERY_TITLES, PlanMode::Direct);
     let g = measure(db, QUERY_TITLES, PlanMode::GroupByRewrite);
     assert!(g.rewritten, "rewrite must fire");
@@ -245,7 +270,9 @@ fn run_matching(articles: usize) {
     use tax::pattern::{Axis, PatternTree, Pred};
 
     let articles = articles.min(5_000); // the scan baseline is slow by design
-    println!("-- X3: pattern matching, index+structural join vs full scan ({articles} articles) --");
+    println!(
+        "-- X3: pattern matching, index+structural join vs full scan ({articles} articles) --"
+    );
     let db = build_db(articles, None, false);
     let mut p = PatternTree::with_root(Pred::tag("article"));
     p.add_child(p.root(), Axis::Child, Pred::tag("title"));
@@ -292,7 +319,9 @@ fn run_value_index() {
     let author_tag = store.tag_id("author").unwrap();
     let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
     for e in store.nodes_with_tag(author_tag) {
-        *counts.entry(store.content(e.id).unwrap().unwrap()).or_default() += 1;
+        *counts
+            .entry(store.content(e.id).unwrap().unwrap())
+            .or_default() += 1;
     }
     let (top, _) = counts.iter().max_by_key(|(_, n)| **n).unwrap();
 

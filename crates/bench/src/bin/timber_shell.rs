@@ -10,8 +10,11 @@
 //! .load <file.xml>     load an XML document
 //! .gen <articles>      load a synthetic DBLP of the given size
 //! .mode direct|groupby|both
+//! .exec physical|legacy
+//! .batch <n>           physical executor batch size
 //! .threads <n>         worker threads for operator evaluation
-//! .explain             explain instead of executing
+//! .explain             show plans instead of executing (toggle)
+//! .explain analyze     execute and report per-operator metrics
 //! .faults <spec|off>   arm a deterministic fault schedule, e.g.
 //!                      .faults seed=3,read_err=0.01,flip=0.005
 //! .stats               database and I/O statistics
@@ -21,13 +24,13 @@
 //! ```
 
 use std::io::{BufRead, Write};
-use timber::{PlanMode, TimberDb};
+use timber::{ExecMode, PlanMode, TimberDb};
 use xmlstore::StoreOptions;
 
 struct Shell {
     db: Option<TimberDb>,
     mode: Mode,
-    explain_only: bool,
+    explain: Explain,
     threads: usize,
 }
 
@@ -38,11 +41,18 @@ enum Mode {
     Both,
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Explain {
+    Off,
+    Plan,
+    Analyze,
+}
+
 fn main() {
     let mut shell = Shell {
         db: None,
         mode: Mode::GroupBy,
-        explain_only: false,
+        explain: Explain::Off,
         threads: 1,
     };
     if let Some(path) = std::env::args().nth(1) {
@@ -52,7 +62,14 @@ fn main() {
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
-        print!("{}", if buffer.is_empty() { "timber> " } else { "   ...> " });
+        print!(
+            "{}",
+            if buffer.is_empty() {
+                "timber> "
+            } else {
+                "   ...> "
+            }
+        );
         let _ = std::io::stdout().flush();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
@@ -92,15 +109,17 @@ impl Shell {
             ".help" => {
                 println!(
                     ".load <file.xml> | .gen <articles> | .mode direct|groupby|both\n\
-                     .threads <n> | .explain (toggle) | .faults <spec|off> | .stats | .quit\n\
+                     .exec physical|legacy | .batch <n> | .threads <n>\n\
+                     .explain (toggle) | .explain analyze | .explain off\n\
+                     .faults <spec|off> | .stats | .quit\n\
                      end a query with ';' to run it"
                 );
             }
             ".load" => self.load(arg),
             ".gen" => match arg.parse::<usize>() {
                 Ok(n) => {
-                    let xml = datagen::DblpGenerator::new(datagen::DblpConfig::sized(n))
-                        .generate_xml();
+                    let xml =
+                        datagen::DblpGenerator::new(datagen::DblpConfig::sized(n)).generate_xml();
                     match TimberDb::load_xml(&xml, &StoreOptions::default()) {
                         Ok(mut db) => {
                             db.set_threads(self.threads);
@@ -127,6 +146,31 @@ impl Shell {
                     }
                 }
             }
+            ".exec" => match arg {
+                "physical" | "legacy" => {
+                    let mode = if arg == "legacy" {
+                        ExecMode::Legacy
+                    } else {
+                        ExecMode::Physical
+                    };
+                    if let Some(db) = &mut self.db {
+                        db.set_exec_mode(mode);
+                    }
+                    println!("executor: {arg}");
+                }
+                _ => eprintln!("exec must be physical or legacy"),
+            },
+            ".batch" => match arg.parse::<usize>() {
+                Ok(n) => {
+                    if let Some(db) = &mut self.db {
+                        db.set_batch_size(n);
+                        println!("batch size {}", db.batch_size());
+                    } else {
+                        eprintln!("no database loaded (.load or .gen first)");
+                    }
+                }
+                Err(_) => eprintln!(".batch needs a tree count"),
+            },
             ".threads" => match arg.parse::<usize>() {
                 Ok(n) => {
                     self.threads = n.max(1);
@@ -138,10 +182,22 @@ impl Shell {
                 Err(_) => eprintln!(".threads needs a thread count"),
             },
             ".explain" => {
-                self.explain_only = !self.explain_only;
+                self.explain = match arg {
+                    "analyze" => Explain::Analyze,
+                    "off" => Explain::Off,
+                    // Bare `.explain` keeps its toggle behaviour.
+                    _ => match self.explain {
+                        Explain::Off => Explain::Plan,
+                        _ => Explain::Off,
+                    },
+                };
                 println!(
                     "explain {}",
-                    if self.explain_only { "on" } else { "off" }
+                    match self.explain {
+                        Explain::Off => "off",
+                        Explain::Plan => "on",
+                        Explain::Analyze => "analyze",
+                    }
                 );
             }
             ".faults" => match &self.db {
@@ -220,7 +276,7 @@ impl Shell {
             eprintln!("no database loaded (.load or .gen first)");
             return;
         };
-        if self.explain_only {
+        if self.explain == Explain::Plan {
             match db.explain(query) {
                 Ok(text) => println!("{text}"),
                 Err(e) => eprintln!("error: {e}"),
@@ -236,6 +292,19 @@ impl Shell {
             ],
         };
         for (name, mode) in modes {
+            if self.explain == Explain::Analyze {
+                db.reset_io_stats();
+                match db.explain_analyze(query, *mode) {
+                    Ok(a) => {
+                        if self.mode == Mode::Both {
+                            println!("-- {name} --");
+                        }
+                        print!("{}", a.render());
+                    }
+                    Err(e) => eprintln!("error: {e}"),
+                }
+                continue;
+            }
             db.reset_io_stats();
             let t0 = std::time::Instant::now();
             match db.query(query, *mode) {

@@ -95,11 +95,7 @@ pub fn measure(db: &TimberDb, query: &str, mode: PlanMode) -> RunStats {
 /// Fallible [`measure`]: identical run protocol, but injected storage
 /// faults surface as the typed [`timber::TimberError`] instead of a
 /// panic, so fault-schedule replays can report per-run outcomes.
-pub fn try_measure(
-    db: &TimberDb,
-    query: &str,
-    mode: PlanMode,
-) -> timber::Result<RunStats> {
+pub fn try_measure(db: &TimberDb, query: &str, mode: PlanMode) -> timber::Result<RunStats> {
     db.clear_buffer_pool()?;
     db.reset_io_stats();
     let start = std::time::Instant::now();

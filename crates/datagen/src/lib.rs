@@ -90,28 +90,99 @@ const FIRST_NAMES: &[&str] = &[
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Adams", "Brown", "Chen", "Dimitriou", "Evans", "Fischer", "Gupta", "Hansen", "Ivanov",
-    "Jagadish", "Kim", "Lakshmanan", "Moreno", "Nguyen", "Okafor", "Paparizos", "Quispe",
-    "Rossi", "Srivastava", "Tanaka", "Ueda", "Vasquez", "Wu", "Xu", "Yamamoto", "Zhang",
+    "Adams",
+    "Brown",
+    "Chen",
+    "Dimitriou",
+    "Evans",
+    "Fischer",
+    "Gupta",
+    "Hansen",
+    "Ivanov",
+    "Jagadish",
+    "Kim",
+    "Lakshmanan",
+    "Moreno",
+    "Nguyen",
+    "Okafor",
+    "Paparizos",
+    "Quispe",
+    "Rossi",
+    "Srivastava",
+    "Tanaka",
+    "Ueda",
+    "Vasquez",
+    "Wu",
+    "Xu",
+    "Yamamoto",
+    "Zhang",
 ];
 
 const TITLE_WORDS: &[&str] = &[
-    "Transaction", "Management", "Querying", "XML", "Semistructured", "Data", "Indexing",
-    "Optimization", "Algebra", "Pattern", "Matching", "Storage", "Views", "Streams",
-    "Integration", "Schema", "Evolution", "Recovery", "Concurrency", "Control", "Parallel",
-    "Distributed", "Caching", "Replication", "Mining", "Warehousing", "Grouping",
-    "Aggregation", "Join", "Processing",
+    "Transaction",
+    "Management",
+    "Querying",
+    "XML",
+    "Semistructured",
+    "Data",
+    "Indexing",
+    "Optimization",
+    "Algebra",
+    "Pattern",
+    "Matching",
+    "Storage",
+    "Views",
+    "Streams",
+    "Integration",
+    "Schema",
+    "Evolution",
+    "Recovery",
+    "Concurrency",
+    "Control",
+    "Parallel",
+    "Distributed",
+    "Caching",
+    "Replication",
+    "Mining",
+    "Warehousing",
+    "Grouping",
+    "Aggregation",
+    "Join",
+    "Processing",
 ];
 
 const JOURNALS: &[&str] = &[
-    "TODS", "VLDB Journal", "SIGMOD Record", "TKDE", "Information Systems",
-    "Data Engineering Bulletin", "JACM", "Acta Informatica",
+    "TODS",
+    "VLDB Journal",
+    "SIGMOD Record",
+    "TKDE",
+    "Information Systems",
+    "Data Engineering Bulletin",
+    "JACM",
+    "Acta Informatica",
 ];
 
 const INSTITUTIONS: &[&str] = &[
-    "Michigan", "British Columbia", "ATT Labs", "Stanford", "Wisconsin", "Berkeley", "MIT",
-    "CMU", "Toronto", "Maryland", "INRIA", "ETH", "Tsinghua", "IIT Bombay", "Oxford",
-    "Edinburgh", "Aalborg", "Twente", "Tokyo", "Melbourne",
+    "Michigan",
+    "British Columbia",
+    "ATT Labs",
+    "Stanford",
+    "Wisconsin",
+    "Berkeley",
+    "MIT",
+    "CMU",
+    "Toronto",
+    "Maryland",
+    "INRIA",
+    "ETH",
+    "Tsinghua",
+    "IIT Bombay",
+    "Oxford",
+    "Edinburgh",
+    "Aalborg",
+    "Twente",
+    "Tokyo",
+    "Melbourne",
 ];
 
 /// The generator.
@@ -214,8 +285,7 @@ impl DblpGenerator {
                 let _ = write!(
                     out,
                     "<name>{}</name><institution>{}</institution>",
-                    self.author_names[a],
-                    self.institution_names[self.author_institutions[a]]
+                    self.author_names[a], self.institution_names[self.author_institutions[a]]
                 );
             } else {
                 out.push_str(&self.author_names[a]);
@@ -355,8 +425,7 @@ mod tests {
     fn authors_within_article_are_distinct() {
         let doc = generate_document(DblpConfig::sized(300));
         for article in doc.root().children_named("article") {
-            let authors: Vec<String> =
-                article.children_named("author").map(|a| a.text()).collect();
+            let authors: Vec<String> = article.children_named("author").map(|a| a.text()).collect();
             let set: std::collections::HashSet<&String> = authors.iter().collect();
             assert_eq!(set.len(), authors.len());
         }

@@ -300,10 +300,7 @@ mod tests {
 
     #[test]
     fn id_rendering() {
-        assert_eq!(
-            BenchmarkId::new("f", 12).render("g"),
-            "g/f/12".to_string()
-        );
+        assert_eq!(BenchmarkId::new("f", 12).render("g"), "g/f/12".to_string());
         assert_eq!(BenchmarkId::from("f").render("g"), "g/f".to_string());
     }
 

@@ -53,8 +53,12 @@ impl<T: RngCore> RngExt for T {}
 /// Types that can be drawn uniformly from a bounded range.
 pub trait SampleUniform: Sized {
     /// Uniform sample in `[lo, hi)`, or `[lo, hi]` when `inclusive`.
-    fn sample_between<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {

@@ -60,23 +60,21 @@ pub fn match_db_scoped(
                 // Content value index (optional, `StoreOptions::value_index`):
                 // a `tag ∧ content = "v"` predicate is answered directly,
                 // with no per-candidate data look-ups.
-                let (full, eq_satisfied): (&[NodeEntry], bool) = match (
-                    tag_id,
-                    pnode.pred.eq_content_value(),
-                ) {
-                    (Some(id), Some(v)) => match store.nodes_with_tag_and_content(id, v) {
-                        Some(list) => (list, true),
-                        None => (store.nodes_with_tag(id), false),
-                    },
-                    (Some(id), None) => (store.nodes_with_tag(id), false),
-                    (None, _) => (&[], false),
-                };
+                let (full, eq_satisfied): (&[NodeEntry], bool) =
+                    match (tag_id, pnode.pred.eq_content_value()) {
+                        (Some(id), Some(v)) => match store.nodes_with_tag_and_content(id, v) {
+                            Some(list) => (list, true),
+                            None => (store.nodes_with_tag(id), false),
+                        },
+                        (Some(id), None) => (store.nodes_with_tag(id), false),
+                        (None, _) => (&[], false),
+                    };
                 let scoped = match scope {
                     Some(s) => structural::contained_in_or_self(full, &s),
                     None => full,
                 };
-                let skip_data_eval = !pnode.pred.needs_data()
-                    || (eq_satisfied && pnode.pred.is_tag_eq_only());
+                let skip_data_eval =
+                    !pnode.pred.needs_data() || (eq_satisfied && pnode.pred.is_tag_eq_only());
                 kept.reserve(scoped.len());
                 for e in scoped {
                     if !skip_data_eval
@@ -116,7 +114,15 @@ pub fn match_db_scoped(
     let mut partial: Vec<Vec<NodeEntry>> = candidates[order[0]]
         .iter()
         .map(|&e| {
-            let mut b = vec![NodeEntry { id: NodeId(u32::MAX), start: 0, end: 0, level: 0 }; pattern.len()];
+            let mut b = vec![
+                NodeEntry {
+                    id: NodeId(u32::MAX),
+                    start: 0,
+                    end: 0,
+                    level: 0
+                };
+                pattern.len()
+            ];
             b[order[0]] = e;
             b
         })
@@ -178,7 +184,11 @@ pub fn match_tree(
     anchor_root: bool,
 ) -> Result<Vec<Binding>> {
     if tree.len() == 1 {
-        if let crate::tree::TreeNodeKind::Ref { node: scope, deep: true } = tree.node(tree.root()).kind {
+        if let crate::tree::TreeNodeKind::Ref {
+            node: scope,
+            deep: true,
+        } = tree.node(tree.root()).kind
+        {
             let mut bindings = match_db_scoped(store, pattern, Some(scope))?;
             if anchor_root {
                 bindings.retain(|b| match b[pattern.root()] {
@@ -368,9 +378,11 @@ mod tests {
     fn attribute_predicate() {
         let xml = r#"<bib><article year="1999"><title>A</title></article><article year="2002"><title>B</title></article></bib>"#;
         let s = DocumentStore::from_xml(xml, &StoreOptions::in_memory()).unwrap();
-        let p = PatternTree::with_root(
-            Pred::tag("article").and(Pred::Attr("year".into(), CmpOp::Gt, "2000".into())),
-        );
+        let p = PatternTree::with_root(Pred::tag("article").and(Pred::Attr(
+            "year".into(),
+            CmpOp::Gt,
+            "2000".into(),
+        )));
         use crate::value::CmpOp;
         let bindings = match_db(&s, &p).unwrap();
         assert_eq!(bindings.len(), 1);
@@ -418,8 +430,8 @@ mod tests {
 
     #[test]
     fn value_index_answers_content_eq_without_io() {
-        let s = DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory().with_value_index())
-            .unwrap();
+        let s =
+            DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory().with_value_index()).unwrap();
         // Footnote 8's example: find articles of one author. The value
         // index returns the *author* nodes with zero I/O; the structural
         // step up to the article still runs on index labels.

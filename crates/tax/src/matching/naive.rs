@@ -189,12 +189,7 @@ fn descendant_candidates(
 }
 
 /// Append the children of `v` that satisfy `pred`, in document order.
-fn child_candidates(
-    vt: &VTree<'_>,
-    v: VNode,
-    pred: &Pred,
-    out: &mut Vec<VNode>,
-) -> Result<()> {
+fn child_candidates(vt: &VTree<'_>, v: VNode, pred: &Pred, out: &mut Vec<VNode>) -> Result<()> {
     match below(vt, v)? {
         Below::Arena(children) => {
             for c in children {
@@ -204,9 +199,7 @@ fn child_candidates(
                 }
             }
         }
-        Below::Stored(e) => {
-            stored_range_candidates(vt, e, pred, Some(e.level + 1), out)?
-        }
+        Below::Stored(e) => stored_range_candidates(vt, e, pred, Some(e.level + 1), out)?,
     }
     Ok(())
 }
@@ -301,12 +294,7 @@ pub fn match_db_scan(store: &DocumentStore, pattern: &PatternTree) -> Result<Vec
     Ok(kept)
 }
 
-fn scan_collect(
-    vt: &VTree<'_>,
-    v: VNode,
-    pred: &Pred,
-    out: &mut Vec<VNode>,
-) -> Result<()> {
+fn scan_collect(vt: &VTree<'_>, v: VNode, pred: &Pred, out: &mut Vec<VNode>) -> Result<()> {
     if eval_by_navigation(vt, v, pred)? {
         out.push(v);
     }

@@ -234,10 +234,7 @@ mod tests {
         let art = s.nodes_with_tag(article)[0];
         let t = Tree::new_ref(art, true);
         let vt = VTree::new(&s, &t);
-        assert_eq!(
-            vt.attr(vt.root(), "year").unwrap().as_deref(),
-            Some("1999")
-        );
+        assert_eq!(vt.attr(vt.root(), "year").unwrap().as_deref(), Some("1999"));
         assert_eq!(vt.attr(vt.root(), "month").unwrap(), None);
         let mut t2 = Tree::new_elem("synthetic");
         let vt2 = VTree::new(&s, &t2);

@@ -56,7 +56,7 @@ pub enum UpdateSpec {
 /// structures rather than rewriting stored documents.
 pub fn aggregate(
     store: &DocumentStore,
-    input: &Collection,
+    input: Collection,
     pattern: &PatternTree,
     func: AggFunc,
     of: PatternNodeId,
@@ -75,13 +75,22 @@ pub fn aggregate(
     )
 }
 
+/// A computed insertion: the new element's kind and where it goes.
+/// `pos == None` appends as the parent's last child.
+struct Edit {
+    parent: usize,
+    pos: Option<usize>,
+    kind: TreeNodeKind,
+}
+
 /// [`aggregate`] with explicit execution options. Each input tree's
-/// aggregate is independent of every other tree's, so the whole operator
-/// fans out per tree.
+/// aggregate is independent of every other tree's, so value gathering
+/// fans out per tree; the computed insertions are then applied to the
+/// moved input trees without copying them.
 #[allow(clippy::too_many_arguments)]
 pub fn aggregate_opts(
     store: &DocumentStore,
-    input: &Collection,
+    input: Collection,
     pattern: &PatternTree,
     func: AggFunc,
     of: PatternNodeId,
@@ -99,10 +108,10 @@ pub fn aggregate_opts(
         return Err(Error::UnknownLabel(format!("${}", anchor_label + 1)));
     }
 
-    par_map(opts, input, |_, tree| {
+    let edits: Vec<Option<Edit>> = par_map(opts, &input, |_, tree| {
         let bindings = match_tree(store, tree, pattern, false)?;
         if bindings.is_empty() {
-            return Ok(tree.clone());
+            return Ok(None);
         }
         // Gather values.
         let vt = VTree::new(store, tree);
@@ -116,9 +125,8 @@ pub fn aggregate_opts(
                 }
             }
         }
-        let computed = compute(func, bindings.len(), &values);
-        let Some(value) = computed else {
-            return Ok(tree.clone());
+        let Some(value) = compute(func, bindings.len(), &values) else {
+            return Ok(None);
         };
 
         // Insert at the anchor of the first witness.
@@ -130,21 +138,21 @@ pub fn aggregate_opts(
                     .into(),
             ));
         };
-        let mut new_tree = tree.clone();
         let kind = TreeNodeKind::Elem {
             tag: new_tag.to_owned(),
             content: Some(format_value(value)),
         };
         match spec {
-            UpdateSpec::AfterLastChild(_) => {
-                new_tree.add_node(anchor_id, kind);
-            }
+            UpdateSpec::AfterLastChild(_) => Ok(Some(Edit {
+                parent: anchor_id,
+                pos: None,
+                kind,
+            })),
             UpdateSpec::Precedes(_) | UpdateSpec::Follows(_) => {
-                let parent = new_tree
-                    .node(anchor_id)
-                    .parent
-                    .ok_or_else(|| Error::Unsupported("cannot insert a sibling of the root".into()))?;
-                let pos = new_tree
+                let parent = tree.node(anchor_id).parent.ok_or_else(|| {
+                    Error::Unsupported("cannot insert a sibling of the root".into())
+                })?;
+                let pos = tree
                     .node(parent)
                     .children
                     .iter()
@@ -155,11 +163,29 @@ pub fn aggregate_opts(
                 } else {
                     pos
                 };
-                new_tree.insert_node(parent, pos, kind);
+                Ok(Some(Edit {
+                    parent,
+                    pos: Some(pos),
+                    kind,
+                }))
             }
         }
-        Ok(new_tree)
-    })
+    })?;
+
+    let mut out = input;
+    for (tree, edit) in out.iter_mut().zip(edits) {
+        if let Some(e) = edit {
+            match e.pos {
+                None => {
+                    tree.add_node(e.parent, e.kind);
+                }
+                Some(pos) => {
+                    tree.insert_node(e.parent, pos, e.kind);
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Apply an aggregate function to the gathered numeric values;
@@ -223,7 +249,7 @@ mod tests {
         let (p, root, title) = title_pattern();
         let out = aggregate(
             &s,
-            &vec![sample_tree()],
+            vec![sample_tree()],
             &p,
             AggFunc::Count,
             title,
@@ -263,7 +289,7 @@ mod tests {
         ] {
             let out = aggregate(
                 &s,
-                &vec![years_tree()],
+                vec![years_tree()],
                 &p,
                 func,
                 y,
@@ -282,7 +308,7 @@ mod tests {
         let (p, y) = year_pattern();
         let out = aggregate(
             &s,
-            &vec![years_tree()],
+            vec![years_tree()],
             &p,
             AggFunc::Avg,
             y,
@@ -301,7 +327,7 @@ mod tests {
         let (p, _root, title) = title_pattern();
         let before = aggregate(
             &s,
-            &vec![sample_tree()],
+            vec![sample_tree()],
             &p,
             AggFunc::Count,
             title,
@@ -316,7 +342,7 @@ mod tests {
 
         let after = aggregate(
             &s,
-            &vec![sample_tree()],
+            vec![sample_tree()],
             &p,
             AggFunc::Count,
             title,
@@ -337,7 +363,7 @@ mod tests {
         t.add_elem_with_content(t.root(), "x", "1");
         let out = aggregate(
             &s,
-            &vec![t.clone()],
+            vec![t.clone()],
             &p,
             AggFunc::Count,
             title,
@@ -357,7 +383,7 @@ mod tests {
         let (p, y) = year_pattern();
         let out = aggregate(
             &s,
-            &vec![t],
+            vec![t],
             &p,
             AggFunc::Sum,
             y,
@@ -377,7 +403,7 @@ mod tests {
         let (p, y) = year_pattern();
         let out = aggregate(
             &s,
-            &vec![t.clone()],
+            vec![t.clone()],
             &p,
             AggFunc::Min,
             y,
@@ -395,7 +421,7 @@ mod tests {
         let t = Tree::new_elem("pubs");
         let err = aggregate(
             &s,
-            &vec![t],
+            vec![t],
             &p,
             AggFunc::Count,
             0,
@@ -411,7 +437,7 @@ mod tests {
         let p = PatternTree::with_root(Pred::tag("pubs"));
         assert!(aggregate(
             &s,
-            &Vec::new(),
+            Vec::new(),
             &p,
             AggFunc::Count,
             4,
@@ -421,7 +447,7 @@ mod tests {
         .is_err());
         assert!(aggregate(
             &s,
-            &Vec::new(),
+            Vec::new(),
             &p,
             AggFunc::Count,
             0,

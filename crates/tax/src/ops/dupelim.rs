@@ -11,18 +11,22 @@
 use crate::error::Result;
 use crate::exec::{par_map, ExecOptions};
 use crate::matching::match_tree;
+use crate::matching::vnode::VTree;
 use crate::pattern::{PatternNodeId, PatternTree};
 use crate::tree::Collection;
-use crate::matching::vnode::VTree;
 use std::collections::HashSet;
 use xmlstore::DocumentStore;
+
+/// The duplicate key of one tree: `None` when the pattern did not match
+/// (the tree is kept unconditionally), `Some(content)` otherwise.
+pub type DupKey = Option<Option<String>>;
 
 /// Keep the first tree for each distinct content of the node bound by
 /// `by`. Trees in which the pattern does not match at all are kept
 /// unconditionally (they carry no duplicate key).
 pub fn dup_elim(
     store: &DocumentStore,
-    input: &Collection,
+    input: Collection,
     pattern: &PatternTree,
     by: PatternNodeId,
 ) -> Result<Collection> {
@@ -35,36 +39,47 @@ pub fn dup_elim(
 /// survivors are the same trees a single-threaded run keeps.
 pub fn dup_elim_opts(
     store: &DocumentStore,
-    input: &Collection,
+    input: Collection,
     pattern: &PatternTree,
     by: PatternNodeId,
     opts: &ExecOptions,
 ) -> Result<Collection> {
-    if by >= pattern.len() {
-        return Err(crate::error::Error::UnknownLabel(format!("${}", by + 1)));
-    }
-    // `None`: the pattern did not match (tree kept unconditionally);
-    // `Some(value)`: the duplicate key.
-    let keys: Vec<Option<Option<String>>> = par_map(opts, input, |_, tree| {
-        let bindings = match_tree(store, tree, pattern, false)?;
-        match bindings.first() {
-            None => Ok(None),
-            Some(b) => Ok(Some(VTree::new(store, tree).content(b[by])?)),
-        }
-    })?;
+    let keys = dup_keys(store, &input, pattern, by, opts)?;
     let mut seen: HashSet<Option<String>> = HashSet::new();
     let mut out = Vec::new();
-    for (tree, key) in input.iter().zip(keys) {
+    for (tree, key) in input.into_iter().zip(keys) {
         match key {
-            None => out.push(tree.clone()),
+            None => out.push(tree),
             Some(value) => {
                 if seen.insert(value) {
-                    out.push(tree.clone());
+                    out.push(tree);
                 }
             }
         }
     }
     Ok(out)
+}
+
+/// Per-tree duplicate keys, extracted in parallel. Exposed separately so
+/// a streaming executor can run the first-occurrence scan itself,
+/// carrying the seen-set across batches.
+pub fn dup_keys(
+    store: &DocumentStore,
+    input: &[crate::tree::Tree],
+    pattern: &PatternTree,
+    by: PatternNodeId,
+    opts: &ExecOptions,
+) -> Result<Vec<DupKey>> {
+    if by >= pattern.len() {
+        return Err(crate::error::Error::UnknownLabel(format!("${}", by + 1)));
+    }
+    par_map(opts, input, |_, tree| {
+        let bindings = match_tree(store, tree, pattern, false)?;
+        match bindings.first() {
+            None => Ok(None),
+            Some(b) => Ok(Some(VTree::new(store, tree).content(b[by])?)),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -92,17 +107,11 @@ mod tests {
         let author = p.add_child(p.root(), Axis::Descendant, Pred::tag("author"));
         let sel = select_db(&s, &p, &[author]).unwrap();
         assert_eq!(sel.len(), 5);
-        let distinct = dup_elim(&s, &sel, &p, author).unwrap();
+        let distinct = dup_elim(&s, sel, &p, author).unwrap();
         assert_eq!(distinct.len(), 3); // Jack, John, Jill
         let names: Vec<String> = distinct
             .iter()
-            .map(|t| {
-                t.materialize(&s)
-                    .unwrap()
-                    .child("author")
-                    .unwrap()
-                    .text()
-            })
+            .map(|t| t.materialize(&s).unwrap().child("author").unwrap().text())
             .collect();
         assert_eq!(names, ["Jack", "John", "Jill"]); // first occurrence order
     }
@@ -115,7 +124,7 @@ mod tests {
             crate::tree::Tree::new_elem("odd"),
         ];
         let p = PatternTree::with_root(Pred::tag("author"));
-        let out = dup_elim(&s, &input, &p, p.root()).unwrap();
+        let out = dup_elim(&s, input, &p, p.root()).unwrap();
         assert_eq!(out.len(), 2);
     }
 
@@ -123,7 +132,7 @@ mod tests {
     fn bad_label_rejected() {
         let s = store();
         let p = PatternTree::with_root(Pred::tag("author"));
-        assert!(dup_elim(&s, &Vec::new(), &p, 7).is_err());
+        assert!(dup_elim(&s, Vec::new(), &p, 7).is_err());
     }
 
     #[test]
@@ -133,7 +142,7 @@ mod tests {
         let author = p.add_child(p.root(), Axis::Descendant, Pred::tag("author"));
         let sel = select_db(&s, &p, &[author]).unwrap();
         s.reset_io_stats();
-        let _ = dup_elim(&s, &sel, &p, author).unwrap();
+        let _ = dup_elim(&s, sel, &p, author).unwrap();
         assert!(
             s.io_stats().page_requests() > 0,
             "dup-elim must look up data values"

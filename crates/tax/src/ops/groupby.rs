@@ -128,7 +128,14 @@ pub fn groupby(
     basis: &[BasisItem],
     ordering: &[GroupOrder],
 ) -> Result<Collection> {
-    groupby_opts(store, input, pattern, basis, ordering, &ExecOptions::default())
+    groupby_opts(
+        store,
+        input,
+        pattern,
+        basis,
+        ordering,
+        &ExecOptions::default(),
+    )
 }
 
 /// [`groupby`] with explicit execution options. Key extraction (pattern
@@ -236,7 +243,6 @@ pub fn groupby_replicated(
         key: Key,
         sort_key: Vec<Option<String>>,
         tree: Tree,
-        basis_values: Vec<Option<String>>,
         /// The tag of each basis node's match (for the basis children).
         basis_tags: Vec<String>,
         arrival: usize,
@@ -279,7 +285,6 @@ pub fn groupby_replicated(
             let materialized = Tree::from_element(&tree.materialize(store)?);
             let arrival = replicas.len();
             replicas.push(Replica {
-                basis_values: key.clone(),
                 key,
                 sort_key,
                 tree: materialized,
@@ -315,7 +320,7 @@ pub fn groupby_replicated(
         let first = &replicas[member_ids[0]];
         for ((item, value), tag) in basis
             .iter()
-            .zip(first.basis_values.iter())
+            .zip(first.key.iter())
             .zip(first.basis_tags.iter())
         {
             let _ = item;
@@ -411,19 +416,21 @@ where
     Ok(out)
 }
 
-fn validate(
-    pattern: &PatternTree,
-    basis: &[BasisItem],
-    ordering: &[GroupOrder],
-) -> Result<()> {
+fn validate(pattern: &PatternTree, basis: &[BasisItem], ordering: &[GroupOrder]) -> Result<()> {
     for b in basis {
         if b.label >= pattern.len() {
-            return Err(crate::error::Error::UnknownLabel(format!("${}", b.label + 1)));
+            return Err(crate::error::Error::UnknownLabel(format!(
+                "${}",
+                b.label + 1
+            )));
         }
     }
     for o in ordering {
         if o.label >= pattern.len() {
-            return Err(crate::error::Error::UnknownLabel(format!("${}", o.label + 1)));
+            return Err(crate::error::Error::UnknownLabel(format!(
+                "${}",
+                o.label + 1
+            )));
         }
     }
     Ok(())
@@ -469,10 +476,7 @@ fn build_group_tree(
     let mut tree = Tree::new_elem(crate::tags::GROUP_ROOT);
     let basis_root = tree.add_elem(tree.root(), crate::tags::GROUPING_BASIS);
     let src_tree = &input[group.basis_tree];
-    for (item, (v, value)) in basis
-        .iter()
-        .zip(group.basis_nodes.iter().zip(key.iter()))
-    {
+    for (item, (v, value)) in basis.iter().zip(group.basis_nodes.iter().zip(key.iter())) {
         match item.attr {
             Some(_) => {
                 // $i.attr: a constructed child named after the attribute.
@@ -565,7 +569,11 @@ mod tests {
             .collect()
     }
 
-    fn author_groupby(s: &DocumentStore, input: &Collection, ordering: &[GroupOrder]) -> Collection {
+    fn author_groupby(
+        s: &DocumentStore,
+        input: &Collection,
+        ordering: &[GroupOrder],
+    ) -> Collection {
         let mut p = PatternTree::with_root(Pred::tag("article"));
         let title = p.add_child(p.root(), Axis::Child, Pred::tag("title"));
         let author = p.add_child(p.root(), Axis::Child, Pred::tag("author"));
@@ -573,7 +581,11 @@ mod tests {
         let ordering: Vec<GroupOrder> = ordering
             .iter()
             .map(|o| GroupOrder {
-                label: if o.label == usize::MAX { title } else { o.label },
+                label: if o.label == usize::MAX {
+                    title
+                } else {
+                    o.label
+                },
                 direction: o.direction,
             })
             .collect();
@@ -700,11 +712,18 @@ mod tests {
         assert_eq!(groups.len(), 2);
         let g0 = groups[0].materialize(&s).unwrap();
         assert_eq!(
-            g0.child(tags::GROUPING_BASIS).unwrap().child("year").unwrap().text(),
+            g0.child(tags::GROUPING_BASIS)
+                .unwrap()
+                .child("year")
+                .unwrap()
+                .text(),
             "1999"
         );
         assert_eq!(
-            g0.child(tags::GROUP_SUBROOT).unwrap().children_named("article").count(),
+            g0.child(tags::GROUP_SUBROOT)
+                .unwrap()
+                .children_named("article")
+                .count(),
             2
         );
     }
@@ -859,11 +878,18 @@ mod tests {
         assert_eq!(groups.len(), 2);
         let g0 = groups[0].materialize(&s).unwrap();
         assert_eq!(
-            g0.child(crate::tags::GROUPING_BASIS).unwrap().child("decade").unwrap().text(),
+            g0.child(crate::tags::GROUPING_BASIS)
+                .unwrap()
+                .child("decade")
+                .unwrap()
+                .text(),
             "1990s"
         );
         assert_eq!(
-            g0.child(crate::tags::GROUP_SUBROOT).unwrap().children_named("article").count(),
+            g0.child(crate::tags::GROUP_SUBROOT)
+                .unwrap()
+                .children_named("article")
+                .count(),
             2
         );
         // Ascending year order within the decade group.

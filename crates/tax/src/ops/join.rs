@@ -36,10 +36,16 @@ pub fn left_outer_join_db(
     right_sl: &[PatternNodeId],
 ) -> Result<Collection> {
     if left_label >= left_pattern.len() {
-        return Err(crate::error::Error::UnknownLabel(format!("${}", left_label + 1)));
+        return Err(crate::error::Error::UnknownLabel(format!(
+            "${}",
+            left_label + 1
+        )));
     }
     if right_label >= right_pattern.len() {
-        return Err(crate::error::Error::UnknownLabel(format!("${}", right_label + 1)));
+        return Err(crate::error::Error::UnknownLabel(format!(
+            "${}",
+            right_label + 1
+        )));
     }
 
     // Match the right side once; bucket bindings by join value
@@ -100,13 +106,14 @@ pub fn full_outer_join(
     right_pattern: &PatternTree,
     right_label: PatternNodeId,
 ) -> Result<Collection> {
-    let key_of = |tree: &Tree, pattern: &PatternTree, label: PatternNodeId| -> Result<Option<String>> {
-        let bindings = match_tree(store, tree, pattern, false)?;
-        match bindings.first() {
-            Some(b) => VTree::new(store, tree).content(b[label]),
-            None => Ok(None),
-        }
-    };
+    let key_of =
+        |tree: &Tree, pattern: &PatternTree, label: PatternNodeId| -> Result<Option<String>> {
+            let bindings = match_tree(store, tree, pattern, false)?;
+            match bindings.first() {
+                Some(b) => VTree::new(store, tree).content(b[label]),
+                None => Ok(None),
+            }
+        };
 
     let mut right_keys: Vec<Option<String>> = Vec::with_capacity(right.len());
     for r in right {
@@ -183,7 +190,7 @@ mod tests {
     fn distinct_authors(s: &DocumentStore) -> Collection {
         let p = outer_pattern();
         let sel = select_db(s, &p, &[1]).unwrap();
-        dup_elim(s, &sel, &p, 1).unwrap()
+        dup_elim(s, sel, &p, 1).unwrap()
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! relationship among them).
 
 use crate::error::Result;
-use crate::matching::vnode::VNode;
 use crate::matching::match_tree;
+use crate::matching::vnode::VNode;
 use crate::pattern::{PatternNodeId, PatternTree};
 use crate::tree::{Collection, Tree, TreeNodeKind};
 use std::collections::HashMap;
@@ -59,7 +59,11 @@ pub fn project(
     Ok(out)
 }
 
-fn project_one(
+/// Project a single tree, appending its output trees (possibly none) to
+/// `out`. Trees are independent under projection, so [`project`] is just
+/// this in a loop — exposed for the fused select→project kernel and the
+/// streaming executor, which batch over trees.
+pub fn project_one(
     store: &DocumentStore,
     tree: &Tree,
     pattern: &PatternTree,
@@ -111,10 +115,8 @@ fn project_one(
     let selected = norm;
 
     let selected_stored: Vec<xmlstore::NodeEntry> = {
-        let mut v: Vec<xmlstore::NodeEntry> = selected
-            .keys()
-            .filter_map(|n| n.as_stored())
-            .collect();
+        let mut v: Vec<xmlstore::NodeEntry> =
+            selected.keys().filter_map(|n| n.as_stored()).collect();
         v.sort_by_key(|e| e.start);
         v
     };
@@ -197,7 +199,11 @@ fn arena_intervals(
     for &c in &tree.node(i).children {
         arena_intervals(tree, c, selected_stored, intervals, owner_width, counter);
     }
-    if let TreeNodeKind::Ref { node: entry, deep: true } = &tree.node(i).kind {
+    if let TreeNodeKind::Ref {
+        node: entry,
+        deep: true,
+    } = &tree.node(i).kind
+    {
         if !selected_stored.is_empty() {
             let width = entry.end - entry.start;
             let lo = selected_stored.partition_point(|s| s.start <= entry.start);
@@ -243,7 +249,7 @@ fn new_tree_for(store: &DocumentStore, tree: &Tree, v: VNode, deep: bool) -> Res
             // Arena deep: copy the arena subtree's children.
             if deep {
                 if let VNode::Arena(i) = v {
-                    for &c in tree.node(i).children.clone().iter() {
+                    for &c in &tree.node(i).children {
                         let root = t.root();
                         t.append_subtree(root, tree, c);
                     }

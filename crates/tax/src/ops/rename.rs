@@ -6,19 +6,16 @@
 
 use crate::error::Result;
 use crate::tree::{Collection, Tree, TreeNodeKind};
-use xmlstore::DocumentStore;
 
-/// Rename the root of every tree to `new_tag`.
+/// Rename the root of every tree to `new_tag`, in place.
 ///
 /// A constructed root keeps its content; a reference root is replaced by
 /// a constructed element whose children are the reference's arena
 /// children (for a deep reference the stored subtree's children are
 /// *not* pulled up — rename is meant for the dummy roots produced by
 /// joins, groupings, and constructors, which are always constructed).
-pub fn rename_root(_store: &DocumentStore, input: &Collection, new_tag: &str) -> Result<Collection> {
-    let mut out = Vec::with_capacity(input.len());
-    for tree in input {
-        let mut t = tree.clone();
+pub fn rename_root(mut input: Collection, new_tag: &str) -> Result<Collection> {
+    for t in &mut input {
         let root = t.root();
         let new_kind = match &t.node(root).kind {
             TreeNodeKind::Elem { content, .. } => TreeNodeKind::Elem {
@@ -31,18 +28,17 @@ pub fn rename_root(_store: &DocumentStore, input: &Collection, new_tag: &str) ->
             },
         };
         t.node_mut(root).kind = new_kind;
-        out.push(t);
     }
-    Ok(out)
+    Ok(input)
 }
 
 /// Wrap each tree under a fresh constructed root named `tag` — the
 /// element-constructor step of a RETURN clause.
-pub fn wrap_root(_store: &DocumentStore, input: &Collection, tag: &str) -> Result<Collection> {
+pub fn wrap_root(input: Collection, tag: &str) -> Result<Collection> {
     let mut out = Vec::with_capacity(input.len());
     for tree in input {
         let mut t = Tree::new_elem(tag);
-        t.append_subtree(t.root(), tree, tree.root());
+        t.append_subtree(t.root(), &tree, tree.root());
         out.push(t);
     }
     Ok(out)
@@ -62,7 +58,7 @@ mod tests {
         let s = store();
         let mut t = Tree::new_elem(crate::tags::PROD_ROOT);
         t.add_elem_with_content(t.root(), "author", "Jack");
-        let out = rename_root(&s, &vec![t], "authorpubs").unwrap();
+        let out = rename_root(vec![t], "authorpubs").unwrap();
         let e = out[0].materialize(&s).unwrap();
         assert_eq!(e.name, "authorpubs");
         assert_eq!(e.child("author").unwrap().text(), "Jack");
@@ -74,7 +70,7 @@ mod tests {
         let a = s.tag_id("a").unwrap();
         let node = s.nodes_with_tag(a)[0];
         let t = Tree::new_ref(node, false);
-        let out = rename_root(&s, &vec![t], "renamed").unwrap();
+        let out = rename_root(vec![t], "renamed").unwrap();
         let e = out[0].materialize(&s).unwrap();
         assert_eq!(e.name, "renamed");
     }
@@ -84,7 +80,7 @@ mod tests {
         let s = store();
         let mut t = Tree::new_elem("inner");
         t.add_elem_with_content(t.root(), "x", "1");
-        let out = wrap_root(&s, &vec![t], "outer").unwrap();
+        let out = wrap_root(vec![t], "outer").unwrap();
         let e = out[0].materialize(&s).unwrap();
         assert_eq!(e.name, "outer");
         assert_eq!(e.child("inner").unwrap().child("x").unwrap().text(), "1");
@@ -92,8 +88,7 @@ mod tests {
 
     #[test]
     fn empty_collection_passthrough() {
-        let s = store();
-        assert!(rename_root(&s, &Vec::new(), "t").unwrap().is_empty());
-        assert!(wrap_root(&s, &Vec::new(), "t").unwrap().is_empty());
+        assert!(rename_root(Vec::new(), "t").unwrap().is_empty());
+        assert!(wrap_root(Vec::new(), "t").unwrap().is_empty());
     }
 }

@@ -22,7 +22,7 @@ use xmlstore::DocumentStore;
 /// the sort is stable throughout.
 pub fn reorder(
     store: &DocumentStore,
-    input: &Collection,
+    input: Collection,
     pattern: &PatternTree,
     ordering: &[GroupOrder],
 ) -> Result<Collection> {
@@ -60,7 +60,12 @@ pub fn reorder(
         }
         a.1.cmp(&b.1)
     });
-    Ok(keyed.into_iter().map(|(_, idx)| input[idx].clone()).collect())
+    // Emit in sorted order by moving each tree out of its input slot.
+    let mut slots: Vec<Option<crate::tree::Tree>> = input.into_iter().map(Some).collect();
+    Ok(keyed
+        .into_iter()
+        .map(|(_, idx)| slots[idx].take().expect("each index emitted once"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -88,13 +93,7 @@ mod tests {
 
     fn titles(s: &DocumentStore, c: &Collection) -> Vec<String> {
         c.iter()
-            .map(|t| {
-                t.materialize(s)
-                    .unwrap()
-                    .child("title")
-                    .unwrap()
-                    .text()
-            })
+            .map(|t| t.materialize(s).unwrap().child("title").unwrap().text())
             .collect()
     }
 
@@ -103,7 +102,7 @@ mod tests {
         let (s, arts, p, title, _) = setup();
         let sorted = reorder(
             &s,
-            &arts,
+            arts,
             &p,
             &[GroupOrder {
                 label: title,
@@ -119,7 +118,7 @@ mod tests {
         let (s, arts, p, title, year) = setup();
         let sorted = reorder(
             &s,
-            &arts,
+            arts,
             &p,
             &[
                 GroupOrder {
@@ -142,7 +141,7 @@ mod tests {
         let (s, arts, p, _, year) = setup();
         let sorted = reorder(
             &s,
-            &arts,
+            arts,
             &p,
             &[GroupOrder {
                 label: year,
@@ -160,7 +159,7 @@ mod tests {
         arts.push(crate::tree::Tree::new_elem("odd2"));
         let sorted = reorder(
             &s,
-            &arts,
+            arts,
             &p,
             &[GroupOrder {
                 label: title,
@@ -181,7 +180,7 @@ mod tests {
     #[test]
     fn empty_ordering_is_identity() {
         let (s, arts, p, _, _) = setup();
-        let sorted = reorder(&s, &arts, &p, &[]).unwrap();
+        let sorted = reorder(&s, arts.clone(), &p, &[]).unwrap();
         assert_eq!(titles(&s, &sorted), titles(&s, &arts));
     }
 
@@ -190,7 +189,7 @@ mod tests {
         let (s, arts, p, _, _) = setup();
         assert!(reorder(
             &s,
-            &arts,
+            arts,
             &p,
             &[GroupOrder {
                 label: 9,

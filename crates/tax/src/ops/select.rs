@@ -37,6 +37,44 @@ pub fn select_db_opts(
     })
 }
 
+/// Fused selection + projection over the stored database (the
+/// optimizer's select→project fusion): the pattern is matched once, and
+/// each binding's witness tree is projected immediately instead of
+/// materializing the whole selected collection. Because projection
+/// treats input trees independently and appends outputs in order, this
+/// is byte-identical to `project(select_db(pattern, sl), pattern, pl,
+/// anchor_root = true)`.
+pub fn select_project_db_opts(
+    store: &DocumentStore,
+    pattern: &PatternTree,
+    sl: &[PatternNodeId],
+    pl: &[crate::ops::project::ProjectItem],
+    opts: &ExecOptions,
+) -> Result<Collection> {
+    let bindings = match_db(store, pattern)?;
+    select_project_bindings(store, pattern, &bindings, sl, pl, opts)
+}
+
+/// The per-binding kernel of [`select_project_db_opts`], callable over a
+/// binding slice — the streaming executor pulls bounded batches of
+/// bindings through this.
+pub fn select_project_bindings(
+    store: &DocumentStore,
+    pattern: &PatternTree,
+    bindings: &[Binding],
+    sl: &[PatternNodeId],
+    pl: &[crate::ops::project::ProjectItem],
+    opts: &ExecOptions,
+) -> Result<Collection> {
+    let per_binding = par_map(opts, bindings, |_, b| {
+        let witness = witness_tree(store, None, pattern, b, sl)?;
+        let mut out = Vec::new();
+        crate::ops::project::project_one(store, &witness, pattern, pl, true, &mut out)?;
+        Ok(out)
+    })?;
+    Ok(per_binding.into_iter().flatten().collect())
+}
+
 /// Selection over an in-memory collection. Witness trees are produced per
 /// embedding, as over the database.
 pub fn select(
@@ -198,19 +236,10 @@ mod tests {
         // The two-author article yields two witness trees.
         let authors: Vec<String> = w
             .iter()
-            .map(|t| {
-                t.materialize(&s)
-                    .unwrap()
-                    .child("author")
-                    .unwrap()
-                    .text()
-            })
+            .map(|t| t.materialize(&s).unwrap().child("author").unwrap().text())
             .collect();
         assert!(authors.contains(&"Garcia-Molina".to_owned()));
-        assert_eq!(
-            authors.iter().filter(|a| *a == "Silberschatz").count(),
-            2
-        );
+        assert_eq!(authors.iter().filter(|a| *a == "Silberschatz").count(), 2);
     }
 
     #[test]

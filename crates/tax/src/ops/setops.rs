@@ -19,9 +19,7 @@ fn fingerprint(tree: &Tree) -> Vec<(u8, u32, String)> {
     tree.preorder()
         .into_iter()
         .map(|n| match &tree.node(n).kind {
-            TreeNodeKind::Ref { node, deep } => {
-                (u8::from(*deep), node.id.0, String::new())
-            }
+            TreeNodeKind::Ref { node, deep } => (u8::from(*deep), node.id.0, String::new()),
             TreeNodeKind::Elem { tag, content } => (
                 2,
                 tree.node(n).children.len() as u32,
@@ -33,40 +31,40 @@ fn fingerprint(tree: &Tree) -> Vec<(u8, u32, String)> {
 
 /// `left ∪ right`, preserving order of first occurrence and removing
 /// duplicates (set semantics).
-pub fn union(left: &Collection, right: &Collection) -> Result<Collection> {
+pub fn union(left: Collection, right: Collection) -> Result<Collection> {
     let mut seen = HashSet::new();
     let mut out = Vec::new();
-    for tree in left.iter().chain(right.iter()) {
-        if seen.insert(fingerprint(tree)) {
-            out.push(tree.clone());
+    for tree in left.into_iter().chain(right) {
+        if seen.insert(fingerprint(&tree)) {
+            out.push(tree);
         }
     }
     Ok(out)
 }
 
 /// `left ∩ right`, in `left` order, de-duplicated.
-pub fn intersection(left: &Collection, right: &Collection) -> Result<Collection> {
+pub fn intersection(left: Collection, right: &Collection) -> Result<Collection> {
     let right_set: HashSet<_> = right.iter().map(fingerprint).collect();
     let mut seen = HashSet::new();
     let mut out = Vec::new();
     for tree in left {
-        let fp = fingerprint(tree);
+        let fp = fingerprint(&tree);
         if right_set.contains(&fp) && seen.insert(fp) {
-            out.push(tree.clone());
+            out.push(tree);
         }
     }
     Ok(out)
 }
 
 /// `left ∖ right`, in `left` order, de-duplicated.
-pub fn difference(left: &Collection, right: &Collection) -> Result<Collection> {
+pub fn difference(left: Collection, right: &Collection) -> Result<Collection> {
     let right_set: HashSet<_> = right.iter().map(fingerprint).collect();
     let mut seen = HashSet::new();
     let mut out = Vec::new();
     for tree in left {
-        let fp = fingerprint(tree);
+        let fp = fingerprint(&tree);
         if !right_set.contains(&fp) && seen.insert(fp) {
-            out.push(tree.clone());
+            out.push(tree);
         }
     }
     Ok(out)
@@ -108,7 +106,7 @@ mod tests {
         let s = store();
         let by_jack = articles_with(&s, "author", "Jack"); // A, C
         let of_2002 = articles_with(&s, "year", "2002"); // B, C
-        let u = union(&by_jack, &of_2002).unwrap();
+        let u = union(by_jack, of_2002).unwrap();
         assert_eq!(u.len(), 3); // A, C, B
     }
 
@@ -117,7 +115,7 @@ mod tests {
         let s = store();
         let by_jack = articles_with(&s, "author", "Jack");
         let of_2002 = articles_with(&s, "year", "2002");
-        let i = intersection(&by_jack, &of_2002).unwrap();
+        let i = intersection(by_jack, &of_2002).unwrap();
         assert_eq!(i.len(), 1); // C
         let e = i[0].materialize(&s).unwrap();
         assert_eq!(e.child("title").unwrap().text(), "C");
@@ -128,7 +126,7 @@ mod tests {
         let s = store();
         let by_jack = articles_with(&s, "author", "Jack");
         let of_2002 = articles_with(&s, "year", "2002");
-        let d = difference(&by_jack, &of_2002).unwrap();
+        let d = difference(by_jack, &of_2002).unwrap();
         assert_eq!(d.len(), 1); // A
         let e = d[0].materialize(&s).unwrap();
         assert_eq!(e.child("title").unwrap().text(), "A");
@@ -143,9 +141,9 @@ mod tests {
         };
         let left = vec![mk("1"), mk("2")];
         let right = vec![mk("2"), mk("3")];
-        assert_eq!(union(&left, &right).unwrap().len(), 3);
-        assert_eq!(intersection(&left, &right).unwrap().len(), 1);
-        assert_eq!(difference(&left, &right).unwrap().len(), 1);
+        assert_eq!(union(left.clone(), right.clone()).unwrap().len(), 3);
+        assert_eq!(intersection(left.clone(), &right).unwrap().len(), 1);
+        assert_eq!(difference(left, &right).unwrap().len(), 1);
     }
 
     #[test]
@@ -153,10 +151,10 @@ mod tests {
         let s = store();
         let by_jack = articles_with(&s, "author", "Jack");
         let empty: Collection = Vec::new();
-        assert_eq!(union(&by_jack, &empty).unwrap().len(), 2);
-        assert_eq!(intersection(&by_jack, &empty).unwrap().len(), 0);
-        assert_eq!(difference(&by_jack, &empty).unwrap().len(), 2);
-        assert_eq!(difference(&empty, &by_jack).unwrap().len(), 0);
+        assert_eq!(union(by_jack.clone(), empty.clone()).unwrap().len(), 2);
+        assert_eq!(intersection(by_jack.clone(), &empty).unwrap().len(), 0);
+        assert_eq!(difference(by_jack.clone(), &empty).unwrap().len(), 2);
+        assert_eq!(difference(empty, &by_jack).unwrap().len(), 0);
     }
 
     #[test]
@@ -166,7 +164,7 @@ mod tests {
         let e = s.nodes_with_tag(article)[0];
         let deep = vec![Tree::new_ref(e, true)];
         let shallow = vec![Tree::new_ref(e, false)];
-        assert_eq!(intersection(&deep, &shallow).unwrap().len(), 0);
-        assert_eq!(union(&deep, &shallow).unwrap().len(), 2);
+        assert_eq!(intersection(deep.clone(), &shallow).unwrap().len(), 0);
+        assert_eq!(union(deep, shallow).unwrap().len(), 2);
     }
 }

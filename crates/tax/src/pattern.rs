@@ -142,15 +142,15 @@ impl Pred {
                 Some(c) => op.matches(compare_values(c, v)),
                 None => false,
             },
-            Pred::ContentContains(sub) => content.map(|c| c.contains(sub.as_str())).unwrap_or(false),
+            Pred::ContentContains(sub) => {
+                content.map(|c| c.contains(sub.as_str())).unwrap_or(false)
+            }
             Pred::Attr(name, op, v) => match attr(name) {
                 Some(a) => op.matches(compare_values(&a, v)),
                 None => false,
             },
             Pred::ContentEqNode(_) => true,
-            Pred::And(a, b) => {
-                a.eval_local(tag, content, attr) && b.eval_local(tag, content, attr)
-            }
+            Pred::And(a, b) => a.eval_local(tag, content, attr) && b.eval_local(tag, content, attr),
             Pred::Or(a, b) => a.eval_local(tag, content, attr) || b.eval_local(tag, content, attr),
             Pred::Not(a) => !a.eval_local(tag, content, attr),
         }
@@ -487,8 +487,7 @@ mod tests {
         assert!(!Pred::tag("a").eval_local("b", None, &no_attr));
         assert!(Pred::content_eq("x").eval_local("a", Some("x"), &no_attr));
         assert!(!Pred::content_eq("x").eval_local("a", None, &no_attr));
-        assert!(Pred::content_contains("rans")
-            .eval_local("t", Some("Transaction Mng"), &no_attr));
+        assert!(Pred::content_contains("rans").eval_local("t", Some("Transaction Mng"), &no_attr));
         assert!(Pred::content_cmp(CmpOp::Lt, "2000").eval_local("y", Some("1999"), &no_attr));
         let attrs = |name: &str| {
             if name == "year" {

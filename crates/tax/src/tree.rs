@@ -302,8 +302,7 @@ impl Tree {
                     for child in store.children(nid.id)? {
                         let crec = store.record(child)?;
                         if crec.kind == NodeKind::Attribute {
-                            let name =
-                                store.tag_name(crec.tag).trim_start_matches('@').to_owned();
+                            let name = store.tag_name(crec.tag).trim_start_matches('@').to_owned();
                             let value = store.content(child)?.unwrap_or_default();
                             e.attributes.push((name, value));
                         }

@@ -13,8 +13,7 @@ use xmlstore::{DocumentStore, StoreOptions};
 
 /// The shrunken counterexample preserved from the retired proptest
 /// regression file: a single article whose `author` precedes `title`.
-const REGRESSION: &str =
-    "<bib><article><author>Jack</author><title>T00000</title></article></bib>";
+const REGRESSION: &str = "<bib><article><author>Jack</author><title>T00000</title></article></bib>";
 
 /// Random bibliography: each article has 1–3 authors drawn from a pool
 /// of 4 names and a distinct title, so keys repeat and overlap. Authors
@@ -33,7 +32,10 @@ fn bibliography(g: &mut Gen) -> String {
                 s.push_str(&format!("<author>{}</author>", NAMES[a]));
             }
         }
-        s.push_str(&format!("<title>T{:05}</title></article>", g.usize_in(0, 9999)));
+        s.push_str(&format!(
+            "<title>T{:05}</title></article>",
+            g.usize_in(0, 9999)
+        ));
     }
     s.push_str("</bib>");
     s
@@ -154,8 +156,7 @@ fn check_impls_agree(xml: &str) {
         direction: Direction::Ascending,
     }];
     let fast = groupby(&s, &arts, &p, &[BasisItem::content(author)], &ordering).unwrap();
-    let slow =
-        groupby_replicated(&s, &arts, &p, &[BasisItem::content(author)], &ordering).unwrap();
+    let slow = groupby_replicated(&s, &arts, &p, &[BasisItem::content(author)], &ordering).unwrap();
     assert_eq!(fast.len(), slow.len(), "on {xml}");
     for (f, sl) in fast.iter().zip(slow.iter()) {
         let fe = xmlparse::serialize::element_to_string(&f.materialize(&s).unwrap());

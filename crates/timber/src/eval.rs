@@ -23,6 +23,9 @@ pub fn eval(store: &DocumentStore, plan: &Plan) -> Result<Collection> {
 pub fn eval_with(store: &DocumentStore, plan: &Plan, opts: &ExecOptions) -> Result<Collection> {
     Ok(match plan {
         Plan::SelectDb { pattern, sl } => ops::select::select_db_opts(store, pattern, sl, opts)?,
+        Plan::SelectProject { pattern, sl, pl } => {
+            ops::select::select_project_db_opts(store, pattern, sl, pl, opts)?
+        }
         Plan::Project {
             input,
             pattern,
@@ -34,7 +37,7 @@ pub fn eval_with(store: &DocumentStore, plan: &Plan, opts: &ExecOptions) -> Resu
         }
         Plan::DupElim { input, pattern, by } => {
             let c = eval_with(store, input, opts)?;
-            ops::dupelim::dup_elim_opts(store, &c, pattern, *by, opts)?
+            ops::dupelim::dup_elim_opts(store, c, pattern, *by, opts)?
         }
         Plan::LeftOuterJoinDb {
             left,
@@ -75,11 +78,11 @@ pub fn eval_with(store: &DocumentStore, plan: &Plan, opts: &ExecOptions) -> Resu
             spec,
         } => {
             let c = eval_with(store, input, opts)?;
-            ops::aggregate::aggregate_opts(store, &c, pattern, *func, *of, new_tag, *spec, opts)?
+            ops::aggregate::aggregate_opts(store, c, pattern, *func, *of, new_tag, *spec, opts)?
         }
         Plan::Rename { input, tag } => {
             let c = eval_with(store, input, opts)?;
-            ops::rename::rename_root(store, &c, tag)?
+            ops::rename::rename_root(c, tag)?
         }
         Plan::StitchConstruct {
             outer,
@@ -117,9 +120,10 @@ pub fn eval_with(store: &DocumentStore, plan: &Plan, opts: &ExecOptions) -> Resu
 
 /// The RETURN stitching of the naive plan: a full outer join on the key
 /// (realized as one hash pass over the inner collection), fused with the
-/// final per-binding construction and rename.
+/// final per-binding construction and rename. Shared between this
+/// interpreter and the physical executor's stitch sink.
 #[allow(clippy::too_many_arguments)]
-fn stitch(
+pub(crate) fn stitch(
     store: &DocumentStore,
     outer: &Collection,
     outer_pattern: &PatternTree,
@@ -163,7 +167,9 @@ fn stitch(
                         TreeNodeKind::Ref { node, .. } => node.id.0 as u64,
                         // Constructed nodes have no global identity;
                         // distinguish by position.
-                        TreeNodeKind::Elem { .. } => (1 << 40) | ((tree_idx as u64) << 20) | i as u64,
+                        TreeNodeKind::Elem { .. } => {
+                            (1 << 40) | ((tree_idx as u64) << 20) | i as u64
+                        }
                     },
                 };
                 if !seen.insert((key.clone(), part_id)) {
@@ -194,10 +200,8 @@ fn stitch(
     if let Some((_, dir)) = order {
         for bucket in parts.values_mut() {
             bucket.sort_by(|a, b| {
-                let ord = tax::value::compare_opt_values(
-                    a.order_key.as_deref(),
-                    b.order_key.as_deref(),
-                );
+                let ord =
+                    tax::value::compare_opt_values(a.order_key.as_deref(), b.order_key.as_deref());
                 let ord = match dir {
                     Direction::Ascending => ord,
                     Direction::Descending => ord.reverse(),
@@ -235,11 +239,7 @@ fn stitch(
                 .filter_map(|c| c.trim().parse::<f64>().ok())
                 .collect();
             if let Some(v) = tax::ops::aggregate::compute(func, matched.len(), &values) {
-                result.add_elem_with_content(
-                    root,
-                    agg_tag,
-                    tax::ops::aggregate::format_value(v),
-                );
+                result.add_elem_with_content(root, agg_tag, tax::ops::aggregate::format_value(v));
             }
         } else {
             for part in matched {
@@ -265,7 +265,7 @@ fn part_tree(src: &Tree, v: VNode, deep: bool) -> Tree {
                     }
                 }
                 if deep {
-                    for &c in src.node(i).children.clone().iter() {
+                    for &c in &src.node(i).children {
                         let root = t.root();
                         t.append_subtree(root, src, c);
                     }
@@ -334,7 +334,10 @@ mod tests {
         // join pair (Fig. 8): Jack×2, John×2, Jill×1 = 5.
         let db = db();
         let (plan, _) = db.compile(QUERY2, PlanMode::Direct).unwrap();
-        let Plan::StitchConstruct { inner: Some(inner), .. } = &plan else {
+        let Plan::StitchConstruct {
+            inner: Some(inner), ..
+        } = &plan
+        else {
             panic!()
         };
         let c = eval(db.store(), inner).unwrap();

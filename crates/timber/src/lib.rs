@@ -36,29 +36,50 @@
 
 pub mod error;
 pub mod eval;
+pub mod metrics;
+pub mod physical;
 pub mod result;
 
 pub use error::{Result, TimberError};
+pub use metrics::PlanMetrics;
 pub use result::QueryResult;
 
+use std::fmt::Write as _;
 use xmlstore::{DocumentStore, FaultConfig, FaultStats, IoStats, StoreOptions};
+use xquery::opt::OptTrace;
 use xquery::Plan;
 
 /// Which evaluation plan to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanMode {
     /// The naive join-based plan — the paper's "direct execution of the
-    /// XQuery as written".
+    /// XQuery as written". No rewrite rules run.
     Direct,
-    /// The rewritten plan using the GROUPBY operator (falls back to the
-    /// naive plan when the rewrite does not apply).
+    /// The optimized plan: the full rewrite-rule framework, headlined by
+    /// the GROUPBY rewrite (falls back to the naive plan when no rule
+    /// applies).
     GroupByRewrite,
+}
+
+/// Which executor interprets the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The batched pull-based operator pipeline ([`physical`]) — the
+    /// default. Streams selection/projection/dup-elim in bounded
+    /// batches and records per-operator metrics.
+    #[default]
+    Physical,
+    /// The recursive match-arm interpreter ([`eval`]), kept for
+    /// differential testing. Output is byte-identical to `Physical`.
+    Legacy,
 }
 
 /// A loaded database plus the query pipeline.
 pub struct TimberDb {
     store: DocumentStore,
     exec: tax::ExecOptions,
+    exec_mode: ExecMode,
+    batch_size: usize,
 }
 
 impl TimberDb {
@@ -67,6 +88,8 @@ impl TimberDb {
         Ok(TimberDb {
             store: DocumentStore::from_xml(xml, opts)?,
             exec: tax::ExecOptions::default(),
+            exec_mode: ExecMode::default(),
+            batch_size: physical::DEFAULT_BATCH_SIZE,
         })
     }
 
@@ -75,6 +98,8 @@ impl TimberDb {
         Ok(TimberDb {
             store: DocumentStore::load(doc, opts)?,
             exec: tax::ExecOptions::default(),
+            exec_mode: ExecMode::default(),
+            batch_size: physical::DEFAULT_BATCH_SIZE,
         })
     }
 
@@ -100,14 +125,47 @@ impl TimberDb {
         self.exec
     }
 
+    /// Which executor interprets plans.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Select the executor (physical pipeline or legacy interpreter).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// Trees per batch in the physical executor (`0` acts as `1`).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Set the physical executor's batch size.
+    pub fn set_batch_size(&mut self, batch: usize) {
+        self.batch_size = batch.max(1);
+    }
+
     /// Compile a query to a logical plan under the given mode. Returns
     /// the plan and whether the grouping rewrite fired.
     pub fn compile(&self, query: &str, mode: PlanMode) -> Result<(Plan, bool)> {
+        let (plan, rewritten, _) = self.compile_traced(query, mode)?;
+        Ok((plan, rewritten))
+    }
+
+    /// [`TimberDb::compile`] plus the optimizer's rule-firing trace.
+    /// `Direct` mode runs no rules (empty trace); `GroupByRewrite` runs
+    /// the full [`xquery::opt`] rule set to fixpoint. The `rewritten`
+    /// flag reports specifically whether the GROUPBY rewrite fired.
+    pub fn compile_traced(&self, query: &str, mode: PlanMode) -> Result<(Plan, bool, OptTrace)> {
         let ast = xquery::parse_query(query)?;
         let naive = xquery::translate(&ast)?;
         Ok(match mode {
-            PlanMode::Direct => (naive, false),
-            PlanMode::GroupByRewrite => xquery::rewrite(naive),
+            PlanMode::Direct => (naive, false, OptTrace::default()),
+            PlanMode::GroupByRewrite => {
+                let (plan, trace) = xquery::opt::optimize(naive);
+                let rewritten = trace.fired("groupby-rewrite");
+                (plan, rewritten, trace)
+            }
         })
     }
 
@@ -117,11 +175,17 @@ impl TimberDb {
         self.run_plan(&plan, rewritten)
     }
 
-    /// Evaluate an already compiled plan.
+    /// Evaluate an already compiled plan with the configured executor.
     pub fn run_plan(&self, plan: &Plan, rewritten: bool) -> Result<QueryResult> {
         let start = std::time::Instant::now();
         let io_before = self.store.io_stats();
-        let trees = eval::eval_with(&self.store, plan, &self.exec)?;
+        let (trees, metrics) = match self.exec_mode {
+            ExecMode::Physical => {
+                let (trees, m) = physical::execute(&self.store, plan, &self.exec, self.batch_size)?;
+                (trees, Some(m))
+            }
+            ExecMode::Legacy => (eval::eval_with(&self.store, plan, &self.exec)?, None),
+        };
         let elapsed = start.elapsed();
         let io_after = self.store.io_stats();
         Ok(QueryResult {
@@ -129,22 +193,57 @@ impl TimberDb {
             rewritten,
             elapsed,
             io: diff_io(io_before, io_after),
+            metrics,
         })
     }
 
-    /// Render both plans for a query — a poor man's `EXPLAIN`.
+    /// Render both plans for a query plus the optimizer's rule-firing
+    /// trace — `EXPLAIN`.
     pub fn explain(&self, query: &str) -> Result<String> {
-        let (naive, _) = self.compile(query, PlanMode::Direct)?;
-        let (opt, rewritten) = self.compile(query, PlanMode::GroupByRewrite)?;
+        let ast = xquery::parse_query(query)?;
+        let naive = xquery::translate(&ast)?;
+        let (opt, trace) = xquery::opt::optimize(naive.clone());
         let mut out = String::from("== direct plan ==\n");
         out.push_str(&naive.explain());
         out.push_str("\n== optimized plan ==\n");
-        if rewritten {
-            out.push_str(&opt.explain());
+        if trace.firings.is_empty() {
+            out.push_str("(no rewrite rules fired; same as direct)\n");
         } else {
-            out.push_str("(rewrite does not apply; same as direct)\n");
+            out.push_str(&opt.explain());
         }
+        out.push_str("\n== rewrite trace ==\n");
+        out.push_str(&trace.render());
         Ok(out)
+    }
+
+    /// Compile and execute a query on the physical executor, returning
+    /// the plan, the rule trace, the per-operator metrics tree, and the
+    /// result — `EXPLAIN ANALYZE`. Always runs the physical pipeline
+    /// (operator metrics are its instrumentation), regardless of the
+    /// configured [`ExecMode`].
+    pub fn explain_analyze(&self, query: &str, mode: PlanMode) -> Result<ExplainAnalysis> {
+        let (plan, rewritten, trace) = self.compile_traced(query, mode)?;
+        let start = std::time::Instant::now();
+        let io_before = self.store.io_stats();
+        let (trees, metrics) = physical::execute(&self.store, &plan, &self.exec, self.batch_size)?;
+        let elapsed = start.elapsed();
+        let io_after = self.store.io_stats();
+        let result = QueryResult {
+            trees,
+            rewritten,
+            elapsed,
+            io: diff_io(io_before, io_after),
+            metrics: Some(metrics.clone()),
+        };
+        Ok(ExplainAnalysis {
+            mode,
+            rewritten,
+            plan,
+            trace,
+            metrics,
+            result,
+            batch_size: self.batch_size,
+        })
     }
 
     /// Current I/O counters of the store.
@@ -176,7 +275,58 @@ impl TimberDb {
     }
 }
 
-fn diff_io(before: IoStats, after: IoStats) -> IoStats {
+/// The payload of `EXPLAIN ANALYZE`: the executed plan, how it was
+/// optimized, what every operator did, and the result itself.
+pub struct ExplainAnalysis {
+    /// The plan mode the query was compiled under.
+    pub mode: PlanMode,
+    /// Whether the GROUPBY rewrite produced the executed plan.
+    pub rewritten: bool,
+    /// The executed logical plan.
+    pub plan: Plan,
+    /// The optimizer's rule-firing trace.
+    pub trace: OptTrace,
+    /// Per-operator execution metrics, mirroring the plan shape.
+    pub metrics: PlanMetrics,
+    /// The query result (also carries the metrics).
+    pub result: QueryResult,
+    /// The batch size the physical pipeline ran with.
+    pub batch_size: usize,
+}
+
+impl ExplainAnalysis {
+    /// Human-readable report: plan, rule trace, per-operator metrics,
+    /// and result totals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let fired = if self.rewritten {
+            ", groupby rewrite fired"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "== plan ({:?} mode{fired}) ==", self.mode);
+        out.push_str(&self.plan.explain());
+        out.push_str("\n== rewrite trace ==\n");
+        out.push_str(&self.trace.render());
+        let _ = writeln!(
+            out,
+            "\n== execution (physical, batch={}) ==",
+            self.batch_size
+        );
+        out.push_str(&self.metrics.render());
+        let _ = writeln!(
+            out,
+            "\n{} trees in {:.3?}; {} page requests, {} disk reads",
+            self.result.len(),
+            self.result.elapsed,
+            self.result.io.page_requests(),
+            self.result.io.disk.reads,
+        );
+        out
+    }
+}
+
+pub(crate) fn diff_io(before: IoStats, after: IoStats) -> IoStats {
     IoStats {
         buffer: xmlstore::buffer::BufferStats {
             hits: after.buffer.hits - before.buffer.hits,
@@ -188,6 +338,22 @@ fn diff_io(before: IoStats, after: IoStats) -> IoStats {
         disk: xmlstore::storage::DiskStats {
             reads: after.disk.reads - before.disk.reads,
             writes: after.disk.writes - before.disk.writes,
+        },
+    }
+}
+
+pub(crate) fn add_io(a: IoStats, b: IoStats) -> IoStats {
+    IoStats {
+        buffer: xmlstore::buffer::BufferStats {
+            hits: a.buffer.hits + b.buffer.hits,
+            misses: a.buffer.misses + b.buffer.misses,
+            evictions: a.buffer.evictions + b.buffer.evictions,
+            writebacks: a.buffer.writebacks + b.buffer.writebacks,
+            retries: a.buffer.retries + b.buffer.retries,
+        },
+        disk: xmlstore::storage::DiskStats {
+            reads: a.disk.reads + b.disk.reads,
+            writes: a.disk.writes + b.disk.writes,
         },
     }
 }
@@ -271,5 +437,77 @@ mod tests {
         assert!(text.contains("direct plan"));
         assert!(text.contains("LeftOuterJoinDb"));
         assert!(text.contains("GroupBy"));
+        assert!(text.contains("rewrite trace"));
+        assert!(text.contains("groupby-rewrite"));
+    }
+
+    #[test]
+    fn legacy_and_physical_executors_agree() {
+        let mut db = db();
+        for mode in [PlanMode::Direct, PlanMode::GroupByRewrite] {
+            db.set_exec_mode(ExecMode::Physical);
+            let phys = db.query(QUERY1, mode).unwrap();
+            assert!(phys.metrics.is_some(), "physical run records metrics");
+            db.set_exec_mode(ExecMode::Legacy);
+            let legacy = db.query(QUERY1, mode).unwrap();
+            assert!(legacy.metrics.is_none());
+            assert_eq!(
+                phys.to_xml_on(db.store()).unwrap(),
+                legacy.to_xml_on(db.store()).unwrap(),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_analyze_reports_per_operator_metrics() {
+        let db = db();
+        let a = db
+            .explain_analyze(QUERY1, PlanMode::GroupByRewrite)
+            .unwrap();
+        assert!(a.rewritten);
+        assert_eq!(a.metrics.trees_out, a.result.len());
+        assert!(a.metrics.node_count() >= 4);
+        let text = a.render();
+        assert!(text.contains("== rewrite trace =="));
+        assert!(text.contains("groupby-rewrite"));
+        assert!(text.contains("== execution (physical, batch=256) =="));
+        // Every operator line carries the counters.
+        for line in text.lines().filter(|l| l.contains(" | in=")) {
+            assert!(line.contains("out="), "{line}");
+            assert!(line.contains("time="), "{line}");
+            assert!(line.contains("pages="), "{line}");
+        }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_output() {
+        let mut db = db();
+        let baseline = db.query(QUERY1, PlanMode::Direct).unwrap();
+        let expected = baseline.to_xml_on(db.store()).unwrap();
+        for batch in [1, 2, 7] {
+            db.set_batch_size(batch);
+            let r = db.query(QUERY1, PlanMode::Direct).unwrap();
+            assert_eq!(r.to_xml_on(db.store()).unwrap(), expected, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn optimizer_fuses_projection_only_queries() {
+        let db = db();
+        let q = r#"
+            FOR $a IN distinct-values(document("bib.xml")//author)
+            RETURN <row> {$a} </row>
+        "#;
+        let (plan, rewritten, trace) = db.compile_traced(q, PlanMode::GroupByRewrite).unwrap();
+        assert!(!rewritten, "no groupby in a projection-only query");
+        assert!(trace.fired("select-project-fuse"), "{}", trace.render());
+        assert!(plan.explain().contains("SelectProject"));
+        let direct = db.query(q, PlanMode::Direct).unwrap();
+        let fused = db.query(q, PlanMode::GroupByRewrite).unwrap();
+        assert_eq!(
+            direct.to_xml_on(db.store()).unwrap(),
+            fused.to_xml_on(db.store()).unwrap()
+        );
     }
 }

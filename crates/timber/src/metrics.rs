@@ -1,0 +1,116 @@
+//! Per-operator execution metrics for the physical executor.
+//!
+//! Every [`PhysOp`](crate::physical::PhysOp) in an executed plan records
+//! how many trees flowed through it, how many batches it produced, how
+//! long its own kernel work took, and the buffer-pool/disk traffic that
+//! work caused. The per-operator records mirror the plan shape as a
+//! [`PlanMetrics`] tree — the payload of `EXPLAIN ANALYZE`.
+
+use std::fmt::Write;
+use std::time::Duration;
+use xmlstore::IoStats;
+
+/// Execution metrics of one plan operator, with its children.
+#[derive(Debug, Clone, Default)]
+pub struct PlanMetrics {
+    /// Operator description (the plan node's one-line rendering).
+    pub op: String,
+    /// Trees pulled from the operator's input(s). Zero for leaves.
+    pub trees_in: usize,
+    /// Trees this operator emitted.
+    pub trees_out: usize,
+    /// Output batches produced (blocking sinks also count their drain).
+    pub batches: usize,
+    /// Wall-clock time spent in this operator's own work, excluding
+    /// time spent pulling from its inputs.
+    pub elapsed: Duration,
+    /// Buffer/disk traffic attributable to this operator's own work.
+    pub io: IoStats,
+    /// Metrics of the operator's input plans, in plan order.
+    pub children: Vec<PlanMetrics>,
+}
+
+impl PlanMetrics {
+    /// Indented rendering of the metrics tree, one operator per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let _ = writeln!(
+            out,
+            "{pad}{} | in={} out={} batches={} time={:.3?} pages={} disk_reads={}",
+            self.op,
+            self.trees_in,
+            self.trees_out,
+            self.batches,
+            self.elapsed,
+            self.io.page_requests(),
+            self.io.disk.reads,
+        );
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+
+    /// Sum of `elapsed` over this node and all descendants.
+    pub fn total_elapsed(&self) -> Duration {
+        self.elapsed
+            + self
+                .children
+                .iter()
+                .map(PlanMetrics::total_elapsed)
+                .sum::<Duration>()
+    }
+
+    /// Sum of page requests over this node and all descendants.
+    pub fn total_page_requests(&self) -> u64 {
+        self.io.page_requests()
+            + self
+                .children
+                .iter()
+                .map(PlanMetrics::total_page_requests)
+                .sum::<u64>()
+    }
+
+    /// Number of operators in the tree (this node included).
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(PlanMetrics::node_count)
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_indents_children() {
+        let m = PlanMetrics {
+            op: "Rename to <x>".into(),
+            trees_in: 3,
+            trees_out: 3,
+            batches: 1,
+            children: vec![PlanMetrics {
+                op: "SelectDb".into(),
+                trees_out: 3,
+                batches: 1,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let text = m.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("Rename to <x> | in=3 out=3 batches=1"));
+        assert!(lines[1].starts_with("  SelectDb | in=0 out=3"));
+        assert!(lines[0].contains("pages=0"));
+        assert_eq!(m.node_count(), 2);
+    }
+}

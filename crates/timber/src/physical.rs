@@ -1,0 +1,851 @@
+//! The physical executor: logical [`Plan`] trees → pull-based operator
+//! pipelines.
+//!
+//! Each logical operator is built into a [`PhysOp`] — a batched iterator
+//! over trees. Selection, projection, duplicate elimination, aggregation
+//! and rename *stream*: they pull a bounded batch from their input, run
+//! the corresponding `tax::ops` kernel on just that batch (keeping the
+//! kernel's `par_map` parallelism inside batch production), and hand the
+//! result upward, so pipelines of these operators never materialize the
+//! whole intermediate collection. Grouping, the left outer join, and the
+//! RETURN stitching are *blocking sinks*: they drain their input, run the
+//! kernel once, and then emit the result in batches behind the same
+//! trait.
+//!
+//! Every operator meters its own work — trees in/out, batches, wall
+//! time, and the store's I/O delta — into a [`PlanMetrics`] tree; the
+//! time spent pulling from an input is charged to the input, not the
+//! consumer. Output order is deterministic and byte-identical to the
+//! legacy interpreter in [`crate::eval`], which remains available for
+//! differential testing.
+
+use crate::error::Result;
+use crate::metrics::PlanMetrics;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+use tax::exec::{par_map, ExecOptions};
+use tax::matching::{match_db, Binding};
+use tax::ops;
+use tax::ops::aggregate::{AggFunc, UpdateSpec};
+use tax::ops::dupelim::DupKey;
+use tax::ops::groupby::{BasisItem, Direction, GroupOrder};
+use tax::ops::project::ProjectItem;
+use tax::ops::select::{select_project_bindings, witness_tree};
+use tax::pattern::{PatternNodeId, PatternTree};
+use tax::tree::{Collection, Tree};
+use xmlstore::{DocumentStore, IoStats};
+use xquery::Plan;
+
+/// Default number of trees per batch.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// A physical operator: a batched pull iterator over trees.
+pub trait PhysOp {
+    /// The operator's display name (its logical plan line).
+    fn name(&self) -> &str;
+
+    /// Produce the next batch of output trees, or `None` when exhausted.
+    /// Batches are never empty.
+    fn next_batch(&mut self) -> Result<Option<Vec<Tree>>>;
+
+    /// The metrics recorded so far, including the input operators'.
+    fn metrics(&self) -> PlanMetrics;
+}
+
+/// Build the physical operator tree for a logical plan and drain it.
+/// Returns the output collection and the per-operator metrics.
+pub fn execute(
+    store: &DocumentStore,
+    plan: &Plan,
+    opts: &ExecOptions,
+    batch: usize,
+) -> Result<(Collection, PlanMetrics)> {
+    let mut root = build(store, plan, opts, batch)?;
+    let mut out = Vec::new();
+    while let Some(b) = root.next_batch()? {
+        out.extend(b);
+    }
+    Ok((out, root.metrics()))
+}
+
+/// Build the physical operator for one logical plan node (recursively
+/// building its inputs). `batch` of zero acts as one.
+pub fn build<'a>(
+    store: &'a DocumentStore,
+    plan: &Plan,
+    opts: &ExecOptions,
+    batch: usize,
+) -> Result<Box<dyn PhysOp + 'a>> {
+    let batch = batch.max(1);
+    let meter = Meter::new(op_label(plan));
+    Ok(match plan {
+        Plan::SelectDb { pattern, sl } => Box::new(SelectDbOp {
+            store,
+            pattern: pattern.clone(),
+            sl: sl.clone(),
+            opts: *opts,
+            batch,
+            bindings: None,
+            pos: 0,
+            meter,
+        }),
+        Plan::SelectProject { pattern, sl, pl } => Box::new(SelectProjectOp {
+            store,
+            pattern: pattern.clone(),
+            sl: sl.clone(),
+            pl: pl.clone(),
+            opts: *opts,
+            batch,
+            bindings: None,
+            pos: 0,
+            meter,
+        }),
+        Plan::Project {
+            input,
+            pattern,
+            pl,
+            anchor_root,
+        } => Box::new(ProjectOp {
+            store,
+            input: build(store, input, opts, batch)?,
+            pattern: pattern.clone(),
+            pl: pl.clone(),
+            anchor_root: *anchor_root,
+            meter,
+        }),
+        Plan::DupElim { input, pattern, by } => Box::new(DupElimOp {
+            store,
+            input: build(store, input, opts, batch)?,
+            pattern: pattern.clone(),
+            by: *by,
+            opts: *opts,
+            seen: HashSet::new(),
+            meter,
+        }),
+        Plan::Aggregate {
+            input,
+            pattern,
+            func,
+            of,
+            new_tag,
+            spec,
+        } => Box::new(AggregateOp {
+            store,
+            input: build(store, input, opts, batch)?,
+            pattern: pattern.clone(),
+            func: *func,
+            of: *of,
+            new_tag: new_tag.clone(),
+            spec: *spec,
+            opts: *opts,
+            meter,
+        }),
+        Plan::Rename { input, tag } => Box::new(RenameOp {
+            store,
+            input: build(store, input, opts, batch)?,
+            tag: tag.clone(),
+            meter,
+        }),
+        Plan::GroupBy {
+            input,
+            pattern,
+            basis,
+            ordering,
+        } => Box::new(GroupByOp {
+            store,
+            input: build(store, input, opts, batch)?,
+            pattern: pattern.clone(),
+            basis: basis.clone(),
+            ordering: ordering.clone(),
+            opts: *opts,
+            batch,
+            drained: None,
+            meter,
+        }),
+        Plan::LeftOuterJoinDb {
+            left,
+            left_pattern,
+            left_label,
+            right_pattern,
+            right_label,
+            right_sl,
+            right_extract: _,
+            order: _,
+        } => Box::new(JoinOp {
+            store,
+            left: build(store, left, opts, batch)?,
+            left_pattern: left_pattern.clone(),
+            left_label: *left_label,
+            right_pattern: right_pattern.clone(),
+            right_label: *right_label,
+            right_sl: right_sl.clone(),
+            batch,
+            drained: None,
+            meter,
+        }),
+        Plan::StitchConstruct {
+            outer,
+            outer_pattern,
+            outer_label,
+            inner,
+            inner_pattern,
+            inner_label,
+            inner_extract,
+            agg,
+            order,
+            tag,
+        } => Box::new(StitchOp {
+            store,
+            outer: build(store, outer, opts, batch)?,
+            outer_pattern: outer_pattern.clone(),
+            outer_label: *outer_label,
+            inner: match inner {
+                Some(p) => Some(build(store, p, opts, batch)?),
+                None => None,
+            },
+            inner_pattern: inner_pattern.clone(),
+            inner_label: *inner_label,
+            inner_extract: inner_extract.clone(),
+            agg: agg.clone(),
+            order: *order,
+            tag: tag.clone(),
+            batch,
+            drained: None,
+            meter,
+        }),
+    })
+}
+
+/// The first line of the plan node's rendering — the operator label used
+/// in metrics output.
+fn op_label(plan: &Plan) -> String {
+    plan.explain()
+        .lines()
+        .next()
+        .unwrap_or("(plan)")
+        .to_string()
+}
+
+/// Per-operator counters plus start/stop windows over the store's global
+/// I/O statistics.
+struct Meter {
+    op: String,
+    trees_in: usize,
+    trees_out: usize,
+    batches: usize,
+    elapsed: Duration,
+    io: IoStats,
+}
+
+impl Meter {
+    fn new(op: String) -> Meter {
+        Meter {
+            op,
+            trees_in: 0,
+            trees_out: 0,
+            batches: 0,
+            elapsed: Duration::ZERO,
+            io: IoStats::default(),
+        }
+    }
+
+    /// Open a measurement window. Pair with [`Meter::stop`].
+    fn start(&self, store: &DocumentStore) -> (Instant, IoStats) {
+        (Instant::now(), store.io_stats())
+    }
+
+    /// Close a measurement window, accumulating elapsed time and the
+    /// store's I/O delta.
+    fn stop(&mut self, store: &DocumentStore, window: (Instant, IoStats)) {
+        self.elapsed += window.0.elapsed();
+        self.io = crate::add_io(self.io, crate::diff_io(window.1, store.io_stats()));
+    }
+
+    /// Record one emitted batch of `n` trees.
+    fn emitted(&mut self, n: usize) {
+        self.batches += 1;
+        self.trees_out += n;
+    }
+
+    fn metrics(&self, children: Vec<PlanMetrics>) -> PlanMetrics {
+        PlanMetrics {
+            op: self.op.clone(),
+            trees_in: self.trees_in,
+            trees_out: self.trees_out,
+            batches: self.batches,
+            elapsed: self.elapsed,
+            io: self.io,
+            children,
+        }
+    }
+}
+
+/// Streaming leaf: match the database once, then produce witness trees
+/// one batch of bindings at a time.
+struct SelectDbOp<'a> {
+    store: &'a DocumentStore,
+    pattern: PatternTree,
+    sl: Vec<PatternNodeId>,
+    opts: ExecOptions,
+    batch: usize,
+    bindings: Option<Vec<Binding>>,
+    pos: usize,
+    meter: Meter,
+}
+
+impl PhysOp for SelectDbOp<'_> {
+    fn name(&self) -> &str {
+        &self.meter.op
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
+        let window = self.meter.start(self.store);
+        if self.bindings.is_none() {
+            self.bindings = Some(match_db(self.store, &self.pattern)?);
+        }
+        let bindings = self.bindings.as_ref().expect("bindings just set");
+        if self.pos >= bindings.len() {
+            self.meter.stop(self.store, window);
+            return Ok(None);
+        }
+        let end = (self.pos + self.batch).min(bindings.len());
+        let out = par_map(&self.opts, &bindings[self.pos..end], |_, b| {
+            witness_tree(self.store, None, &self.pattern, b, &self.sl)
+        })?;
+        self.pos = end;
+        self.meter.stop(self.store, window);
+        self.meter.emitted(out.len());
+        Ok(Some(out))
+    }
+
+    fn metrics(&self) -> PlanMetrics {
+        self.meter.metrics(Vec::new())
+    }
+}
+
+/// Streaming leaf for the fused select→project: one pattern match serves
+/// both; each batch of bindings is projected as it is produced.
+struct SelectProjectOp<'a> {
+    store: &'a DocumentStore,
+    pattern: PatternTree,
+    sl: Vec<PatternNodeId>,
+    pl: Vec<ProjectItem>,
+    opts: ExecOptions,
+    batch: usize,
+    bindings: Option<Vec<Binding>>,
+    pos: usize,
+    meter: Meter,
+}
+
+impl PhysOp for SelectProjectOp<'_> {
+    fn name(&self) -> &str {
+        &self.meter.op
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
+        let window = self.meter.start(self.store);
+        if self.bindings.is_none() {
+            self.bindings = Some(match_db(self.store, &self.pattern)?);
+        }
+        let bindings = self.bindings.as_ref().expect("bindings just set");
+        // A batch of bindings can project to nothing; keep pulling until
+        // some trees surface or the bindings run out.
+        while self.pos < bindings.len() {
+            let end = (self.pos + self.batch).min(bindings.len());
+            let out = select_project_bindings(
+                self.store,
+                &self.pattern,
+                &bindings[self.pos..end],
+                &self.sl,
+                &self.pl,
+                &self.opts,
+            )?;
+            self.pos = end;
+            if !out.is_empty() {
+                self.meter.stop(self.store, window);
+                self.meter.emitted(out.len());
+                return Ok(Some(out));
+            }
+        }
+        self.meter.stop(self.store, window);
+        Ok(None)
+    }
+
+    fn metrics(&self) -> PlanMetrics {
+        self.meter.metrics(Vec::new())
+    }
+}
+
+/// Streaming projection: projects each input batch independently (trees
+/// are independent under projection, so batching cannot change output).
+struct ProjectOp<'a> {
+    store: &'a DocumentStore,
+    input: Box<dyn PhysOp + 'a>,
+    pattern: PatternTree,
+    pl: Vec<ProjectItem>,
+    anchor_root: bool,
+    meter: Meter,
+}
+
+impl PhysOp for ProjectOp<'_> {
+    fn name(&self) -> &str {
+        &self.meter.op
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
+        loop {
+            let Some(batch) = self.input.next_batch()? else {
+                return Ok(None);
+            };
+            self.meter.trees_in += batch.len();
+            let window = self.meter.start(self.store);
+            let out = ops::project::project(
+                self.store,
+                &batch,
+                &self.pattern,
+                &self.pl,
+                self.anchor_root,
+            )?;
+            self.meter.stop(self.store, window);
+            if !out.is_empty() {
+                self.meter.emitted(out.len());
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn metrics(&self) -> PlanMetrics {
+        self.meter.metrics(vec![self.input.metrics()])
+    }
+}
+
+/// Streaming duplicate elimination: key extraction runs per batch, the
+/// seen-set persists across batches so the stream-wide output matches
+/// the collection-at-once kernel exactly.
+struct DupElimOp<'a> {
+    store: &'a DocumentStore,
+    input: Box<dyn PhysOp + 'a>,
+    pattern: PatternTree,
+    by: PatternNodeId,
+    opts: ExecOptions,
+    seen: HashSet<DupKey>,
+    meter: Meter,
+}
+
+impl PhysOp for DupElimOp<'_> {
+    fn name(&self) -> &str {
+        &self.meter.op
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
+        loop {
+            let Some(batch) = self.input.next_batch()? else {
+                return Ok(None);
+            };
+            self.meter.trees_in += batch.len();
+            let window = self.meter.start(self.store);
+            let keys =
+                ops::dupelim::dup_keys(self.store, &batch, &self.pattern, self.by, &self.opts)?;
+            let out: Vec<Tree> = batch
+                .into_iter()
+                .zip(keys)
+                .filter_map(|(tree, key)| self.seen.insert(key).then_some(tree))
+                .collect();
+            self.meter.stop(self.store, window);
+            if !out.is_empty() {
+                self.meter.emitted(out.len());
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn metrics(&self) -> PlanMetrics {
+        self.meter.metrics(vec![self.input.metrics()])
+    }
+}
+
+/// Streaming aggregation: one output tree per input tree, batch by
+/// batch.
+struct AggregateOp<'a> {
+    store: &'a DocumentStore,
+    input: Box<dyn PhysOp + 'a>,
+    pattern: PatternTree,
+    func: AggFunc,
+    of: PatternNodeId,
+    new_tag: String,
+    spec: UpdateSpec,
+    opts: ExecOptions,
+    meter: Meter,
+}
+
+impl PhysOp for AggregateOp<'_> {
+    fn name(&self) -> &str {
+        &self.meter.op
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
+        let Some(batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        self.meter.trees_in += batch.len();
+        let window = self.meter.start(self.store);
+        let out = ops::aggregate::aggregate_opts(
+            self.store,
+            batch,
+            &self.pattern,
+            self.func,
+            self.of,
+            &self.new_tag,
+            self.spec,
+            &self.opts,
+        )?;
+        self.meter.stop(self.store, window);
+        self.meter.emitted(out.len());
+        Ok(Some(out))
+    }
+
+    fn metrics(&self) -> PlanMetrics {
+        self.meter.metrics(vec![self.input.metrics()])
+    }
+}
+
+/// Streaming root rename: in-place, one output tree per input tree.
+struct RenameOp<'a> {
+    store: &'a DocumentStore,
+    input: Box<dyn PhysOp + 'a>,
+    tag: String,
+    meter: Meter,
+}
+
+impl PhysOp for RenameOp<'_> {
+    fn name(&self) -> &str {
+        &self.meter.op
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
+        let Some(batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        self.meter.trees_in += batch.len();
+        let window = self.meter.start(self.store);
+        let out = ops::rename::rename_root(batch, &self.tag)?;
+        self.meter.stop(self.store, window);
+        self.meter.emitted(out.len());
+        Ok(Some(out))
+    }
+
+    fn metrics(&self) -> PlanMetrics {
+        self.meter.metrics(vec![self.input.metrics()])
+    }
+}
+
+/// Blocking sink: grouping needs the whole input to form groups, so it
+/// drains its input, runs the kernel once, and emits the grouped trees
+/// in batches.
+struct GroupByOp<'a> {
+    store: &'a DocumentStore,
+    input: Box<dyn PhysOp + 'a>,
+    pattern: PatternTree,
+    basis: Vec<BasisItem>,
+    ordering: Vec<GroupOrder>,
+    opts: ExecOptions,
+    batch: usize,
+    drained: Option<std::vec::IntoIter<Tree>>,
+    meter: Meter,
+}
+
+impl PhysOp for GroupByOp<'_> {
+    fn name(&self) -> &str {
+        &self.meter.op
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
+        if self.drained.is_none() {
+            let mut all = Vec::new();
+            while let Some(b) = self.input.next_batch()? {
+                self.meter.trees_in += b.len();
+                all.extend(b);
+            }
+            let window = self.meter.start(self.store);
+            let out = ops::groupby::groupby_opts(
+                self.store,
+                &all,
+                &self.pattern,
+                &self.basis,
+                &self.ordering,
+                &self.opts,
+            )?;
+            self.meter.stop(self.store, window);
+            self.drained = Some(out.into_iter());
+        }
+        emit_drained(
+            self.drained.as_mut().expect("drained just set"),
+            self.batch,
+            &mut self.meter,
+        )
+    }
+
+    fn metrics(&self) -> PlanMetrics {
+        self.meter.metrics(vec![self.input.metrics()])
+    }
+}
+
+/// Blocking sink: the naive plan's left outer join against the stored
+/// database.
+struct JoinOp<'a> {
+    store: &'a DocumentStore,
+    left: Box<dyn PhysOp + 'a>,
+    left_pattern: PatternTree,
+    left_label: PatternNodeId,
+    right_pattern: PatternTree,
+    right_label: PatternNodeId,
+    right_sl: Vec<PatternNodeId>,
+    batch: usize,
+    drained: Option<std::vec::IntoIter<Tree>>,
+    meter: Meter,
+}
+
+impl PhysOp for JoinOp<'_> {
+    fn name(&self) -> &str {
+        &self.meter.op
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
+        if self.drained.is_none() {
+            let mut all = Vec::new();
+            while let Some(b) = self.left.next_batch()? {
+                self.meter.trees_in += b.len();
+                all.extend(b);
+            }
+            let window = self.meter.start(self.store);
+            let out = ops::join::left_outer_join_db(
+                self.store,
+                &all,
+                &self.left_pattern,
+                self.left_label,
+                &self.right_pattern,
+                self.right_label,
+                &self.right_sl,
+            )?;
+            self.meter.stop(self.store, window);
+            self.drained = Some(out.into_iter());
+        }
+        emit_drained(
+            self.drained.as_mut().expect("drained just set"),
+            self.batch,
+            &mut self.meter,
+        )
+    }
+
+    fn metrics(&self) -> PlanMetrics {
+        self.meter.metrics(vec![self.left.metrics()])
+    }
+}
+
+/// Blocking sink: the RETURN stitching pairs every outer tree with all
+/// inner parts sharing its key, so both inputs drain fully first.
+struct StitchOp<'a> {
+    store: &'a DocumentStore,
+    outer: Box<dyn PhysOp + 'a>,
+    outer_pattern: PatternTree,
+    outer_label: PatternNodeId,
+    inner: Option<Box<dyn PhysOp + 'a>>,
+    inner_pattern: PatternTree,
+    inner_label: PatternNodeId,
+    inner_extract: Vec<(PatternNodeId, bool)>,
+    agg: Option<(AggFunc, String)>,
+    order: Option<(PatternNodeId, Direction)>,
+    tag: String,
+    batch: usize,
+    drained: Option<std::vec::IntoIter<Tree>>,
+    meter: Meter,
+}
+
+impl PhysOp for StitchOp<'_> {
+    fn name(&self) -> &str {
+        &self.meter.op
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
+        if self.drained.is_none() {
+            let mut outer_c = Vec::new();
+            while let Some(b) = self.outer.next_batch()? {
+                self.meter.trees_in += b.len();
+                outer_c.extend(b);
+            }
+            let mut inner_c = Vec::new();
+            if let Some(inner) = self.inner.as_mut() {
+                while let Some(b) = inner.next_batch()? {
+                    self.meter.trees_in += b.len();
+                    inner_c.extend(b);
+                }
+            }
+            let window = self.meter.start(self.store);
+            let out = crate::eval::stitch(
+                self.store,
+                &outer_c,
+                &self.outer_pattern,
+                self.outer_label,
+                &inner_c,
+                &self.inner_pattern,
+                self.inner_label,
+                &self.inner_extract,
+                self.agg.as_ref().map(|(f, t)| (*f, t.as_str())),
+                self.order,
+                &self.tag,
+            )?;
+            self.meter.stop(self.store, window);
+            self.drained = Some(out.into_iter());
+        }
+        emit_drained(
+            self.drained.as_mut().expect("drained just set"),
+            self.batch,
+            &mut self.meter,
+        )
+    }
+
+    fn metrics(&self) -> PlanMetrics {
+        let mut children = vec![self.outer.metrics()];
+        if let Some(inner) = &self.inner {
+            children.push(inner.metrics());
+        }
+        self.meter.metrics(children)
+    }
+}
+
+/// Emit the next batch from a sink's drained output.
+fn emit_drained(
+    iter: &mut std::vec::IntoIter<Tree>,
+    batch: usize,
+    meter: &mut Meter,
+) -> Result<Option<Vec<Tree>>> {
+    let out: Vec<Tree> = iter.by_ref().take(batch).collect();
+    if out.is_empty() {
+        Ok(None)
+    } else {
+        meter.emitted(out.len());
+        Ok(Some(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PlanMode, TimberDb};
+    use xmlstore::StoreOptions;
+
+    const SAMPLE: &str = "<bib>\
+        <article><title>Querying XML</title><author>Jack</author><author>John</author></article>\
+        <article><title>XML and the Web</title><author>Jill</author><author>Jack</author></article>\
+        <article><title>Hack HTML</title><author>John</author></article>\
+    </bib>";
+
+    const QUERY1: &str = r#"
+        FOR $a IN distinct-values(document("bib.xml")//author)
+        RETURN <authorpubs>
+          {$a}
+          { FOR $b IN document("bib.xml")//article
+            WHERE $a = $b/author
+            RETURN $b/title }
+        </authorpubs>
+    "#;
+
+    fn db() -> TimberDb {
+        TimberDb::load_xml(SAMPLE, &StoreOptions::in_memory()).unwrap()
+    }
+
+    fn run_both(db: &TimberDb, plan: &Plan, batch: usize) -> (String, String, PlanMetrics) {
+        let opts = db.exec_options();
+        let legacy = crate::eval::eval_with(db.store(), plan, &opts).unwrap();
+        let (phys, metrics) = execute(db.store(), plan, &opts, batch).unwrap();
+        let to_xml = |c: &Collection| {
+            c.iter()
+                .map(|t| {
+                    xmlparse::serialize::element_to_string(&t.materialize(db.store()).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        (to_xml(&legacy), to_xml(&phys), metrics)
+    }
+
+    #[test]
+    fn physical_matches_legacy_at_every_batch_size() {
+        let db = db();
+        for mode in [PlanMode::Direct, PlanMode::GroupByRewrite] {
+            let (plan, _) = db.compile(QUERY1, mode).unwrap();
+            for batch in [1, 2, 3, DEFAULT_BATCH_SIZE] {
+                let (legacy, phys, _) = run_both(&db, &plan, batch);
+                assert_eq!(legacy, phys, "{mode:?} batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_select_batches_bounded() {
+        let db = db();
+        let (plan, _) = db.compile(QUERY1, PlanMode::Direct).unwrap();
+        let Plan::StitchConstruct { outer, .. } = &plan else {
+            panic!()
+        };
+        // The outer pipeline ends in dup-elim over 5 author bindings.
+        let (_, metrics) = execute(db.store(), outer, &db.exec_options(), 2).unwrap();
+        assert_eq!(metrics.trees_out, 3); // Jack, John, Jill
+                                          // The select leaf produced its 5 witnesses in ceil(5/2) batches.
+        let mut leaf = &metrics;
+        while !leaf.children.is_empty() {
+            leaf = &leaf.children[0];
+        }
+        assert!(leaf.op.starts_with("SelectDb"), "{}", leaf.op);
+        assert_eq!(leaf.trees_out, 5);
+        assert_eq!(leaf.batches, 3);
+    }
+
+    #[test]
+    fn dupelim_seen_set_spans_batches() {
+        let db = db();
+        let (plan, _) = db.compile(QUERY1, PlanMode::Direct).unwrap();
+        let Plan::StitchConstruct { outer, .. } = &plan else {
+            panic!()
+        };
+        // Batch size 1: each author binding arrives alone; duplicates
+        // (Jack, John appear twice) must still be dropped globally.
+        let (trees, _) = execute(db.store(), outer, &db.exec_options(), 1).unwrap();
+        assert_eq!(trees.len(), 3);
+    }
+
+    #[test]
+    fn metrics_cover_every_operator() {
+        let db = db();
+        let (plan, _) = db.compile(QUERY1, PlanMode::GroupByRewrite).unwrap();
+        let (trees, metrics) = execute(db.store(), &plan, &db.exec_options(), 8).unwrap();
+        assert_eq!(metrics.trees_out, trees.len());
+        // Every plan node has a metrics node with a recorded batch count.
+        fn check(m: &PlanMetrics) -> usize {
+            assert!(!m.op.is_empty());
+            assert!(m.trees_out == 0 || m.batches > 0, "{}", m.op);
+            1 + m.children.iter().map(check).sum::<usize>()
+        }
+        let nodes = check(&metrics);
+        assert_eq!(nodes, metrics.node_count());
+        assert!(nodes >= 4, "expected a multi-operator plan, got {nodes}");
+        assert!(metrics.total_page_requests() > 0);
+    }
+
+    #[test]
+    fn blocking_sinks_emit_in_batches() {
+        let db = db();
+        let (plan, _) = db.compile(QUERY1, PlanMode::Direct).unwrap();
+        let opts = db.exec_options();
+        let mut root = build(db.store(), &plan, &opts, 2).unwrap();
+        let mut sizes = Vec::new();
+        while let Some(b) = root.next_batch().unwrap() {
+            assert!(!b.is_empty());
+            sizes.push(b.len());
+        }
+        // 3 authorpubs trees in batches of ≤ 2.
+        assert_eq!(sizes.iter().sum::<usize>(), 3);
+        assert!(sizes.iter().all(|&s| s <= 2));
+        assert!(sizes.len() >= 2);
+    }
+}

@@ -1,6 +1,7 @@
 //! Query results: trees, timing, and I/O accounting.
 
 use crate::error::Result;
+use crate::metrics::PlanMetrics;
 use std::time::Duration;
 use tax::Collection;
 use xmlstore::{DocumentStore, IoStats};
@@ -17,6 +18,9 @@ pub struct QueryResult {
     pub elapsed: Duration,
     /// Buffer/disk traffic attributable to this evaluation.
     pub io: IoStats,
+    /// Per-operator metrics, when the physical executor ran the plan
+    /// (`None` under [`crate::ExecMode::Legacy`]).
+    pub metrics: Option<PlanMetrics>,
 }
 
 impl QueryResult {
@@ -48,5 +52,4 @@ impl QueryResult {
         }
         Ok(out)
     }
-
 }

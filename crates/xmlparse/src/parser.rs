@@ -205,9 +205,9 @@ fn resolve_entities(raw: &str, cur: &Cursor<'_>, pos: Pos) -> Result<String> {
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
         rest = &rest[amp + 1..];
-        let semi = rest.find(';').ok_or_else(|| {
-            cur.err_at(pos, ParseErrorKind::UnknownEntity(truncate(rest, 16)))
-        })?;
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| cur.err_at(pos, ParseErrorKind::UnknownEntity(truncate(rest, 16))))?;
         let name = &rest[..semi];
         match name {
             "lt" => out.push('<'),

@@ -176,7 +176,8 @@ mod tests {
 
     #[test]
     fn pretty_roundtrips_semantically() {
-        let src = "<bib><article><title>T</title></article><article><title>U</title></article></bib>";
+        let src =
+            "<bib><article><title>T</title></article><article><title>U</title></article></bib>";
         let doc = parse_document(src).unwrap();
         let pretty = to_string_pretty(&doc);
         // Re-parsing the pretty form and stripping whitespace-only text

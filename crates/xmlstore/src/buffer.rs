@@ -315,7 +315,11 @@ mod tests {
         pool.with_page(PageId(4), |_| ()).unwrap();
         let before = pool.stats().misses;
         pool.with_page(PageId(1), |_| ()).unwrap();
-        assert_eq!(pool.stats().misses, before, "hot page 1 must still be cached");
+        assert_eq!(
+            pool.stats().misses,
+            before,
+            "hot page 1 must still be cached"
+        );
     }
 
     #[test]
@@ -376,9 +380,10 @@ mod tests {
     #[test]
     fn transient_read_errors_absorbed_by_retry() {
         let mut pool = pool_with_pages(2, 4);
-        pool.shared_disk().set_fault_injector(Some(FaultInjector::new(
-            FaultConfig::seeded(11).with_read_error(0.3),
-        )));
+        pool.shared_disk()
+            .set_fault_injector(Some(FaultInjector::new(
+                FaultConfig::seeded(11).with_read_error(0.3),
+            )));
         // Deterministic schedule (seed 11): every fetch succeeds within
         // the retry budget.
         for round in 0..5 {
@@ -414,9 +419,10 @@ mod tests {
         pool.with_page_mut(PageId(0), |p| p[5] = 99).unwrap();
         // Every write fails: evicting the dirty page must error out
         // without losing it.
-        pool.shared_disk().set_fault_injector(Some(FaultInjector::new(
-            FaultConfig::seeded(1).with_write_error(1.0),
-        )));
+        pool.shared_disk()
+            .set_fault_injector(Some(FaultInjector::new(
+                FaultConfig::seeded(1).with_write_error(1.0),
+            )));
         let err = pool.with_page(PageId(1), |_| ()).unwrap_err();
         assert!(err.is_transient());
         pool.shared_disk().set_fault_injector(None);

@@ -160,7 +160,9 @@ struct HeaderCache {
 impl HeaderCache {
     fn new(nshards: usize) -> Self {
         HeaderCache {
-            shards: (0..nshards.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..nshards.max(1))
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -484,8 +486,9 @@ impl DocumentStore {
             }
         }
         let (page, slot) = node_location(self.node_base, id);
-        let rec =
-            self.with_page(PageId(page), |p| NodeRecord::decode(&p[slot..slot + RECORD_SIZE]))?;
+        let rec = self.with_page(PageId(page), |p| {
+            NodeRecord::decode(&p[slot..slot + RECORD_SIZE])
+        })?;
         if let Some(cache) = &self.header_cache {
             cache.insert(id.0, rec);
         }
@@ -852,7 +855,10 @@ mod tests {
         let s = store();
         let title = s.tag_id("title").unwrap();
         let first = s.nodes_with_tag(title)[0];
-        assert_eq!(s.content(first.id).unwrap().as_deref(), Some("Querying XML"));
+        assert_eq!(
+            s.content(first.id).unwrap().as_deref(),
+            Some("Querying XML")
+        );
     }
 
     #[test]
@@ -975,12 +981,15 @@ mod tests {
 
     #[test]
     fn value_index_built_on_request() {
-        let s = DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory().with_value_index())
-            .unwrap();
+        let s =
+            DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory().with_value_index()).unwrap();
         let author = s.tag_id("author").unwrap();
         let hits = s.nodes_with_tag_and_content(author, "John").unwrap();
         assert_eq!(hits.len(), 2);
-        assert!(s.nodes_with_tag_and_content(author, "Nobody").unwrap().is_empty());
+        assert!(s
+            .nodes_with_tag_and_content(author, "Nobody")
+            .unwrap()
+            .is_empty());
         // Attribute values are indexed too (tag @year).
         let year = s.attr_tag_id("year").unwrap();
         assert_eq!(s.nodes_with_tag_and_content(year, "1999").unwrap().len(), 1);
@@ -992,8 +1001,8 @@ mod tests {
 
     #[test]
     fn value_index_lookup_touches_no_pages() {
-        let s = DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory().with_value_index())
-            .unwrap();
+        let s =
+            DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory().with_value_index()).unwrap();
         s.reset_io_stats();
         let author = s.tag_id("author").unwrap();
         let _ = s.nodes_with_tag_and_content(author, "Jack").unwrap();
@@ -1007,7 +1016,10 @@ mod tests {
         let s = DocumentStore::from_xml(&xml, &StoreOptions::in_memory()).unwrap();
         let title = s.tag_id("title").unwrap();
         let t = s.nodes_with_tag(title)[0];
-        assert_eq!(s.content(t.id).unwrap().as_deref(), Some(long_title.as_str()));
+        assert_eq!(
+            s.content(t.id).unwrap().as_deref(),
+            Some(long_title.as_str())
+        );
         // The heap needs at least three pages for this value.
         assert!(s.total_pages() >= 3);
     }
@@ -1018,8 +1030,8 @@ mod tests {
         assert_eq!(s.pool_capacity(), 1024);
         assert_eq!(s.pool_shards(), 8);
         // Tiny pools get fewer shards but never zero-frame ones.
-        let tiny = DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory().with_pool_pages(3))
-            .unwrap();
+        let tiny =
+            DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory().with_pool_pages(3)).unwrap();
         assert_eq!(tiny.pool_capacity(), 3);
         assert_eq!(tiny.pool_shards(), 3);
     }
@@ -1036,8 +1048,8 @@ mod tests {
         xml.push_str("</bib>");
         // A pool much smaller than the document, so threads contend and
         // evict under each other.
-        let s = DocumentStore::from_xml(&xml, &StoreOptions::in_memory().with_pool_pages(4))
-            .unwrap();
+        let s =
+            DocumentStore::from_xml(&xml, &StoreOptions::in_memory().with_pool_pages(4)).unwrap();
         let title = s.tag_id("title").unwrap();
         let entries: Vec<NodeEntry> = s.nodes_with_tag(title).to_vec();
         let expected: Vec<String> = entries

@@ -64,7 +64,10 @@ impl fmt::Display for StoreError {
                 write!(f, "page {page} out of bounds (file has {num_pages} pages)")
             }
             StoreError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node {node} out of bounds (document has {node_count} nodes)")
+                write!(
+                    f,
+                    "node {node} out of bounds (document has {node_count} nodes)"
+                )
             }
             StoreError::Parse(e) => write!(f, "load failed: {e}"),
             StoreError::ContentTooLong(n) => write!(f, "content of {n} bytes exceeds limit"),

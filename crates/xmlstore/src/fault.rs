@@ -405,7 +405,9 @@ mod tests {
 
     #[test]
     fn after_ops_delays_injection() {
-        let cfg = FaultConfig::seeded(1).with_read_error(1.0).with_after_ops(3);
+        let cfg = FaultConfig::seeded(1)
+            .with_read_error(1.0)
+            .with_after_ops(3);
         let mut inj = FaultInjector::new(cfg);
         for _ in 0..3 {
             assert_eq!(inj.on_read(PageId(0)), ReadFault::None);

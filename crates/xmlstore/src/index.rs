@@ -65,10 +65,7 @@ impl ValueIndex {
     /// Record `entry` (with tag `tag`) as carrying `value`. Entries must
     /// arrive in document order per key.
     pub fn insert(&mut self, tag: TagId, value: &str, entry: NodeEntry) {
-        let list = self
-            .map
-            .entry((tag, value.to_owned()))
-            .or_default();
+        let list = self.map.entry((tag, value.to_owned())).or_default();
         debug_assert!(
             list.last().map(|p| p.start < entry.start).unwrap_or(true),
             "value-index entries must arrive in document order"

@@ -135,9 +135,15 @@ impl NodeRecord {
     pub fn decode(buf: &[u8]) -> NodeRecord {
         debug_assert!(buf.len() >= RECORD_SIZE);
         let u32le = |r: std::ops::Range<usize>| {
-            u32::from_le_bytes([buf[r.start], buf[r.start + 1], buf[r.start + 2], buf[r.start + 3]])
+            u32::from_le_bytes([
+                buf[r.start],
+                buf[r.start + 1],
+                buf[r.start + 2],
+                buf[r.start + 3],
+            ])
         };
-        let u16le = |r: std::ops::Range<usize>| u16::from_le_bytes([buf[r.start], buf[r.start + 1]]);
+        let u16le =
+            |r: std::ops::Range<usize>| u16::from_le_bytes([buf[r.start], buf[r.start + 1]]);
         NodeRecord {
             tag: TagId(u32le(0..4)),
             start: u32le(4..8),

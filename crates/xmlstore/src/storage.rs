@@ -30,7 +30,11 @@ pub struct DiskStats {
 
 enum Backend {
     /// A real file. The `bool` says whether to delete it on drop.
-    File { file: File, path: PathBuf, temp: bool },
+    File {
+        file: File,
+        path: PathBuf,
+        temp: bool,
+    },
     /// In-memory pages (for tests and small examples).
     Mem(Vec<Box<[u8]>>),
 }
@@ -83,11 +87,8 @@ impl DiskManager {
     /// A page store backed by a fresh temporary file, removed on drop.
     pub fn temp_file() -> Result<Self> {
         let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "xmlstore-{}-{}.pages",
-            std::process::id(),
-            n
-        ));
+        let path =
+            std::env::temp_dir().join(format!("xmlstore-{}-{}.pages", std::process::id(), n));
         Self::open(&path, true)
     }
 
@@ -301,7 +302,10 @@ impl SharedDisk {
 
 impl Drop for DiskManager {
     fn drop(&mut self) {
-        if let Backend::File { path, temp: true, .. } = &self.backend {
+        if let Backend::File {
+            path, temp: true, ..
+        } = &self.backend
+        {
             let _ = std::fs::remove_file(path);
         }
     }
@@ -487,7 +491,10 @@ mod tests {
         dm.set_fault_injector(None);
         let mut out = [0u8; PAGE_SIZE];
         let err = dm.read_page(p, &mut out).unwrap_err();
-        assert!(matches!(err, StoreError::Corruption { page: 0, .. }), "{err}");
+        assert!(
+            matches!(err, StoreError::Corruption { page: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ fn pool_behaves_like_flat_memory() {
                         .unwrap();
                     assert_eq!(got, model[page as usize][offset as usize]);
                 }
-                Op::Write { page, offset, value } => {
+                Op::Write {
+                    page,
+                    offset,
+                    value,
+                } => {
                     let page = page % npages;
                     requests += 1;
                     pool.with_page_mut(PageId(page as u32), |p| p[offset as usize] = value)

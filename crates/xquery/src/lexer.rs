@@ -106,61 +106,103 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                     i = j;
                     continue;
                 }
-                tokens.push(Spanned { token: Token::LParen, offset: start });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Spanned { token: Token::RParen, offset: start });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b'{' => {
-                tokens.push(Spanned { token: Token::LBrace, offset: start });
+                tokens.push(Spanned {
+                    token: Token::LBrace,
+                    offset: start,
+                });
                 i += 1;
             }
             b'}' => {
-                tokens.push(Spanned { token: Token::RBrace, offset: start });
+                tokens.push(Spanned {
+                    token: Token::RBrace,
+                    offset: start,
+                });
                 i += 1;
             }
             b'[' => {
-                tokens.push(Spanned { token: Token::LBracket, offset: start });
+                tokens.push(Spanned {
+                    token: Token::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             b']' => {
-                tokens.push(Spanned { token: Token::RBracket, offset: start });
+                tokens.push(Spanned {
+                    token: Token::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Spanned { token: Token::Comma, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Spanned { token: Token::Eq, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             b':' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Spanned { token: Token::Assign, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Assign,
+                    offset: start,
+                });
                 i += 2;
             }
             b'/' => {
                 if bytes.get(i + 1) == Some(&b'/') {
-                    tokens.push(Spanned { token: Token::DoubleSlash, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::DoubleSlash,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Slash, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Slash,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             b'<' => {
                 if bytes.get(i + 1) == Some(&b'/') {
-                    tokens.push(Spanned { token: Token::LtSlash, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::LtSlash,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Lt, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
-                tokens.push(Spanned { token: Token::Gt, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Gt,
+                    offset: start,
+                });
                 i += 1;
             }
             b'"' | b'\'' => {
@@ -217,7 +259,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                     "DESCENDING" => Token::Keyword(Keyword::Descending),
                     _ => Token::Name(word.to_owned()),
                 };
-                tokens.push(Spanned { token, offset: start });
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
                 i = j;
             }
             _ => {
@@ -294,10 +339,7 @@ mod tests {
 
     #[test]
     fn assign_and_eq() {
-        assert_eq!(
-            toks(":= ="),
-            vec![Token::Assign, Token::Eq]
-        );
+        assert_eq!(toks(":= ="), vec![Token::Assign, Token::Eq]);
     }
 
     #[test]

@@ -50,6 +50,7 @@
 pub mod ast;
 pub mod error;
 pub mod lexer;
+pub mod opt;
 pub mod parser;
 pub mod plan;
 pub mod rewrite;

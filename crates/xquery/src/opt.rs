@@ -1,0 +1,548 @@
+//! A rule-based plan optimizer.
+//!
+//! The single hardcoded grouping pass of [`crate::rewrite`] generalizes
+//! here into a small framework: a [`Rule`] inspects a plan node and
+//! optionally returns a replacement, and the [`Optimizer`] applies its
+//! rules over the whole plan tree to a fixpoint, recording every firing
+//! in an [`OptTrace`] (surfaced by `EXPLAIN` / `EXPLAIN ANALYZE` in the
+//! `timber` crate).
+//!
+//! The standard rule set, in order:
+//!
+//! 1. [`GroupByRewriteRule`] — the paper's Sec. 4.1 grouping rewrite
+//!    (join pipeline → `GROUPBY` pipeline), ported from
+//!    [`crate::rewrite`]. It must run first: detection keys on the
+//!    pristine `StitchConstruct`/`LeftOuterJoinDb` shape the naive
+//!    translation emits.
+//! 2. [`ProjectionPruneRule`] — drops the synthetic `doc_root` pattern
+//!    root from a `Project`∘`SelectDb` pair when no downstream list
+//!    references it, shrinking every pattern match by one node.
+//! 3. [`SelectProjectFuseRule`] — fuses a `Project` directly over a
+//!    `SelectDb` with the *same* pattern into one
+//!    [`Plan::SelectProject`], so a single pattern match serves both
+//!    operators.
+
+use crate::plan::Plan;
+use crate::rewrite;
+use std::fmt::Write;
+use tax::ops::project::ProjectItem;
+use tax::pattern::{Axis, PatternNodeId, Pred};
+
+/// A plan rewrite rule: inspect one plan node, optionally replace it.
+///
+/// `apply` must be *local*: it looks at the given node (and its inputs)
+/// and returns a semantically equivalent replacement, or `None` when the
+/// rule does not apply there. The [`Optimizer`] handles traversal and
+/// iteration to fixpoint.
+pub trait Rule {
+    /// Stable rule name, recorded in the firing trace.
+    fn name(&self) -> &'static str;
+    /// Try the rule at this plan node.
+    fn apply(&self, plan: &Plan) -> Option<Plan>;
+}
+
+/// One rule application, in firing order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleFiring {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// The fixpoint pass (1-based) it fired in.
+    pub pass: usize,
+}
+
+/// The recorded trace of an [`Optimizer`] run.
+#[derive(Debug, Clone, Default)]
+pub struct OptTrace {
+    /// Every rule firing, in order.
+    pub firings: Vec<RuleFiring>,
+    /// Number of passes executed (the last one fires nothing).
+    pub passes: usize,
+}
+
+impl OptTrace {
+    /// Did the named rule fire at least once?
+    pub fn fired(&self, rule: &str) -> bool {
+        self.firings.iter().any(|f| f.rule == rule)
+    }
+
+    /// Human-readable trace, one firing per line.
+    pub fn render(&self) -> String {
+        if self.firings.is_empty() {
+            return "(no rules fired)\n".to_owned();
+        }
+        let mut out = String::new();
+        for f in &self.firings {
+            let _ = writeln!(out, "pass {}: {}", f.pass, f.rule);
+        }
+        out
+    }
+}
+
+/// Applies a rule list over whole plans to a fixpoint.
+pub struct Optimizer {
+    rules: Vec<Box<dyn Rule>>,
+}
+
+/// Bound on fixpoint passes; the standard rules converge in two or
+/// three, so hitting this means a rule pair is oscillating.
+const MAX_PASSES: usize = 16;
+/// Bound on repeated applications of one rule at one node per visit.
+const MAX_LOCAL: usize = 8;
+
+impl Optimizer {
+    /// The standard rule set (grouping rewrite, projection pruning,
+    /// select→project fusion), in the order described at module level.
+    pub fn standard() -> Optimizer {
+        Optimizer::with_rules(vec![
+            Box::new(GroupByRewriteRule),
+            Box::new(ProjectionPruneRule),
+            Box::new(SelectProjectFuseRule),
+        ])
+    }
+
+    /// An optimizer over an explicit rule list (applied in order within
+    /// each pass).
+    pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> Optimizer {
+        Optimizer { rules }
+    }
+
+    /// Run every rule over the whole plan, repeating until a pass fires
+    /// nothing (or the pass bound is hit).
+    pub fn optimize(&self, mut plan: Plan) -> (Plan, OptTrace) {
+        let mut trace = OptTrace::default();
+        for pass in 1..=MAX_PASSES {
+            trace.passes = pass;
+            let before = trace.firings.len();
+            for rule in &self.rules {
+                plan = apply_everywhere(rule.as_ref(), plan, pass, &mut trace.firings);
+            }
+            if trace.firings.len() == before {
+                break;
+            }
+        }
+        (plan, trace)
+    }
+}
+
+/// Convenience: run [`Optimizer::standard`] on a plan.
+pub fn optimize(plan: Plan) -> (Plan, OptTrace) {
+    Optimizer::standard().optimize(plan)
+}
+
+/// Apply one rule top-down over the plan tree: repeatedly at this node
+/// (a replacement may enable the rule again), then into the children of
+/// whatever the node became.
+fn apply_everywhere(
+    rule: &dyn Rule,
+    mut plan: Plan,
+    pass: usize,
+    firings: &mut Vec<RuleFiring>,
+) -> Plan {
+    for _ in 0..MAX_LOCAL {
+        match rule.apply(&plan) {
+            Some(next) => {
+                firings.push(RuleFiring {
+                    rule: rule.name(),
+                    pass,
+                });
+                plan = next;
+            }
+            None => break,
+        }
+    }
+    map_children(plan, &mut |child| {
+        apply_everywhere(rule, child, pass, firings)
+    })
+}
+
+/// Rebuild a plan node with `f` applied to each direct child plan.
+fn map_children(plan: Plan, f: &mut impl FnMut(Plan) -> Plan) -> Plan {
+    match plan {
+        Plan::SelectDb { .. } | Plan::SelectProject { .. } => plan,
+        Plan::Project {
+            input,
+            pattern,
+            pl,
+            anchor_root,
+        } => Plan::Project {
+            input: Box::new(f(*input)),
+            pattern,
+            pl,
+            anchor_root,
+        },
+        Plan::DupElim { input, pattern, by } => Plan::DupElim {
+            input: Box::new(f(*input)),
+            pattern,
+            by,
+        },
+        Plan::LeftOuterJoinDb {
+            left,
+            left_pattern,
+            left_label,
+            right_pattern,
+            right_label,
+            right_sl,
+            right_extract,
+            order,
+        } => Plan::LeftOuterJoinDb {
+            left: Box::new(f(*left)),
+            left_pattern,
+            left_label,
+            right_pattern,
+            right_label,
+            right_sl,
+            right_extract,
+            order,
+        },
+        Plan::GroupBy {
+            input,
+            pattern,
+            basis,
+            ordering,
+        } => Plan::GroupBy {
+            input: Box::new(f(*input)),
+            pattern,
+            basis,
+            ordering,
+        },
+        Plan::Aggregate {
+            input,
+            pattern,
+            func,
+            of,
+            new_tag,
+            spec,
+        } => Plan::Aggregate {
+            input: Box::new(f(*input)),
+            pattern,
+            func,
+            of,
+            new_tag,
+            spec,
+        },
+        Plan::Rename { input, tag } => Plan::Rename {
+            input: Box::new(f(*input)),
+            tag,
+        },
+        Plan::StitchConstruct {
+            outer,
+            outer_pattern,
+            outer_label,
+            inner,
+            inner_pattern,
+            inner_label,
+            inner_extract,
+            agg,
+            order,
+            tag,
+        } => Plan::StitchConstruct {
+            outer: Box::new(f(*outer)),
+            outer_pattern,
+            outer_label,
+            inner: inner.map(|i| Box::new(f(*i))),
+            inner_pattern,
+            inner_label,
+            inner_extract,
+            agg,
+            order,
+            tag,
+        },
+    }
+}
+
+/// The paper's grouping rewrite (Sec. 4.1) as a rule: detect the
+/// join-based naive plan shape and replace it with the `GROUPBY`
+/// pipeline. Detection and plan construction are shared with the legacy
+/// [`crate::rewrite`] entry point.
+pub struct GroupByRewriteRule;
+
+impl Rule for GroupByRewriteRule {
+    fn name(&self) -> &'static str {
+        "groupby-rewrite"
+    }
+
+    fn apply(&self, plan: &Plan) -> Option<Plan> {
+        rewrite::detect(plan)
+    }
+}
+
+/// Projection pruning: in a `Project` applied directly over a `SelectDb`
+/// with the same pattern, drop the synthetic `doc_root` pattern root when
+/// nothing downstream references it.
+///
+/// Every stored tree sits under the unique synthetic `doc_root` element,
+/// so a root pattern node `$1:doc_root` with a single `ad` child
+/// constrains nothing: removing it (re-rooting the pattern at the child)
+/// yields the same bindings in the same order, and — because `$1` appears
+/// in neither the adornment nor the projection list — identical witness
+/// and output trees. The rule requires all of:
+///
+/// * the root predicate is exactly `Tag("doc_root")` (no extra
+///   conjuncts),
+/// * the root has exactly one child, reached via an `ad` edge,
+/// * the root label occurs in neither `sl` nor `pl`,
+/// * the projection anchors at tree roots (`anchor_root`), which stays
+///   true after re-rooting since witness roots bind the new pattern
+///   root.
+pub struct ProjectionPruneRule;
+
+/// The synthetic document-root tag (see `timber`'s loader and
+/// `translate::DOC_ROOT`).
+const DOC_ROOT: &str = "doc_root";
+
+impl Rule for ProjectionPruneRule {
+    fn name(&self) -> &'static str {
+        "projection-prune"
+    }
+
+    fn apply(&self, plan: &Plan) -> Option<Plan> {
+        let Plan::Project {
+            input,
+            pattern,
+            pl,
+            anchor_root: true,
+        } = plan
+        else {
+            return None;
+        };
+        let Plan::SelectDb {
+            pattern: sel_pattern,
+            sl,
+        } = input.as_ref()
+        else {
+            return None;
+        };
+        if sel_pattern != pattern {
+            return None;
+        }
+        let root = pattern.root();
+        if !matches!(&pattern.node(root).pred, Pred::Tag(t) if t == DOC_ROOT) {
+            return None;
+        }
+        let [child] = pattern.node(root).children[..] else {
+            return None;
+        };
+        if pattern.node(child).axis != Axis::Descendant {
+            return None;
+        }
+        if sl.contains(&root) || pl.iter().any(|p| p.label == root) {
+            return None;
+        }
+        let (pruned, mapping) = pattern.subtree_pattern(child);
+        let remap = |l: PatternNodeId| mapping[l].expect("label below the pruned root");
+        let sl: Vec<PatternNodeId> = sl.iter().map(|&l| remap(l)).collect();
+        let pl: Vec<ProjectItem> = pl
+            .iter()
+            .map(|p| ProjectItem {
+                label: remap(p.label),
+                deep: p.deep,
+            })
+            .collect();
+        Some(Plan::Project {
+            input: Box::new(Plan::SelectDb {
+                pattern: pruned.clone(),
+                sl,
+            }),
+            pattern: pruned,
+            pl,
+            anchor_root: true,
+        })
+    }
+}
+
+/// Select→project fusion: a `Project` directly over a `SelectDb` with
+/// the *same* pattern and root anchoring becomes one
+/// [`Plan::SelectProject`]. The fused operator matches the pattern once
+/// per database and projects each binding's witness tree immediately —
+/// byte-identical to the unfused pair, which re-matches the identical
+/// pattern against its own witness trees.
+pub struct SelectProjectFuseRule;
+
+impl Rule for SelectProjectFuseRule {
+    fn name(&self) -> &'static str {
+        "select-project-fuse"
+    }
+
+    fn apply(&self, plan: &Plan) -> Option<Plan> {
+        let Plan::Project {
+            input,
+            pattern,
+            pl,
+            anchor_root: true,
+        } = plan
+        else {
+            return None;
+        };
+        let Plan::SelectDb {
+            pattern: sel_pattern,
+            sl,
+        } = input.as_ref()
+        else {
+            return None;
+        };
+        if sel_pattern != pattern {
+            return None;
+        }
+        Some(Plan::SelectProject {
+            pattern: pattern.clone(),
+            sl: sl.clone(),
+            pl: pl.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_query, translate};
+    use tax::pattern::PatternTree;
+
+    const QUERY1: &str = r#"
+        FOR $a IN distinct-values(document("bib.xml")//author)
+        RETURN <authorpubs>
+          {$a}
+          { FOR $b IN document("bib.xml")//article
+            WHERE $a = $b/author
+            RETURN $b/title }
+        </authorpubs>
+    "#;
+
+    fn naive(query: &str) -> Plan {
+        translate(&parse_query(query).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn standard_rules_fire_on_query1_in_order() {
+        let (plan, trace) = optimize(naive(QUERY1));
+        assert!(trace.fired("groupby-rewrite"), "{:?}", trace.firings);
+        assert!(trace.fired("projection-prune"), "{:?}", trace.firings);
+        assert!(trace.fired("select-project-fuse"), "{:?}", trace.firings);
+        // The fused plan has no bare SelectDb or Project-over-SelectDb
+        // left on the grouping input side.
+        let text = plan.explain();
+        assert!(text.contains("SelectProject"), "{text}");
+        assert!(!text.contains("LeftOuterJoinDb"), "{text}");
+    }
+
+    #[test]
+    fn fixpoint_terminates_and_trace_renders() {
+        let (_, trace) = optimize(naive(QUERY1));
+        assert!(trace.passes < MAX_PASSES, "did not converge");
+        let rendered = trace.render();
+        assert!(rendered.contains("pass 1: groupby-rewrite"), "{rendered}");
+    }
+
+    #[test]
+    fn prune_drops_doc_root_and_remaps_labels() {
+        // Project(SelectDb) over [$1:doc_root -ad-> $2:article -pc-> $3:author].
+        let mut p = PatternTree::with_root(Pred::tag(DOC_ROOT));
+        let art = p.add_child(p.root(), Axis::Descendant, Pred::tag("article"));
+        let auth = p.add_child(art, Axis::Child, Pred::tag("author"));
+        let plan = Plan::Project {
+            input: Box::new(Plan::SelectDb {
+                pattern: p.clone(),
+                sl: vec![art],
+            }),
+            pattern: p,
+            pl: vec![ProjectItem::deep(auth)],
+            anchor_root: true,
+        };
+        let pruned = ProjectionPruneRule.apply(&plan).expect("rule applies");
+        let Plan::Project {
+            input, pattern, pl, ..
+        } = &pruned
+        else {
+            panic!("still a Project");
+        };
+        assert_eq!(pattern.len(), 2, "doc_root dropped");
+        assert!(matches!(&pattern.node(pattern.root()).pred, Pred::Tag(t) if t == "article"));
+        assert_eq!(pl[0].label, 1, "author label remapped 2 -> 1");
+        let Plan::SelectDb { sl, .. } = input.as_ref() else {
+            panic!("input not SelectDb");
+        };
+        assert_eq!(sl, &[0], "article label remapped 1 -> 0");
+        // No second application: the new root is not doc_root.
+        assert!(ProjectionPruneRule.apply(&pruned).is_none());
+    }
+
+    #[test]
+    fn prune_refuses_referenced_or_constrained_roots() {
+        let mut p = PatternTree::with_root(Pred::tag(DOC_ROOT));
+        let art = p.add_child(p.root(), Axis::Descendant, Pred::tag("article"));
+        // Root referenced by the projection list: keep it.
+        let referencing = Plan::Project {
+            input: Box::new(Plan::SelectDb {
+                pattern: p.clone(),
+                sl: vec![art],
+            }),
+            pattern: p.clone(),
+            pl: vec![ProjectItem::shallow(p.root()), ProjectItem::deep(art)],
+            anchor_root: true,
+        };
+        assert!(ProjectionPruneRule.apply(&referencing).is_none());
+        // pc edge to the child: the root constrains depth, keep it.
+        let mut pc = PatternTree::with_root(Pred::tag(DOC_ROOT));
+        let dbl = pc.add_child(pc.root(), Axis::Child, Pred::tag("dblp"));
+        let strict = Plan::Project {
+            input: Box::new(Plan::SelectDb {
+                pattern: pc.clone(),
+                sl: vec![dbl],
+            }),
+            pattern: pc,
+            pl: vec![ProjectItem::deep(dbl)],
+            anchor_root: true,
+        };
+        assert!(ProjectionPruneRule.apply(&strict).is_none());
+    }
+
+    #[test]
+    fn fuse_requires_identical_patterns() {
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        let auth = p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+        let fusable = Plan::Project {
+            input: Box::new(Plan::SelectDb {
+                pattern: p.clone(),
+                sl: vec![auth],
+            }),
+            pattern: p.clone(),
+            pl: vec![ProjectItem::deep(auth)],
+            anchor_root: true,
+        };
+        assert!(matches!(
+            SelectProjectFuseRule.apply(&fusable),
+            Some(Plan::SelectProject { .. })
+        ));
+        let mut other = p.clone();
+        other.add_child(other.root(), Axis::Child, Pred::tag("year"));
+        let mismatched = Plan::Project {
+            input: Box::new(Plan::SelectDb {
+                pattern: other,
+                sl: vec![auth],
+            }),
+            pattern: p,
+            pl: vec![ProjectItem::deep(auth)],
+            anchor_root: true,
+        };
+        assert!(SelectProjectFuseRule.apply(&mismatched).is_none());
+    }
+
+    #[test]
+    fn direct_style_plans_pass_through_untouched() {
+        // A plan with no applicable shapes is returned structurally
+        // unchanged with an empty trace.
+        let p = {
+            let mut p = PatternTree::with_root(Pred::tag("article"));
+            p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+            p
+        };
+        let plan = Plan::SelectDb {
+            pattern: p,
+            sl: vec![0],
+        };
+        let before = plan.explain();
+        let (after, trace) = optimize(plan);
+        assert_eq!(after.explain(), before);
+        assert!(trace.firings.is_empty());
+        assert_eq!(trace.passes, 1);
+    }
+}

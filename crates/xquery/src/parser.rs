@@ -299,9 +299,7 @@ impl Parser {
             } else if self.eat(&Token::LtSlash) {
                 let close = self.expect_name()?;
                 if close != tag {
-                    return Err(self.err(&format!(
-                        "close tag </{close}> does not match <{tag}>"
-                    )));
+                    return Err(self.err(&format!("close tag </{close}> does not match <{tag}>")));
                 }
                 self.expect(Token::Gt, "'>' closing the close tag")?;
                 return Ok(Constructor { tag, items });
@@ -337,9 +335,7 @@ impl Parser {
                     Ok(ReturnItem::Var(v))
                 }
             }
-            _ => Err(self.err(
-                "expected $var, an aggregate like count($var), or a nested FOR",
-            )),
+            _ => Err(self.err("expected $var, an aggregate like count($var), or a nested FOR")),
         }
     }
 }
@@ -466,10 +462,7 @@ mod tests {
 
     #[test]
     fn multi_step_predicate_path() {
-        let q = parse_query(
-            r#"FOR $a IN document("b.xml")//x[c/d = "v"]/y RETURN $a"#,
-        )
-        .unwrap();
+        let q = parse_query(r#"FOR $a IN document("b.xml")//x[c/d = "v"]/y RETURN $a"#).unwrap();
         let step = &q.for_clause.source.steps[0];
         let pred = step.predicate.as_ref().unwrap();
         assert_eq!(pred.path, vec!["c".to_owned(), "d".to_owned()]);
@@ -478,19 +471,15 @@ mod tests {
 
     #[test]
     fn where_with_and() {
-        let q = parse_query(
-            r#"FOR $a IN document("b.xml")//x WHERE $a = "1" AND $a = "2" RETURN $a"#,
-        )
-        .unwrap();
+        let q =
+            parse_query(r#"FOR $a IN document("b.xml")//x WHERE $a = "1" AND $a = "2" RETURN $a"#)
+                .unwrap();
         assert_eq!(q.where_clause.len(), 2);
     }
 
     #[test]
     fn mismatched_constructor_tags_rejected() {
-        let err = parse_query(
-            r#"FOR $a IN document("b.xml")//x RETURN <a>{$a}</b>"#,
-        )
-        .unwrap_err();
+        let err = parse_query(r#"FOR $a IN document("b.xml")//x RETURN <a>{$a}</b>"#).unwrap_err();
         assert!(matches!(err, QueryError::Parse { .. }));
     }
 

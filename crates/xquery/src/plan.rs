@@ -32,6 +32,18 @@ pub enum Plan {
         /// Whether the pattern root binds only tree roots.
         anchor_root: bool,
     },
+    /// Fused selection + projection over the stored database (the
+    /// optimizer's select→project fusion): one pattern match serves
+    /// both operators, so each binding's witness tree is projected
+    /// without materializing the intermediate selected collection.
+    SelectProject {
+        /// Shared pattern (selection and projection agree on it).
+        pattern: PatternTree,
+        /// Adorned labels (whole subtrees kept in the witness).
+        sl: Vec<PatternNodeId>,
+        /// Projection list.
+        pl: Vec<ProjectItem>,
+    },
     /// Duplicate elimination on a bound node's content.
     DupElim {
         /// Input plan.
@@ -148,7 +160,25 @@ impl Plan {
                     sl.iter().map(|l| format!("${}", l + 1)).collect::<Vec<_>>()
                 );
             }
-            Plan::Project { input, pattern, pl, anchor_root } => {
+            Plan::SelectProject { pattern, sl, pl } => {
+                let pls: Vec<String> = pl
+                    .iter()
+                    .map(|p| format!("${}{}", p.label + 1, if p.deep { "*" } else { "" }))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}SelectProject pattern={} SL={:?} PL={:?}",
+                    pattern_summary(pattern),
+                    sl.iter().map(|l| format!("${}", l + 1)).collect::<Vec<_>>(),
+                    pls
+                );
+            }
+            Plan::Project {
+                input,
+                pattern,
+                pl,
+                anchor_root,
+            } => {
                 let pls: Vec<String> = pl
                     .iter()
                     .map(|p| format!("${}{}", p.label + 1, if p.deep { "*" } else { "" }))
@@ -188,20 +218,26 @@ impl Plan {
                     left_label + 1,
                     right_label + 1,
                     pattern_summary(right_pattern),
-                    right_sl.iter().map(|l| format!("${}", l + 1)).collect::<Vec<_>>()
+                    right_sl
+                        .iter()
+                        .map(|l| format!("${}", l + 1))
+                        .collect::<Vec<_>>()
                 );
                 left.explain_into(out, depth + 1);
             }
-            Plan::GroupBy { input, pattern, basis, ordering } => {
+            Plan::GroupBy {
+                input,
+                pattern,
+                basis,
+                ordering,
+            } => {
                 let bs: Vec<String> = basis
                     .iter()
                     .map(|b| match &b.attr {
                         Some(a) => format!("${}.{a}", b.label + 1),
-                        None => format!(
-                            "${}{}.content",
-                            b.label + 1,
-                            if b.deep { "*" } else { "" }
-                        ),
+                        None => {
+                            format!("${}{}.content", b.label + 1, if b.deep { "*" } else { "" })
+                        }
                     })
                     .collect();
                 let os: Vec<String> = ordering
@@ -215,12 +251,14 @@ impl Plan {
                 );
                 input.explain_into(out, depth + 1);
             }
-            Plan::Aggregate { input, func, of, new_tag, .. } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}Aggregate {func:?}(${}) as <{new_tag}>",
-                    of + 1
-                );
+            Plan::Aggregate {
+                input,
+                func,
+                of,
+                new_tag,
+                ..
+            } => {
+                let _ = writeln!(out, "{pad}Aggregate {func:?}(${}) as <{new_tag}>", of + 1);
                 input.explain_into(out, depth + 1);
             }
             Plan::Rename { input, tag } => {
@@ -267,7 +305,7 @@ impl Plan {
     pub fn uses_groupby(&self) -> bool {
         match self {
             Plan::GroupBy { .. } => true,
-            Plan::SelectDb { .. } => false,
+            Plan::SelectDb { .. } | Plan::SelectProject { .. } => false,
             Plan::Project { input, .. }
             | Plan::DupElim { input, .. }
             | Plan::Aggregate { input, .. }
@@ -283,7 +321,7 @@ impl Plan {
     pub fn uses_join(&self) -> bool {
         match self {
             Plan::LeftOuterJoinDb { .. } => true,
-            Plan::SelectDb { .. } => false,
+            Plan::SelectDb { .. } | Plan::SelectProject { .. } => false,
             Plan::Project { input, .. }
             | Plan::DupElim { input, .. }
             | Plan::Aggregate { input, .. }

@@ -28,15 +28,19 @@ use tax::pattern::{Axis, PatternNodeId, PatternTree, Pred};
 
 /// Try to rewrite a naive plan into a `GROUPBY` plan. Returns the plan
 /// (rewritten or original) and whether the rewrite fired.
+///
+/// This is the single-rule entry point kept for compatibility; the full
+/// optimizer (grouping rewrite plus projection pruning and
+/// select→project fusion) lives in [`crate::opt`].
 pub fn rewrite(plan: Plan) -> (Plan, bool) {
-    match detect(&plan) {
-        Some(new_plan) => (new_plan, true),
-        None => (plan, false),
-    }
+    use crate::opt::{GroupByRewriteRule, Optimizer, Rule};
+    let (plan, trace) = Optimizer::with_rules(vec![Box::new(GroupByRewriteRule)]).optimize(plan);
+    let fired = trace.fired(GroupByRewriteRule.name());
+    (plan, fired)
 }
 
 /// Phase 1: inspect the plan; on success build the Phase 2 plan.
-fn detect(plan: &Plan) -> Option<Plan> {
+pub(crate) fn detect(plan: &Plan) -> Option<Plan> {
     let Plan::StitchConstruct {
         outer_pattern,
         outer_label,
@@ -85,7 +89,11 @@ fn detect(plan: &Plan) -> Option<Plan> {
     // (from the join's selection list), falling back to the lowest
     // common ancestor of the join node and the extract paths.
     let subject = right_sl.first().copied().or_else(|| {
-        lca(right_pattern, join_node, extract_source(right_pattern, inner_extract))
+        lca(
+            right_pattern,
+            join_node,
+            extract_source(right_pattern, inner_extract),
+        )
     })?;
     if !right_pattern.is_ancestor(subject, join_node) {
         return None;
@@ -109,7 +117,7 @@ fn detect(plan: &Plan) -> Option<Plan> {
 /// eliminations — "the outcome of a previous selection"?
 fn is_selection_chain(plan: &Plan) -> bool {
     match plan {
-        Plan::SelectDb { .. } => true,
+        Plan::SelectDb { .. } | Plan::SelectProject { .. } => true,
         Plan::Project { input, .. } | Plan::DupElim { input, .. } => is_selection_chain(input),
         _ => false,
     }
@@ -148,7 +156,13 @@ fn build_groupby_plan(
     let mut gb_pattern = PatternTree::with_root(right_pattern.node(subject).pred.clone());
     let mut gb_map: Vec<Option<PatternNodeId>> = vec![None; right_pattern.len()];
     gb_map[subject] = Some(gb_pattern.root());
-    let basis_node = graft_into(&mut gb_pattern, right_pattern, subject, join_node, &mut gb_map);
+    let basis_node = graft_into(
+        &mut gb_pattern,
+        right_pattern,
+        subject,
+        join_node,
+        &mut gb_map,
+    );
     let ordering: Vec<GroupOrder> = match order {
         None => vec![],
         Some((onode, dir)) => {

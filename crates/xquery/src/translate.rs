@@ -110,9 +110,7 @@ pub fn translate(q: &Flwr) -> Result<Plan> {
                 }
                 _ => return Err(QueryError::UnboundVariable(v.clone())),
             },
-            ReturnItem::Nested(flwr) => {
-                set_nested(&mut nested_part, NestedPart::Flwr(flwr))?
-            }
+            ReturnItem::Nested(flwr) => set_nested(&mut nested_part, NestedPart::Flwr(flwr))?,
             ReturnItem::VarPath(..) => {
                 return Err(QueryError::Unsupported(
                     "path items in the outer RETURN are not supported".into(),
@@ -175,11 +173,25 @@ pub fn translate(q: &Flwr) -> Result<Plan> {
     // Inside witness trees every edge is a direct (arena) child edge;
     // shared prefixes reuse the same stitch node.
     let mut stitch_map: Vec<Option<PatternNodeId>> = vec![None; right.pattern.len()];
-    let extract_in_stitch =
-        graft_path(&mut stitch, right_doc, &right.pattern, right.extract, &mut stitch_map);
-    let order_in_stitch = right
-        .order
-        .map(|(node, dir)| (graft_path(&mut stitch, right_doc, &right.pattern, node, &mut stitch_map), dir));
+    let extract_in_stitch = graft_path(
+        &mut stitch,
+        right_doc,
+        &right.pattern,
+        right.extract,
+        &mut stitch_map,
+    );
+    let order_in_stitch = right.order.map(|(node, dir)| {
+        (
+            graft_path(
+                &mut stitch,
+                right_doc,
+                &right.pattern,
+                node,
+                &mut stitch_map,
+            ),
+            dir,
+        )
+    });
 
     let inner = Plan::LeftOuterJoinDb {
         left: Box::new(outer_plan.clone()),
@@ -306,12 +318,10 @@ fn build_right_from_nested(outer_var: &str, nested: &Flwr) -> Result<RightSide> 
         {
             path
         }
-        _ => {
-            return Err(QueryError::Unsupported(
-                "the nested WHERE must compare the outer variable with a path on the nested variable"
-                    .into(),
-            ))
-        }
+        _ => return Err(QueryError::Unsupported(
+            "the nested WHERE must compare the outer variable with a path on the nested variable"
+                .into(),
+        )),
     };
     let join = add_child_chain(&mut pattern, bound, join_path);
 
@@ -507,7 +517,10 @@ mod tests {
     #[test]
     fn query1_join_plan_pattern_matches_fig4b() {
         let plan = translate(&parse_query(QUERY1).unwrap()).unwrap();
-        let Plan::StitchConstruct { inner: Some(inner), .. } = &plan else {
+        let Plan::StitchConstruct {
+            inner: Some(inner), ..
+        } = &plan
+        else {
             panic!()
         };
         let Plan::LeftOuterJoinDb {
@@ -533,7 +546,12 @@ mod tests {
     fn query2_let_form_translates() {
         let plan = translate(&parse_query(QUERY2).unwrap()).unwrap();
         assert!(plan.uses_join());
-        let Plan::StitchConstruct { inner: Some(inner), agg, .. } = &plan else {
+        let Plan::StitchConstruct {
+            inner: Some(inner),
+            agg,
+            ..
+        } = &plan
+        else {
             panic!()
         };
         assert!(agg.is_none());
@@ -587,10 +605,18 @@ mod tests {
             </instpubs>
         "#;
         let plan = translate(&parse_query(q).unwrap()).unwrap();
-        let Plan::StitchConstruct { inner: Some(inner), .. } = &plan else {
+        let Plan::StitchConstruct {
+            inner: Some(inner), ..
+        } = &plan
+        else {
             panic!()
         };
-        let Plan::LeftOuterJoinDb { right_pattern, right_label, .. } = inner.as_ref() else {
+        let Plan::LeftOuterJoinDb {
+            right_pattern,
+            right_label,
+            ..
+        } = inner.as_ref()
+        else {
             panic!()
         };
         assert_eq!(
@@ -608,9 +634,7 @@ mod tests {
         );
         assert!(matches!(e, Err(QueryError::Unsupported(_))));
         // RETURN without the outer var.
-        let e = translate(
-            &parse_query(r#"FOR $a IN document("b")//x RETURN <t></t>"#).unwrap(),
-        );
+        let e = translate(&parse_query(r#"FOR $a IN document("b")//x RETURN <t></t>"#).unwrap());
         assert!(matches!(e, Err(QueryError::Unsupported(_))));
         // Unbound variable in RETURN.
         let e = translate(

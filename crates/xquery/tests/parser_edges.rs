@@ -20,7 +20,11 @@ fn order_by_defaults_to_ascending() {
 
 #[test]
 fn order_by_explicit_directions() {
-    for (kw, desc) in [("ASCENDING", false), ("DESCENDING", true), ("descending", true)] {
+    for (kw, desc) in [
+        ("ASCENDING", false),
+        ("DESCENDING", true),
+        ("descending", true),
+    ] {
         let q = parse_query(&format!(
             r#"FOR $a IN document("b")//x ORDER BY $a/y {kw} RETURN $a"#
         ))
@@ -77,10 +81,7 @@ fn all_aggregate_functions_parse() {
 fn aggregate_name_case_sensitive_lowercase_only() {
     // `COUNT` is not a recognized function name; it parses as a bare
     // name and the item fails.
-    assert!(parse_query(
-        r#"FOR $a IN document("b")//x RETURN <r> {COUNT($a)} </r>"#
-    )
-    .is_err());
+    assert!(parse_query(r#"FOR $a IN document("b")//x RETURN <r> {COUNT($a)} </r>"#).is_err());
 }
 
 #[test]

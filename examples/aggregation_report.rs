@@ -63,7 +63,7 @@ fn main() {
     let member = count_p.add_child(sub, Axis::Child, Pred::tag("article"));
     let with_counts = aggregate(
         store,
-        &groups,
+        groups,
         &count_p,
         AggFunc::Count,
         member,
@@ -78,7 +78,7 @@ fn main() {
     let y = year_p.add_child(m, Axis::Child, Pred::tag("year"));
     let with_min = aggregate(
         store,
-        &with_counts,
+        with_counts,
         &year_p,
         AggFunc::Min,
         y,
@@ -88,7 +88,7 @@ fn main() {
     .expect("min");
     let with_max = aggregate(
         store,
-        &with_min,
+        with_min,
         &year_p,
         AggFunc::Max,
         y,
@@ -117,7 +117,10 @@ fn main() {
     rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
     println!("\ntop authors by publication count:");
-    println!("{:<28} {:>6} {:>11} {:>10}", "author", "pubs", "first year", "last year");
+    println!(
+        "{:<28} {:>6} {:>11} {:>10}",
+        "author", "pubs", "first year", "last year"
+    );
     for (author, count, first, last) in rows.iter().take(15) {
         println!("{author:<28} {count:>6} {first:>11} {last:>10}");
     }

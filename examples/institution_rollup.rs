@@ -136,8 +136,8 @@ fn main() {
         let mut ap = PatternTree::with_root(Pred::tag("article"));
         let author = ap.add_child(ap.root(), Axis::Child, Pred::tag("author"));
         let name = ap.add_child(author, Axis::Child, Pred::tag("name"));
-        let inner = groupby(store, &members, &ap, &[BasisItem::content(name)], &[])
-            .expect("inner groupby");
+        let inner =
+            groupby(store, &members, &ap, &[BasisItem::content(name)], &[]).expect("inner groupby");
         total_author_groups += inner.len();
         println!(
             "  {:<40} {:>4} articles, {:>3} author groups",

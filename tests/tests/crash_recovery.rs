@@ -47,10 +47,7 @@ const QUERY_COUNT: &str = r#"
 
 fn seeds() -> Vec<u64> {
     match std::env::var("CRASH_SEEDS") {
-        Ok(s) => s
-            .split(',')
-            .filter_map(|t| t.trim().parse().ok())
-            .collect(),
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
         Err(_) => vec![1, 2, 3],
     }
 }
@@ -191,8 +188,17 @@ fn write_fault_schedules_cannot_perturb_queries() {
             .with_write_flip(0.5)
             .with_torn_write(0.5)
             .with_write_error(0.5);
-        let stats = drive(&db, &reference, schedule, &format!("write-only seed={seed}"));
-        assert_eq!(stats.total(), 0, "read-only workload must never trip write faults");
+        let stats = drive(
+            &db,
+            &reference,
+            schedule,
+            &format!("write-only seed={seed}"),
+        );
+        assert_eq!(
+            stats.total(),
+            0,
+            "read-only workload must never trip write faults"
+        );
     }
 }
 
@@ -262,7 +268,10 @@ fn persistent_write_flips_never_corrupt_silently() {
         let schedule = FaultConfig::seeded(seed).with_write_flip(0.2);
         caught += write_churn(seed, schedule, &format!("write_flip seed={seed}"));
     }
-    assert!(caught > 0, "write flips must be caught by read-back verification");
+    assert!(
+        caught > 0,
+        "write flips must be caught by read-back verification"
+    );
 }
 
 #[test]
@@ -272,7 +281,10 @@ fn torn_writes_never_corrupt_silently() {
         let schedule = FaultConfig::seeded(seed).with_torn_write(0.2);
         caught += write_churn(seed, schedule, &format!("torn seed={seed}"));
     }
-    assert!(caught > 0, "torn writes must be caught by read-back verification");
+    assert!(
+        caught > 0,
+        "torn writes must be caught by read-back verification"
+    );
 }
 
 #[test]

@@ -75,8 +75,7 @@ fn groupby_plan_io_wins_grow_with_scale() {
         let direct = db.query(QUERY_COUNT, PlanMode::Direct).unwrap();
         db.reset_io_stats();
         let grouped = db.query(QUERY_COUNT, PlanMode::GroupByRewrite).unwrap();
-        let ratio =
-            direct.io.page_requests() as f64 / grouped.io.page_requests().max(1) as f64;
+        let ratio = direct.io.page_requests() as f64 / grouped.io.page_requests().max(1) as f64;
         assert!(
             ratio > 1.5,
             "at {articles} articles the direct plan must touch ≥1.5× the pages (got {ratio:.2})"

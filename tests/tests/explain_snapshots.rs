@@ -1,0 +1,114 @@
+//! Golden EXPLAIN snapshots: the full `TimberDb::explain` text — direct
+//! plan, optimized plan, and the optimizer's rule-firing trace — pinned
+//! for the corpus queries. Any change to the translator, a rewrite
+//! rule, or plan rendering shows up as a readable diff here.
+
+use timber::PlanMode;
+use timber_integration_tests::{fig6_db, QUERY1, QUERY_COUNT};
+
+const QUERY_PROJECT: &str = r#"
+    FOR $a IN distinct-values(document("bib.xml")//author)
+    RETURN <row> {$a} </row>
+"#;
+
+#[test]
+fn query1_explain_snapshot() {
+    let expected = "\
+== direct plan ==
+StitchConstruct <authorpubs> key: outer.$2 = inner.$3 extract=[\"$6*\"]
+  DupElim pattern=[$1:doc_root, $1-ad->$2:author] by=$2
+    Project pattern=[$1:doc_root, $1-ad->$2:author] PL=[\"$1\", \"$2*\"] anchor_root=true
+      SelectDb pattern=[$1:doc_root, $1-ad->$2:author] SL=[\"$2\"]
+  LeftOuterJoinDb on left.$2 = right.$3 right=[$1:doc_root, $1-ad->$2:article, $2-pc->$3:author, $2-pc->$4:title] SL=[\"$2\"]
+    DupElim pattern=[$1:doc_root, $1-ad->$2:author] by=$2
+      Project pattern=[$1:doc_root, $1-ad->$2:author] PL=[\"$1\", \"$2*\"] anchor_root=true
+        SelectDb pattern=[$1:doc_root, $1-ad->$2:author] SL=[\"$2\"]
+
+== optimized plan ==
+Rename to <authorpubs>
+  Project pattern=[$1:TAX_group_root, $1-pc->$2:TAX_grouping_basis, $2-pc->$3:author, $1-pc->$4:TAX_group_subroot, $4-pc->$5:article, $5-pc->$6:title] PL=[\"$1\", \"$3*\", \"$6*\"] anchor_root=true
+    GroupBy pattern=[$1:article, $1-pc->$2:author] basis=[\"$2.content\"] ordering=[]
+      SelectProject pattern=[$1:article] SL=[\"$1\"] PL=[\"$1*\"]
+
+== rewrite trace ==
+pass 1: groupby-rewrite
+pass 1: projection-prune
+pass 1: select-project-fuse
+";
+    assert_eq!(fig6_db().explain(QUERY1).unwrap(), expected);
+}
+
+#[test]
+fn count_query_explain_snapshot() {
+    let expected = "\
+== direct plan ==
+StitchConstruct <authorpubs> key: outer.$2 = inner.$3 extract=[\"$6*\"] agg=Count<count>
+  DupElim pattern=[$1:doc_root, $1-ad->$2:author] by=$2
+    Project pattern=[$1:doc_root, $1-ad->$2:author] PL=[\"$1\", \"$2*\"] anchor_root=true
+      SelectDb pattern=[$1:doc_root, $1-ad->$2:author] SL=[\"$2\"]
+  LeftOuterJoinDb on left.$2 = right.$3 right=[$1:doc_root, $1-ad->$2:article, $2-pc->$3:author, $2-pc->$4:title] SL=[\"$2\"]
+    DupElim pattern=[$1:doc_root, $1-ad->$2:author] by=$2
+      Project pattern=[$1:doc_root, $1-ad->$2:author] PL=[\"$1\", \"$2*\"] anchor_root=true
+        SelectDb pattern=[$1:doc_root, $1-ad->$2:author] SL=[\"$2\"]
+
+== optimized plan ==
+Rename to <authorpubs>
+  Project pattern=[$1:TAX_group_root, $1-pc->$2:TAX_grouping_basis, $2-pc->$3:author, $1-pc->$4:count] PL=[\"$1\", \"$3*\", \"$4*\"] anchor_root=true
+    Aggregate Count($4) as <count>
+      GroupBy pattern=[$1:article, $1-pc->$2:author] basis=[\"$2.content\"] ordering=[]
+        SelectProject pattern=[$1:article] SL=[\"$1\"] PL=[\"$1*\"]
+
+== rewrite trace ==
+pass 1: groupby-rewrite
+pass 1: projection-prune
+pass 1: select-project-fuse
+";
+    assert_eq!(fig6_db().explain(QUERY_COUNT).unwrap(), expected);
+}
+
+#[test]
+fn projection_only_explain_snapshot() {
+    // No grouping, no join: only the select→project fusion fires (the
+    // root-pruning rule refuses because the projection list keeps the
+    // doc_root node).
+    let expected = "\
+== direct plan ==
+StitchConstruct <row> key: outer.$2 = inner.$1 extract=[]
+  DupElim pattern=[$1:doc_root, $1-ad->$2:author] by=$2
+    Project pattern=[$1:doc_root, $1-ad->$2:author] PL=[\"$1\", \"$2*\"] anchor_root=true
+      SelectDb pattern=[$1:doc_root, $1-ad->$2:author] SL=[\"$2\"]
+
+== optimized plan ==
+StitchConstruct <row> key: outer.$2 = inner.$1 extract=[]
+  DupElim pattern=[$1:doc_root, $1-ad->$2:author] by=$2
+    SelectProject pattern=[$1:doc_root, $1-ad->$2:author] SL=[\"$2\"] PL=[\"$1\", \"$2*\"]
+
+== rewrite trace ==
+pass 1: select-project-fuse
+";
+    assert_eq!(fig6_db().explain(QUERY_PROJECT).unwrap(), expected);
+}
+
+#[test]
+fn explain_analyze_structural_snapshot() {
+    // Timings and I/O counts vary run to run; pin the structure: section
+    // headers, one metrics line per plan operator, and the counters each
+    // line must carry.
+    let db = fig6_db();
+    let a = db
+        .explain_analyze(QUERY1, PlanMode::GroupByRewrite)
+        .unwrap();
+    let text = a.render();
+    assert!(text.starts_with("== plan (GroupByRewrite mode, groupby rewrite fired) ==\n"));
+    assert!(text.contains("== rewrite trace ==\npass 1: groupby-rewrite\n"));
+    assert!(text.contains("== execution (physical, batch=256) ==\n"));
+    let metric_lines: Vec<&str> = text.lines().filter(|l| l.contains(" | in=")).collect();
+    assert_eq!(metric_lines.len(), 4, "{text}");
+    for line in &metric_lines {
+        for field in ["out=", "batches=", "time=", "pages=", "disk_reads="] {
+            assert!(line.contains(field), "{line}");
+        }
+    }
+    assert!(text.trim_end().ends_with("disk reads"), "{text}");
+    assert!(text.contains("3 trees in "), "{text}");
+}

@@ -71,7 +71,11 @@ fn fig3_grouping_with_descending_title_order() {
     let g0 = groups[0].materialize(&s).unwrap();
     assert_eq!(g0.name, tags::GROUP_ROOT);
     assert_eq!(
-        g0.child(tags::GROUPING_BASIS).unwrap().child("author").unwrap().text(),
+        g0.child(tags::GROUPING_BASIS)
+            .unwrap()
+            .child("author")
+            .unwrap()
+            .text(),
         "Silberschatz"
     );
     // Two-author article appears in both the Silberschatz and the
@@ -100,7 +104,10 @@ fn fig4_naive_parse_pattern_trees() {
     // Fig. 4a: outer pattern doc_root -ad-> author.
     assert!(text.contains("[$1:doc_root, $1-ad->$2:author]"), "{text}");
     // Fig. 4b: join between the outer author and the article's author.
-    assert!(text.contains("LeftOuterJoinDb on left.$2 = right.$3"), "{text}");
+    assert!(
+        text.contains("LeftOuterJoinDb on left.$2 = right.$3"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -112,7 +119,10 @@ fn fig5_rewritten_plan_structure() {
     // Fig. 5a: initial pattern doc_root -ad-> article.
     assert!(text.contains("[$1:doc_root, $1-ad->$2:article]"), "{text}");
     // Fig. 5b: grouping pattern article -pc-> author, basis $2.content.
-    assert!(text.contains("GroupBy pattern=[$1:article, $1-pc->$2:author]"), "{text}");
+    assert!(
+        text.contains("GroupBy pattern=[$1:article, $1-pc->$2:author]"),
+        "{text}"
+    );
     assert!(text.contains("basis=[\"$2.content\"]"), "{text}");
     // Fig. 5d: the final projection over the group tree.
     assert!(text.contains("TAX_group_root"), "{text}");

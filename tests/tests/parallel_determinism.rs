@@ -52,8 +52,15 @@ fn groupby_parallel_is_identical_to_sequential() {
         direction: Direction::Descending,
     }];
 
-    let sequential =
-        groupby_opts(&s, &input, &gp, &basis, &ordering, &ExecOptions::sequential()).unwrap();
+    let sequential = groupby_opts(
+        &s,
+        &input,
+        &gp,
+        &basis,
+        &ordering,
+        &ExecOptions::sequential(),
+    )
+    .unwrap();
     assert!(sequential.len() > 1);
     for threads in THREAD_COUNTS {
         let parallel = groupby_opts(

@@ -33,7 +33,7 @@ fn fig7_outer_selection_projection_dupelim() {
         true,
     )
     .unwrap();
-    let distinct = dup_elim(store, &proj, &p, 1).unwrap();
+    let distinct = dup_elim(store, proj, &p, 1).unwrap();
     // Fig. 7: three doc_root/author trees: Jack, John, Jill.
     assert_eq!(distinct.len(), 3);
     let names: Vec<String> = distinct
@@ -55,7 +55,7 @@ fn fig8_left_outer_join_produces_five_prod_trees() {
     let store = db.store();
     let p = outer_pattern();
     let sel = select_db(store, &p, &[1]).unwrap();
-    let distinct = dup_elim(store, &sel, &p, 1).unwrap();
+    let distinct = dup_elim(store, sel, &p, 1).unwrap();
 
     // Fig. 4b inner pattern: doc_root -ad-> article -pc-> author.
     let mut right = PatternTree::with_root(Pred::tag("doc_root"));
@@ -83,13 +83,7 @@ fn fig9_article_collection() {
     assert_eq!(arts.len(), 3);
     let titles: Vec<String> = arts
         .iter()
-        .map(|t| {
-            t.materialize(store)
-                .unwrap()
-                .child("title")
-                .unwrap()
-                .text()
-        })
+        .map(|t| t.materialize(store).unwrap().child("title").unwrap().text())
         .collect();
     assert_eq!(titles, ["Querying XML", "XML and the Web", "Hack HTML"]);
 }
@@ -151,10 +145,6 @@ fn full_pipeline_matches_figures_end_to_end() {
 <authorpubs><author>Jill</author><title>XML and the Web</title></authorpubs>\n";
     for mode in [PlanMode::Direct, PlanMode::GroupByRewrite] {
         let r = db.query(QUERY1, mode).unwrap();
-        assert_eq!(
-            r.to_xml_on(db.store()).unwrap(),
-            expected,
-            "mode {mode:?}"
-        );
+        assert_eq!(r.to_xml_on(db.store()).unwrap(), expected, "mode {mode:?}");
     }
 }
