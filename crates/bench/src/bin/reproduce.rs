@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! reproduce [e1] [e2] [scale] [pool] [matching] [groupby-impl] [value-index]
-//!           [threads] [faults] [all] [--articles N] [--mem] [--threads N]
-//!           [--faults SPEC] [--analyze]
+//!           [threads] [faults] [bench-smoke] [all] [--articles N] [--mem]
+//!           [--threads N] [--faults SPEC] [--analyze] [--json PATH]
+//!           [--baseline PATH] [--bench-threshold PCT]
 //! ```
 //!
 //! `--analyze` additionally prints an `EXPLAIN ANALYZE` report for the
@@ -26,6 +27,14 @@
 //! the same spec syntax the `crash_recovery` suite uses, so any CI
 //! failure is replayable from the command line. Passing `--faults`
 //! without an experiment list implies `faults`.
+//!
+//! `bench-smoke` is the CI perf gate (never part of `all`): it times the
+//! tier-1 workload — E1/E2 under both plans, serial and with sharded
+//! sinks at 4 threads — best-of-three, normalizes by a CPU calibration
+//! loop so the numbers transfer across runners, writes the report to
+//! `--json PATH`, and exits nonzero if any measurement regresses more
+//! than `--bench-threshold` percent (default 25) against the committed
+//! `--baseline PATH`.
 
 use timber::PlanMode;
 use timber_bench::*;
@@ -38,6 +47,9 @@ fn main() {
     let mut threads = 1usize;
     let mut fault_spec: Option<String> = None;
     let mut analyze = false;
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut bench_threshold = 25.0f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -61,6 +73,21 @@ fn main() {
                 fault_spec = Some(args.get(i).expect("--faults SPEC").clone());
             }
             "--analyze" => analyze = true,
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json PATH").clone());
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = Some(args.get(i).expect("--baseline PATH").clone());
+            }
+            "--bench-threshold" => {
+                i += 1;
+                bench_threshold = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--bench-threshold PCT");
+            }
             other => experiments.push(other.to_owned()),
         }
         i += 1;
@@ -74,6 +101,9 @@ fn main() {
         });
     }
     let run_all = experiments.iter().any(|e| e == "all");
+    // The CI perf gate runs only when asked for by name — `all` is the
+    // local exploratory sweep and must not pick up gating semantics.
+    let wants_smoke = experiments.iter().any(|e| e == "bench-smoke");
     let wants = |name: &str| run_all || experiments.iter().any(|e| e == name);
 
     println!("== Grouping in XML (EDBT 2002) — experiment reproduction ==");
@@ -124,6 +154,114 @@ fn main() {
     }
     if wants("faults") {
         run_faults(threads, fault_spec.as_deref());
+    }
+    if wants_smoke {
+        let ok = run_bench_smoke(
+            articles,
+            on_disk,
+            analyze,
+            json_path.as_deref(),
+            baseline_path.as_deref(),
+            bench_threshold,
+        );
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The CI perf gate: tier-1 queries, serial and sharded, best-of-three,
+/// in calibration units. Returns `false` when the committed baseline is
+/// violated (the caller exits nonzero).
+fn run_bench_smoke(
+    articles: usize,
+    on_disk: bool,
+    analyze: bool,
+    json_path: Option<&str>,
+    baseline_path: Option<&str>,
+    threshold_pct: f64,
+) -> bool {
+    println!(
+        "-- bench-smoke: CI perf gate ({articles} articles, best of 5, calibration-normalized) --"
+    );
+    let calibration_secs = calibrate();
+    println!("calibration quantum: {calibration_secs:.4}s");
+    let mut db = build_db(articles, None, on_disk);
+
+    let workload: [(&str, &str, PlanMode, usize); 6] = [
+        ("e1_titles_direct", QUERY_TITLES, PlanMode::Direct, 1),
+        (
+            "e1_titles_groupby",
+            QUERY_TITLES,
+            PlanMode::GroupByRewrite,
+            1,
+        ),
+        ("e2_count_direct", QUERY_COUNT, PlanMode::Direct, 1),
+        ("e2_count_groupby", QUERY_COUNT, PlanMode::GroupByRewrite, 1),
+        (
+            "e1_titles_groupby_t4",
+            QUERY_TITLES,
+            PlanMode::GroupByRewrite,
+            4,
+        ),
+        (
+            "e2_count_groupby_t4",
+            QUERY_COUNT,
+            PlanMode::GroupByRewrite,
+            4,
+        ),
+    ];
+    let mut entries = Vec::with_capacity(workload.len());
+    for &(key, query, mode, threads) in &workload {
+        db.set_threads(threads);
+        // One discarded warmup, then best-of-5: the gate compares a
+        // *minimum* against the committed baseline, so scheduler noise
+        // (worst on small CI runners) cannot manufacture a regression.
+        measure(&db, query, mode);
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            best = best.min(measure(&db, query, mode).elapsed.as_secs_f64());
+        }
+        let units = best / calibration_secs;
+        println!("{key:<22} {best:>9.4}s = {units:>9.3} units");
+        entries.push((key.to_owned(), units));
+    }
+    db.set_threads(4);
+    if analyze {
+        run_analyze(&db, "bench-smoke E1 titles (threads=4)", QUERY_TITLES);
+    }
+
+    let report = BenchReport {
+        calibration_secs,
+        articles,
+        entries,
+    };
+    if let Some(path) = json_path {
+        std::fs::write(path, report.to_json()).expect("write --json report");
+        println!("report written to {path}");
+    }
+    match baseline_path {
+        None => {
+            println!("no --baseline given; measuring only, not gating");
+            true
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read --baseline {path}: {e}"));
+            let baseline = BenchReport::from_json(&text)
+                .unwrap_or_else(|| panic!("--baseline {path} is not a bench report"));
+            let violations = report.regressions(&baseline, threshold_pct);
+            if violations.is_empty() {
+                println!("within +{threshold_pct:.0} % of baseline {path} — gate passes\n");
+                true
+            } else {
+                println!("PERF REGRESSION vs baseline {path}:");
+                for v in &violations {
+                    println!("  {v}");
+                }
+                false
+            }
+        }
     }
 }
 

@@ -111,6 +111,127 @@ pub fn try_measure(db: &TimberDb, query: &str, mode: PlanMode) -> timber::Result
     })
 }
 
+/// Wall-clock seconds of a fixed CPU-bound xorshift workload (best of
+/// three runs).
+///
+/// CI perf gating cannot compare raw wall times across machines — a
+/// committed baseline from one runner would gate a faster or slower one
+/// at the wrong level. Every [`BenchReport`] therefore stores times in
+/// *calibration units*: measured seconds divided by this quantum, which
+/// scales with the host's single-core speed. The workload is pure
+/// register arithmetic, so the units transfer across CPUs of the same
+/// rough generation well enough for a 25 % gate.
+pub fn calibrate() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut acc = 0u64;
+        for _ in 0..20_000_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc = acc.wrapping_add(x);
+        }
+        std::hint::black_box(acc);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// A machine-portable benchmark report: named measurements in
+/// calibration units (see [`calibrate`]), plus the calibration quantum
+/// and database size that produced them. Serialized as JSON by hand —
+/// the workspace is offline and carries no serde.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Seconds of the calibration quantum on the measuring host.
+    pub calibration_secs: f64,
+    /// Synthetic-DBLP size the workload ran against.
+    pub articles: usize,
+    /// `(key, calibration units)` per benchmark, in run order.
+    pub entries: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// The measurement for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.entries.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Render as JSON (the format [`BenchReport::from_json`] reads).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"calibration_secs\": {:.6},\n  \"articles\": {},\n  \"entries\": {{\n",
+            self.calibration_secs, self.articles
+        ));
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            out.push_str(&format!("    \"{k}\": {v:.6}{comma}\n"));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parse the JSON that [`BenchReport::to_json`] writes: every
+    /// `"key": number` pair is collected, with `calibration_secs` and
+    /// `articles` lifted out of the entry list. Returns `None` on
+    /// malformed numbers or missing calibration.
+    pub fn from_json(s: &str) -> Option<BenchReport> {
+        let mut calibration_secs = None;
+        let mut articles = 0usize;
+        let mut entries = Vec::new();
+        let mut parts = s.split('"');
+        parts.next(); // before the first quote
+        while let (Some(key), Some(rest)) = (parts.next(), parts.next()) {
+            let rest = rest.trim_start().trim_start_matches(':').trim_start();
+            let num: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+                .collect();
+            if num.is_empty() {
+                continue; // a structural token like `"entries": {`
+            }
+            let v: f64 = num.parse().ok()?;
+            match key {
+                "calibration_secs" => calibration_secs = Some(v),
+                "articles" => articles = v as usize,
+                _ => entries.push((key.to_owned(), v)),
+            }
+        }
+        Some(BenchReport {
+            calibration_secs: calibration_secs?,
+            articles,
+            entries,
+        })
+    }
+
+    /// Compare against a committed `baseline`, returning one line per
+    /// violation: a measurement more than `threshold_pct` percent slower
+    /// (in calibration units) than the baseline's, or a baseline key the
+    /// current run no longer measures. New keys absent from the baseline
+    /// pass silently (they gate once the baseline is refreshed).
+    pub fn regressions(&self, baseline: &BenchReport, threshold_pct: f64) -> Vec<String> {
+        let mut out = Vec::new();
+        for (key, base) in &baseline.entries {
+            match self.get(key) {
+                None => out.push(format!("{key}: present in baseline but not measured")),
+                Some(now) => {
+                    let ratio = now / base.max(1e-9);
+                    if ratio > 1.0 + threshold_pct / 100.0 {
+                        out.push(format!(
+                            "{key}: {now:.3} units vs baseline {base:.3} ({:+.1} %, limit +{threshold_pct:.0} %)",
+                            (ratio - 1.0) * 100.0
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Direct-over-groupby slowdown factor.
 pub fn speedup(direct: &RunStats, grouped: &RunStats) -> f64 {
     direct.elapsed.as_secs_f64() / grouped.elapsed.as_secs_f64().max(1e-9)
@@ -171,6 +292,50 @@ mod tests {
         assert!(try_measure(&db, QUERY_COUNT, PlanMode::GroupByRewrite).is_err());
         db.set_faults(None).unwrap();
         assert!(try_measure(&db, QUERY_COUNT, PlanMode::GroupByRewrite).is_ok());
+    }
+
+    #[test]
+    fn bench_report_json_round_trips() {
+        let r = BenchReport {
+            calibration_secs: 0.042,
+            articles: 1500,
+            entries: vec![
+                ("e1_titles_direct".into(), 12.5),
+                ("e2_count_groupby".into(), 0.75),
+            ],
+        };
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.articles, 1500);
+        assert!((parsed.calibration_secs - 0.042).abs() < 1e-9);
+        assert_eq!(parsed.entries.len(), 2);
+        assert!((parsed.get("e1_titles_direct").unwrap() - 12.5).abs() < 1e-9);
+        assert!(BenchReport::from_json("not json").is_none());
+    }
+
+    #[test]
+    fn regressions_flag_slowdowns_and_missing_keys() {
+        let base = BenchReport {
+            calibration_secs: 0.04,
+            articles: 1500,
+            entries: vec![("a".into(), 10.0), ("b".into(), 10.0), ("c".into(), 10.0)],
+        };
+        let now = BenchReport {
+            calibration_secs: 0.05, // different host speed is fine
+            articles: 1500,
+            // a: +20 % (within the 25 % gate), b: +100 % (fails), c: gone.
+            entries: vec![("a".into(), 12.0), ("b".into(), 20.0), ("d".into(), 1.0)],
+        };
+        let viol = now.regressions(&base, 25.0);
+        assert_eq!(viol.len(), 2, "{viol:?}");
+        assert!(viol.iter().any(|v| v.starts_with("b:")), "{viol:?}");
+        assert!(viol.iter().any(|v| v.starts_with("c:")), "{viol:?}");
+        assert!(now.regressions(&now.clone(), 25.0).is_empty());
+    }
+
+    #[test]
+    fn calibration_is_positive_and_stable() {
+        let a = calibrate();
+        assert!(a > 0.0);
     }
 
     #[test]

@@ -121,6 +121,125 @@ where
     Ok(out)
 }
 
+/// Sink-shaped [`par_map`]: consumes the items instead of borrowing
+/// them, so blocking sinks can hand each worker *ownership* of one hash
+/// partition of their drained input. Results come back in input order
+/// with the same panic containment and first-error-by-index semantics as
+/// `par_map`.
+pub fn par_map_owned<T, R, F>(opts: &ExecOptions, items: Vec<T>, f: F) -> Result<Vec<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> Result<R> + Sync,
+{
+    let threads = opts.threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| contained(i, || f(i, t)))
+            .collect();
+    }
+    let total = items.len();
+    let chunk = total.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut iter = items.into_iter();
+    loop {
+        let c: Vec<T> = iter.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let chunk_results: Vec<Result<Vec<R>>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(ci, owned)| {
+                scope.spawn(move || {
+                    let base = ci * chunk;
+                    let mut out = Vec::with_capacity(owned.len());
+                    for (j, item) in owned.into_iter().enumerate() {
+                        out.push(contained(base + j, || f(base + j, item))?);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // Unreachable for panics in `f` (contained above); only
+                // a panic in the bookkeeping itself still unwinds.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(total);
+    for r in chunk_results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// 64-bit FNV-1a over `bytes`, folded into `seed` (start from
+/// [`FNV_SEED`]). Partition assignment must not depend on process- or
+/// platform-random state: the same key lands in the same shard on every
+/// run, so the partition-size/skew metrics of a sharded sink are
+/// reproducible.
+pub fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The FNV-1a offset basis — the starting seed for [`fnv1a`].
+pub const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Partition statistics of one sharded blocking-sink evaluation, as
+/// surfaced in the physical executor's metrics tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of hash partitions the sink's drained input was split
+    /// into (1 = the serial kernel).
+    pub partitions: usize,
+    /// Keyed items (witnesses / keyed trees) routed to each partition.
+    pub sizes: Vec<usize>,
+}
+
+impl ShardStats {
+    /// The single-partition (serial-kernel) statistics over `n` items.
+    pub fn serial(n: usize) -> ShardStats {
+        ShardStats {
+            partitions: 1,
+            sizes: vec![n],
+        }
+    }
+
+    /// Total keyed items across partitions.
+    pub fn total(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+
+    /// Load skew: largest partition relative to the balanced-share size
+    /// (`1.0` = perfectly balanced, `partitions` = everything in one
+    /// shard). Empty inputs report `1.0`.
+    pub fn skew(&self) -> f64 {
+        let total = self.total();
+        if total == 0 || self.partitions <= 1 {
+            return 1.0;
+        }
+        let max = self.sizes.iter().copied().max().unwrap_or(0);
+        (max * self.partitions) as f64 / total as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +344,82 @@ mod tests {
                 "got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn par_map_owned_preserves_order_and_moves_items() {
+        // Non-Clone payloads prove ownership transfer.
+        struct Owned(usize);
+        for threads in [1, 2, 4, 7] {
+            let opts = ExecOptions::with_threads(threads);
+            let items: Vec<Owned> = (0..53).map(Owned).collect();
+            let out = par_map_owned(&opts, items, |i, item| {
+                assert_eq!(i, item.0);
+                Ok(item.0 * 3)
+            })
+            .unwrap();
+            assert_eq!(out, (0..53).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_owned_contains_panics_and_orders_errors() {
+        let items: Vec<usize> = (0..40).collect();
+        for threads in [1, 4] {
+            let opts = ExecOptions::with_threads(threads);
+            let err = par_map_owned(&opts, items.clone(), |_, x| {
+                if x == 31 {
+                    panic!("late panic");
+                }
+                if x == 9 {
+                    return Err(Error::Unsupported("early".into()));
+                }
+                Ok(x)
+            })
+            .unwrap_err();
+            assert!(matches!(err, Error::Unsupported(ref m) if m == "early"));
+        }
+    }
+
+    #[test]
+    fn par_map_owned_empty_input() {
+        let opts = ExecOptions::with_threads(4);
+        let out: Vec<i32> = par_map_owned(&opts, Vec::<i32>::new(), |_, x| Ok(x)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fnv1a_is_deterministic_and_spreads() {
+        // Pinned value: the hash feeds partition assignment, which the
+        // skew metrics expose — it must never drift between runs.
+        assert_eq!(fnv1a(FNV_SEED, b""), FNV_SEED);
+        let h1 = fnv1a(FNV_SEED, b"Silberschatz");
+        assert_eq!(h1, fnv1a(FNV_SEED, b"Silberschatz"));
+        assert_ne!(h1, fnv1a(FNV_SEED, b"Garcia-Molina"));
+        // Folding continues a previous state.
+        let folded = fnv1a(fnv1a(FNV_SEED, b"Silber"), b"schatz");
+        assert_eq!(folded, h1);
+    }
+
+    #[test]
+    fn shard_stats_skew() {
+        assert_eq!(ShardStats::serial(7).skew(), 1.0);
+        let balanced = ShardStats {
+            partitions: 4,
+            sizes: vec![5, 5, 5, 5],
+        };
+        assert_eq!(balanced.skew(), 1.0);
+        assert_eq!(balanced.total(), 20);
+        let lopsided = ShardStats {
+            partitions: 4,
+            sizes: vec![20, 0, 0, 0],
+        };
+        assert_eq!(lopsided.skew(), 4.0);
+        let empty = ShardStats {
+            partitions: 4,
+            sizes: vec![0; 4],
+        };
+        assert_eq!(empty.skew(), 1.0);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //!   before sorting. Kept as the ablation baseline (experiment X4).
 
 use crate::error::Result;
-use crate::exec::{par_map, ExecOptions};
+use crate::exec::{fnv1a, par_map, par_map_owned, ExecOptions, ShardStats, FNV_SEED};
 use crate::matching::match_tree;
 use crate::matching::vnode::{VNode, VTree};
 use crate::pattern::{PatternNodeId, PatternTree};
@@ -151,6 +151,37 @@ pub fn groupby_opts(
     ordering: &[GroupOrder],
     opts: &ExecOptions,
 ) -> Result<Collection> {
+    Ok(groupby_sharded(store, input, pattern, basis, ordering, opts, 1)?.0)
+}
+
+/// Hash-partitioned [`groupby`]: the sharded-sink entry point.
+///
+/// Witness extraction fans out per input tree exactly as in
+/// [`groupby_opts`]; the extracted witnesses are then routed to
+/// `partitions` shards by an FNV-1a hash of their grouping key, each
+/// shard forms and builds its groups independently (in parallel over
+/// `opts.threads` via [`par_map_owned`]), and the per-shard outputs are
+/// merged ordered by each group's **global first-arrival position** —
+/// the witness ordinal that created the group. Every witness of one key
+/// hashes to the same shard, so member sets, member order, and basis
+/// children are shard-local decisions identical to the serial kernel's;
+/// the order-restoring merge makes the whole output byte-identical to
+/// `partitions = 1`. The paper's non-partitioning semantics survive
+/// unchanged: a two-author article's witnesses carry different keys, land
+/// in (possibly) different shards, and the article appears in both
+/// groups.
+///
+/// Returns the grouped collection plus the partition statistics
+/// (`partitions`, per-shard witness counts) for the metrics tree.
+pub fn groupby_sharded(
+    store: &DocumentStore,
+    input: &Collection,
+    pattern: &PatternTree,
+    basis: &[BasisItem],
+    ordering: &[GroupOrder],
+    opts: &ExecOptions,
+    partitions: usize,
+) -> Result<(Collection, ShardStats)> {
     validate(pattern, basis, ordering)?;
 
     // Per-tree extraction: populate only the grouping and ordering
@@ -181,47 +212,119 @@ pub fn groupby_opts(
         Ok(witnesses)
     })?;
 
-    // Sequential merge in input order: first arrival fixes group order.
-    let mut index: HashMap<Key, usize> = HashMap::new();
-    let mut groups: Vec<(Key, Group)> = Vec::new();
-    let mut arrivals = 0usize;
-    for (tree_idx, witnesses) in per_tree.into_iter().enumerate() {
-        for w in witnesses {
-            let gid = match index.get(&w.key) {
-                Some(&g) => g,
-                None => {
-                    let g = groups.len();
-                    index.insert(w.key.clone(), g);
-                    groups.push((
-                        w.key,
-                        Group {
-                            basis_nodes: w.basis_nodes,
-                            basis_tree: tree_idx,
-                            members: Vec::new(),
-                        },
-                    ));
-                    g
-                }
-            };
-            // A source tree joins each of its witnesses' groups (Fig. 3's
-            // non-partitioning), but enters a given group only once —
-            // several witnesses with the *same* key (e.g. two authors
-            // sharing an institution) do not replicate the member.
-            // Same-tree witnesses arrive consecutively, so checking the
-            // group's last member suffices.
-            if groups[gid].1.members.last().map(|m| m.0) != Some(tree_idx) {
-                groups[gid].1.members.push((tree_idx, w.sort_key, arrivals));
-                arrivals += 1;
+    // Flatten to the global witness stream; the ordinal `seq` is the
+    // arrival position a sequential merge would see.
+    let stream: Vec<(usize, usize, Witness)> = {
+        let mut stream = Vec::new();
+        let mut seq = 0usize;
+        for (tree_idx, witnesses) in per_tree.into_iter().enumerate() {
+            for w in witnesses {
+                stream.push((tree_idx, seq, w));
+                seq += 1;
             }
+        }
+        stream
+    };
+
+    let partitions = partitions.max(1).min(stream.len().max(1));
+    if partitions <= 1 {
+        let n = stream.len();
+        let built = form_and_build(store, input, basis, ordering, stream)?;
+        // A single shard creates groups in first-arrival order already.
+        return Ok((
+            built.into_iter().map(|(_, t)| t).collect(),
+            ShardStats::serial(n),
+        ));
+    }
+
+    let mut shards: Vec<Vec<(usize, usize, Witness)>> =
+        (0..partitions).map(|_| Vec::new()).collect();
+    for entry in stream {
+        let shard = shard_of(&entry.2.key, partitions);
+        shards[shard].push(entry);
+    }
+    let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+    let built = par_map_owned(opts, shards, |_, shard| {
+        form_and_build(store, input, basis, ordering, shard)
+    })?;
+    let mut all: Vec<(usize, Tree)> = built.into_iter().flatten().collect();
+    all.sort_by_key(|&(first_seq, _)| first_seq);
+    Ok((
+        all.into_iter().map(|(_, t)| t).collect(),
+        ShardStats { partitions, sizes },
+    ))
+}
+
+/// The shard a grouping key belongs to: FNV-1a over a self-delimiting
+/// encoding of the key's values (absent values hash distinctly from
+/// empty strings).
+fn shard_of(key: &Key, partitions: usize) -> usize {
+    let mut h = FNV_SEED;
+    for value in key {
+        h = match value {
+            None => fnv1a(h, &[0]),
+            Some(v) => fnv1a(fnv1a(h, &[1]), v.as_bytes()),
+        };
+    }
+    (h % partitions as u64) as usize
+}
+
+/// Group formation + tree building over one witness shard, witnesses in
+/// global arrival order. Returns `(first-arrival ordinal, group tree)`
+/// per group, in shard-local first-arrival order.
+///
+/// This is the one group-formation routine: the serial kernel runs it
+/// over the whole stream, the sharded kernel per partition, so the two
+/// paths cannot drift. Member dedup checks only the group's last member:
+/// same-tree witnesses of one key are consecutive within a shard exactly
+/// as they are in the global stream.
+fn form_and_build(
+    store: &DocumentStore,
+    input: &Collection,
+    basis: &[BasisItem],
+    ordering: &[GroupOrder],
+    shard: Vec<(usize, usize, Witness)>,
+) -> Result<Vec<(usize, Tree)>> {
+    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut groups: Vec<(Key, Group, usize)> = Vec::new();
+    for (tree_idx, seq, w) in shard {
+        let gid = match index.get(&w.key) {
+            Some(&g) => g,
+            None => {
+                let g = groups.len();
+                index.insert(w.key.clone(), g);
+                groups.push((
+                    w.key,
+                    Group {
+                        basis_nodes: w.basis_nodes,
+                        basis_tree: tree_idx,
+                        members: Vec::new(),
+                    },
+                    seq,
+                ));
+                g
+            }
+        };
+        // A source tree joins each of its witnesses' groups (Fig. 3's
+        // non-partitioning), but enters a given group only once —
+        // several witnesses with the *same* key (e.g. two authors
+        // sharing an institution) do not replicate the member. The
+        // global witness ordinal serves as the member's arrival rank:
+        // it orders members exactly as a per-arrival counter would.
+        if groups[gid].1.members.last().map(|m| m.0) != Some(tree_idx) {
+            groups[gid].1.members.push((tree_idx, w.sort_key, seq));
         }
     }
 
     let mut out = Vec::with_capacity(groups.len());
-    for (key, mut group) in groups {
+    for (key, mut group, first_seq) in groups {
         sort_members(&mut group.members, ordering);
-        out.push(build_group_tree(
-            store, input, &key, &group, basis, /* replicate */ false,
-        )?);
+        out.push((
+            first_seq,
+            build_group_tree(
+                store, input, &key, &group, basis, /* replicate */ false,
+            )?,
+        ));
     }
     Ok(out)
 }
@@ -944,6 +1047,67 @@ mod tests {
             })
             .collect();
         assert_eq!(sizes, [2, 2]);
+    }
+
+    #[test]
+    fn sharded_groupby_matches_serial_kernel() {
+        // Multi-valued basis (authors) → a two-author article's witnesses
+        // can hash to different shards; the order-restoring merge must
+        // still reproduce the serial output byte for byte.
+        let s = store();
+        let arts = articles(&s);
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        let title = p.add_child(p.root(), Axis::Child, Pred::tag("title"));
+        let author = p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+        let basis = [BasisItem::content(author)];
+        for ordering in [
+            Vec::new(),
+            vec![GroupOrder {
+                label: title,
+                direction: Direction::Descending,
+            }],
+        ] {
+            let serial = groupby(&s, &arts, &p, &basis, &ordering).unwrap();
+            for partitions in [1usize, 2, 3, 8] {
+                for threads in [1usize, 4] {
+                    let opts = ExecOptions::with_threads(threads);
+                    let (sharded, stats) =
+                        groupby_sharded(&s, &arts, &p, &basis, &ordering, &opts, partitions)
+                            .unwrap();
+                    assert_eq!(serial.len(), sharded.len());
+                    for (a, b) in serial.iter().zip(sharded.iter()) {
+                        let xa =
+                            xmlparse::serialize::element_to_string(&a.materialize(&s).unwrap());
+                        let xb =
+                            xmlparse::serialize::element_to_string(&b.materialize(&s).unwrap());
+                        assert_eq!(xa, xb, "partitions={partitions} threads={threads}");
+                    }
+                    // 4 witnesses (Silberschatz ×2, Garcia-Molina, Thompson).
+                    assert_eq!(stats.total(), 4);
+                    assert_eq!(stats.partitions, partitions.min(4));
+                    assert_eq!(stats.sizes.len(), stats.partitions);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_groupby_empty_input() {
+        let s = store();
+        let p = PatternTree::with_root(Pred::tag("article"));
+        let (groups, stats) = groupby_sharded(
+            &s,
+            &Vec::new(),
+            &p,
+            &[BasisItem::content(0)],
+            &[],
+            &ExecOptions::with_threads(4),
+            4,
+        )
+        .unwrap();
+        assert!(groups.is_empty());
+        assert_eq!(stats.partitions, 1);
+        assert_eq!(stats.total(), 0);
     }
 
     #[test]

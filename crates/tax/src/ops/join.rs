@@ -8,8 +8,9 @@
 //! arguments back together on a shared key.
 
 use crate::error::Result;
+use crate::exec::{fnv1a, par_map, par_map_owned, ExecOptions, ShardStats, FNV_SEED};
 use crate::matching::vnode::VTree;
-use crate::matching::{match_db, match_tree};
+use crate::matching::{match_db, match_tree, Binding};
 use crate::ops::select::witness_tree;
 use crate::pattern::{PatternNodeId, PatternTree};
 use crate::tree::{Collection, Tree};
@@ -35,6 +36,64 @@ pub fn left_outer_join_db(
     right_label: PatternNodeId,
     right_sl: &[PatternNodeId],
 ) -> Result<Collection> {
+    Ok(left_outer_join_db_sharded(
+        store,
+        left,
+        left_pattern,
+        left_label,
+        right_pattern,
+        right_label,
+        right_sl,
+        &ExecOptions::sequential(),
+        1,
+    )?
+    .0)
+}
+
+/// The join key of one left tree: the content of the node its first
+/// `left_pattern` binding assigns to `left_label` (`None` when the tree
+/// does not match or the node has no content). This is the value the
+/// sharded sink partitions on.
+pub fn left_join_key(
+    store: &DocumentStore,
+    tree: &Tree,
+    left_pattern: &PatternTree,
+    left_label: PatternNodeId,
+) -> Result<Option<String>> {
+    let bindings = match_tree(store, tree, left_pattern, false)?;
+    match bindings.first() {
+        Some(b) => VTree::new(store, tree).content(b[left_label]),
+        None => Ok(None),
+    }
+}
+
+/// Hash-partitioned [`left_outer_join_db`]: the sharded-sink entry
+/// point.
+///
+/// The right side is matched against the database **once** and bucketed
+/// by join value, shared read-only across workers. Each left tree's join
+/// key is extracted in parallel (a per-tree pattern match, fanned out
+/// over `opts.threads`); left trees are then routed to `partitions`
+/// shards by an FNV-1a hash of that key, every shard probes the shared
+/// buckets and builds its `TAX_prod_root` trees independently, and the
+/// merge re-emits the per-tree outputs ordered by **left input
+/// position** — byte-identical to the serial kernel, which walks the
+/// left collection in order.
+///
+/// Returns the joined collection plus partition statistics (left trees
+/// per shard) for the metrics tree.
+#[allow(clippy::too_many_arguments)]
+pub fn left_outer_join_db_sharded(
+    store: &DocumentStore,
+    left: &Collection,
+    left_pattern: &PatternTree,
+    left_label: PatternNodeId,
+    right_pattern: &PatternTree,
+    right_label: PatternNodeId,
+    right_sl: &[PatternNodeId],
+    opts: &ExecOptions,
+    partitions: usize,
+) -> Result<(Collection, ShardStats)> {
     if left_label >= left_pattern.len() {
         return Err(crate::error::Error::UnknownLabel(format!(
             "${}",
@@ -60,34 +119,92 @@ pub fn left_outer_join_db(
         }
     }
 
-    let mut out = Vec::new();
-    for ltree in left {
-        let bindings = match_tree(store, ltree, left_pattern, false)?;
-        let value = match bindings.first() {
-            Some(b) => {
-                let vt = VTree::new(store, ltree);
-                vt.content(b[left_label])?
-            }
-            None => None,
-        };
-        let matches: &[usize] = value
-            .as_deref()
-            .and_then(|v| buckets.get(v))
-            .map(Vec::as_slice)
-            .unwrap_or(&[]);
-        if matches.is_empty() {
-            let mut prod = Tree::new_elem(crate::tags::PROD_ROOT);
-            prod.append_subtree(prod.root(), ltree, ltree.root());
-            out.push(prod);
-        } else {
-            for &ri in matches {
-                let mut prod = Tree::new_elem(crate::tags::PROD_ROOT);
-                prod.append_subtree(prod.root(), ltree, ltree.root());
-                let w = witness_tree(store, None, right_pattern, &right_bindings[ri], right_sl)?;
-                prod.append_subtree(prod.root(), &w, w.root());
-                out.push(prod);
-            }
+    // Parallel key extraction, in left order.
+    let keys: Vec<Option<String>> = par_map(opts, left, |_, ltree| {
+        left_join_key(store, ltree, left_pattern, left_label)
+    })?;
+
+    let join_left = |li: usize| -> Result<Vec<Tree>> {
+        join_one(
+            store,
+            &left[li],
+            keys[li].as_deref(),
+            &buckets,
+            &right_bindings,
+            right_pattern,
+            right_sl,
+        )
+    };
+
+    let partitions = partitions.max(1).min(left.len().max(1));
+    if partitions <= 1 {
+        let mut out = Vec::new();
+        for li in 0..left.len() {
+            out.extend(join_left(li)?);
         }
+        return Ok((out, ShardStats::serial(left.len())));
+    }
+
+    let mut shards: Vec<Vec<usize>> = (0..partitions).map(|_| Vec::new()).collect();
+    for (li, key) in keys.iter().enumerate() {
+        let h = match key {
+            None => fnv1a(FNV_SEED, &[0]),
+            Some(v) => fnv1a(fnv1a(FNV_SEED, &[1]), v.as_bytes()),
+        };
+        shards[(h % partitions as u64) as usize].push(li);
+    }
+    let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+    let per_shard: Vec<Vec<(usize, Vec<Tree>)>> = par_map_owned(opts, shards, |_, shard| {
+        shard
+            .into_iter()
+            .map(|li| Ok((li, join_left(li)?)))
+            .collect::<Result<Vec<_>>>()
+    })?;
+
+    // Order-restoring merge: scatter per-left outputs back to left
+    // position, then emit in left order.
+    let mut slots: Vec<Option<Vec<Tree>>> = (0..left.len()).map(|_| None).collect();
+    for shard in per_shard {
+        for (li, trees) in shard {
+            slots[li] = Some(trees);
+        }
+    }
+    let mut out = Vec::new();
+    for slot in slots {
+        out.extend(slot.unwrap_or_default());
+    }
+    Ok((out, ShardStats { partitions, sizes }))
+}
+
+/// The per-left-tree join kernel: probe the right buckets with the
+/// tree's join key and emit its `TAX_prod_root` trees (the unmatched
+/// tree survives alone). Shared verbatim between the serial and sharded
+/// paths.
+fn join_one(
+    store: &DocumentStore,
+    ltree: &Tree,
+    key: Option<&str>,
+    buckets: &HashMap<String, Vec<usize>>,
+    right_bindings: &[Binding],
+    right_pattern: &PatternTree,
+    right_sl: &[PatternNodeId],
+) -> Result<Vec<Tree>> {
+    let matches: &[usize] = key
+        .and_then(|v| buckets.get(v))
+        .map(Vec::as_slice)
+        .unwrap_or(&[]);
+    if matches.is_empty() {
+        let mut prod = Tree::new_elem(crate::tags::PROD_ROOT);
+        prod.append_subtree(prod.root(), ltree, ltree.root());
+        return Ok(vec![prod]);
+    }
+    let mut out = Vec::with_capacity(matches.len());
+    for &ri in matches {
+        let mut prod = Tree::new_elem(crate::tags::PROD_ROOT);
+        prod.append_subtree(prod.root(), ltree, ltree.root());
+        let w = witness_tree(store, None, right_pattern, &right_bindings[ri], right_sl)?;
+        prod.append_subtree(prod.root(), &w, w.root());
+        out.push(prod);
     }
     Ok(out)
 }

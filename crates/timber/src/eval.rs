@@ -2,7 +2,7 @@
 
 use crate::error::Result;
 use std::collections::HashMap;
-use tax::exec::ExecOptions;
+use tax::exec::{fnv1a, par_map, par_map_owned, ExecOptions, ShardStats, FNV_SEED};
 use tax::matching::match_tree;
 use tax::matching::vnode::{VNode, VTree};
 use tax::ops;
@@ -136,64 +136,195 @@ pub(crate) fn stitch(
     order: Option<(PatternNodeId, tax::ops::groupby::Direction)>,
     tag: &str,
 ) -> Result<Collection> {
-    use tax::ops::groupby::Direction;
+    Ok(stitch_sharded(
+        store,
+        outer,
+        outer_pattern,
+        outer_label,
+        inner,
+        inner_pattern,
+        inner_label,
+        inner_extract,
+        agg,
+        order,
+        tag,
+        &ExecOptions::sequential(),
+        1,
+    )?
+    .0)
+}
 
-    /// One extracted part: the tree, its content (for aggregates), and
-    /// its ordering key.
-    struct Part {
-        tree: Tree,
-        content: Option<String>,
-        order_key: Option<String>,
-        rank: usize,
+/// One extracted part: the tree, its content (for aggregates), and its
+/// ordering key.
+struct Part {
+    tree: Tree,
+    content: Option<String>,
+    order_key: Option<String>,
+    rank: usize,
+}
+
+/// A part as it comes off one inner tree, before global dedup assigns
+/// bucket ranks: the stitch key, the part's identity for duplicate
+/// elimination, and the payload.
+struct RawPart {
+    key: String,
+    part_id: u64,
+    tree: Tree,
+    content: Option<String>,
+    order_key: Option<String>,
+}
+
+/// Extract the raw parts of one inner tree (every `inner_extract` node of
+/// every binding, keyed by the `inner_label` content). Pure per-tree work,
+/// fanned out by [`stitch_sharded`]; the cross-tree dedup happens in the
+/// sequential merge that follows.
+#[allow(clippy::too_many_arguments)]
+fn extract_parts(
+    store: &DocumentStore,
+    tree_idx: usize,
+    tree: &Tree,
+    inner_pattern: &PatternTree,
+    inner_label: PatternNodeId,
+    inner_extract: &[(PatternNodeId, bool)],
+    want_content: bool,
+    order_label: Option<PatternNodeId>,
+) -> tax::error::Result<Vec<RawPart>> {
+    let vt = VTree::new(store, tree);
+    let mut out = Vec::new();
+    for binding in match_tree(store, tree, inner_pattern, true)? {
+        let Some(key) = vt.content(binding[inner_label])? else {
+            continue;
+        };
+        for (label, deep) in inner_extract {
+            let part_id = match binding[*label] {
+                VNode::Stored(e) => e.id.0 as u64,
+                VNode::Arena(i) => match &tree.node(i).kind {
+                    TreeNodeKind::Ref { node, .. } => node.id.0 as u64,
+                    // Constructed nodes have no global identity;
+                    // distinguish by position.
+                    TreeNodeKind::Elem { .. } => (1 << 40) | ((tree_idx as u64) << 20) | i as u64,
+                },
+            };
+            let content = if want_content {
+                vt.content(binding[*label])?
+            } else {
+                None
+            };
+            let order_key = match order_label {
+                Some(olabel) => vt.content(binding[olabel])?,
+                None => None,
+            };
+            out.push(RawPart {
+                key: key.clone(),
+                part_id,
+                tree: part_tree(tree, binding[*label], *deep),
+                content,
+                order_key,
+            });
+        }
     }
+    Ok(out)
+}
+
+/// Build the constructed element for one outer tree: the outer bound
+/// node followed by its matched parts (or their aggregate). Pure — safe
+/// to run per-shard once the parts table is frozen.
+fn construct_one(
+    tree: &Tree,
+    bound: VNode,
+    key: Option<&str>,
+    parts: &HashMap<String, Vec<Part>>,
+    agg: Option<(tax::ops::aggregate::AggFunc, &str)>,
+    tag: &str,
+) -> Tree {
+    let mut result = Tree::new_elem(tag);
+    // `{$a}` — the outer bound node, with its subtree.
+    let root = result.root();
+    append_part(&mut result, root, tree, bound, true);
+
+    let matched: &[Part] = key
+        .and_then(|k| parts.get(k))
+        .map(Vec::as_slice)
+        .unwrap_or(&[]);
+    if let Some((func, agg_tag)) = agg {
+        let values: Vec<f64> = matched
+            .iter()
+            .filter_map(|p| p.content.as_deref())
+            .filter_map(|c| c.trim().parse::<f64>().ok())
+            .collect();
+        if let Some(v) = tax::ops::aggregate::compute(func, matched.len(), &values) {
+            result.add_elem_with_content(root, agg_tag, tax::ops::aggregate::format_value(v));
+        }
+    } else {
+        for part in matched {
+            result.append_subtree(root, &part.tree, part.tree.root());
+        }
+    }
+    result
+}
+
+/// Hash-partitioned [`stitch`]: the sharded-sink entry point.
+///
+/// Part extraction fans out over the inner trees with `par_map` (in-order
+/// results), then a **sequential** merge applies the naive plan's
+/// cross-tree duplicate elimination — so bucket contents and ranks are
+/// identical to the serial pass. Outer trees are then routed to
+/// `partitions` shards by an FNV-1a hash of their stitch key; each shard
+/// constructs its result elements against the frozen parts table, and the
+/// merge re-emits them ordered by **outer input position** — byte-identical
+/// to the serial kernel. Returns the collection plus partition statistics
+/// (outer trees per shard).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stitch_sharded(
+    store: &DocumentStore,
+    outer: &Collection,
+    outer_pattern: &PatternTree,
+    outer_label: PatternNodeId,
+    inner: &Collection,
+    inner_pattern: &PatternTree,
+    inner_label: PatternNodeId,
+    inner_extract: &[(PatternNodeId, bool)],
+    agg: Option<(tax::ops::aggregate::AggFunc, &str)>,
+    order: Option<(PatternNodeId, tax::ops::groupby::Direction)>,
+    tag: &str,
+    opts: &ExecOptions,
+    partitions: usize,
+) -> Result<(Collection, ShardStats)> {
+    use tax::ops::groupby::Direction;
 
     // Bucket the extracted parts by key value, with the naive plan's
     // "duplicate elimination based on articles" (Sec. 4.1): an article
     // joining the same key through several paths (two same-valued
     // authors, two same-institution authors) contributes its extracted
-    // nodes once. Identity is the extracted stored node.
+    // nodes once. Identity is the extracted stored node. Extraction is
+    // per-tree-parallel; the dedup merge walks the in-order results
+    // sequentially so ranks match the serial pass.
+    let raw: Vec<Vec<RawPart>> = par_map(opts, inner, |tree_idx, tree| {
+        extract_parts(
+            store,
+            tree_idx,
+            tree,
+            inner_pattern,
+            inner_label,
+            inner_extract,
+            agg.is_some(),
+            order.map(|(olabel, _)| olabel),
+        )
+    })?;
     let mut parts: HashMap<String, Vec<Part>> = HashMap::new();
     let mut seen: std::collections::HashSet<(String, u64)> = std::collections::HashSet::new();
-    for (tree_idx, tree) in inner.iter().enumerate() {
-        let vt = VTree::new(store, tree);
-        for binding in match_tree(store, tree, inner_pattern, true)? {
-            let Some(key) = vt.content(binding[inner_label])? else {
-                continue;
-            };
-            for (label, deep) in inner_extract {
-                let part_id = match binding[*label] {
-                    VNode::Stored(e) => e.id.0 as u64,
-                    VNode::Arena(i) => match &tree.node(i).kind {
-                        TreeNodeKind::Ref { node, .. } => node.id.0 as u64,
-                        // Constructed nodes have no global identity;
-                        // distinguish by position.
-                        TreeNodeKind::Elem { .. } => {
-                            (1 << 40) | ((tree_idx as u64) << 20) | i as u64
-                        }
-                    },
-                };
-                if !seen.insert((key.clone(), part_id)) {
-                    continue;
-                }
-                let content = if agg.is_some() {
-                    vt.content(binding[*label])?
-                } else {
-                    None
-                };
-                let order_key = match order {
-                    Some((olabel, _)) => vt.content(binding[olabel])?,
-                    None => None,
-                };
-                let bucket = parts.entry(key.clone()).or_default();
-                let rank = bucket.len();
-                bucket.push(Part {
-                    tree: part_tree(tree, binding[*label], *deep),
-                    content,
-                    order_key,
-                    rank,
-                });
-            }
+    for rp in raw.into_iter().flatten() {
+        if !seen.insert((rp.key.clone(), rp.part_id)) {
+            continue;
         }
+        let bucket = parts.entry(rp.key).or_default();
+        let rank = bucket.len();
+        bucket.push(Part {
+            tree: rp.tree,
+            content: rp.content,
+            order_key: rp.order_key,
+            rank,
+        });
     }
 
     // Apply the user's ORDER BY within each key.
@@ -211,44 +342,73 @@ pub(crate) fn stitch(
         }
     }
 
-    // One constructed element per outer tree.
-    let mut out = Vec::with_capacity(outer.len());
-    for tree in outer {
-        let vt = VTree::new(store, tree);
-        let bindings = match_tree(store, tree, outer_pattern, false)?;
-        let Some(binding) = bindings.first() else {
-            continue;
-        };
-        let bound = binding[outer_label];
-        let key = vt.content(bound)?;
-
-        let mut result = Tree::new_elem(tag);
-        // `{$a}` — the outer bound node, with its subtree.
-        let root = result.root();
-        append_part(&mut result, root, tree, bound, true);
-
-        let matched: &[Part] = key
-            .as_deref()
-            .and_then(|k| parts.get(k))
-            .map(Vec::as_slice)
-            .unwrap_or(&[]);
-        if let Some((func, agg_tag)) = agg {
-            let values: Vec<f64> = matched
-                .iter()
-                .filter_map(|p| p.content.as_deref())
-                .filter_map(|c| c.trim().parse::<f64>().ok())
-                .collect();
-            if let Some(v) = tax::ops::aggregate::compute(func, matched.len(), &values) {
-                result.add_elem_with_content(root, agg_tag, tax::ops::aggregate::format_value(v));
+    // Each outer tree's bound node and stitch key, in outer order
+    // (`None` for trees whose pattern does not match — they emit
+    // nothing, exactly as in the serial pass).
+    let keys: Vec<Option<(VNode, Option<String>)>> =
+        par_map(opts, outer, |_, tree| -> tax::error::Result<_> {
+            let vt = VTree::new(store, tree);
+            let bindings = match_tree(store, tree, outer_pattern, false)?;
+            match bindings.first() {
+                Some(binding) => {
+                    let bound = binding[outer_label];
+                    Ok(Some((bound, vt.content(bound)?)))
+                }
+                None => Ok(None),
             }
-        } else {
-            for part in matched {
-                result.append_subtree(root, &part.tree, part.tree.root());
-            }
+        })?;
+
+    let partitions = partitions.max(1).min(outer.len().max(1));
+    if partitions <= 1 {
+        let mut out = Vec::with_capacity(outer.len());
+        for (oi, entry) in keys.iter().enumerate() {
+            let Some((bound, key)) = entry else { continue };
+            out.push(construct_one(
+                &outer[oi],
+                *bound,
+                key.as_deref(),
+                &parts,
+                agg,
+                tag,
+            ));
         }
-        out.push(result);
+        return Ok((out, ShardStats::serial(outer.len())));
     }
-    Ok(out)
+
+    // Route keyed outer trees to shards by stitch-key hash.
+    let mut shards: Vec<Vec<usize>> = (0..partitions).map(|_| Vec::new()).collect();
+    for (oi, entry) in keys.iter().enumerate() {
+        let Some((_, key)) = entry else { continue };
+        let h = match key {
+            None => fnv1a(FNV_SEED, &[0]),
+            Some(v) => fnv1a(fnv1a(FNV_SEED, &[1]), v.as_bytes()),
+        };
+        shards[(h % partitions as u64) as usize].push(oi);
+    }
+    let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+    let per_shard: Vec<Vec<(usize, Tree)>> = par_map_owned(opts, shards, |_, shard| {
+        Ok(shard
+            .into_iter()
+            .filter_map(|oi| {
+                let (bound, key) = keys[oi].as_ref()?;
+                Some((
+                    oi,
+                    construct_one(&outer[oi], *bound, key.as_deref(), &parts, agg, tag),
+                ))
+            })
+            .collect())
+    })?;
+
+    // Order-restoring merge: scatter per-outer results back to outer
+    // position, then emit in outer order.
+    let mut slots: Vec<Option<Tree>> = (0..outer.len()).map(|_| None).collect();
+    for shard in per_shard {
+        for (oi, tree) in shard {
+            slots[oi] = Some(tree);
+        }
+    }
+    let out: Vec<Tree> = slots.into_iter().flatten().collect();
+    Ok((out, ShardStats { partitions, sizes }))
 }
 
 /// A standalone tree for one extracted virtual node.

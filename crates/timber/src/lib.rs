@@ -478,6 +478,28 @@ mod tests {
             assert!(line.contains("time="), "{line}");
             assert!(line.contains("pages="), "{line}");
         }
+        // The blocking sinks report their partition count and skew,
+        // even single-threaded (parts=1).
+        assert!(
+            text.lines()
+                .any(|l| l.contains("GroupBy") && l.contains("parts=") && l.contains("skew=")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_reports_partitions_under_threads() {
+        let mut db = db();
+        db.set_threads(4);
+        let a = db.explain_analyze(QUERY1, PlanMode::Direct).unwrap();
+        let text = a.render();
+        // The direct plan's join and stitch sinks both report shards.
+        let parts_lines: Vec<&str> = text.lines().filter(|l| l.contains("parts=")).collect();
+        assert!(parts_lines.len() >= 2, "{text}");
+        assert!(
+            parts_lines.iter().any(|l| !l.contains("parts=1 ")),
+            "expected a sink to split under threads=4: {text}"
+        );
     }
 
     #[test]

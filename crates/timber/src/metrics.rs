@@ -8,6 +8,7 @@
 
 use std::fmt::Write;
 use std::time::Duration;
+use tax::exec::ShardStats;
 use xmlstore::IoStats;
 
 /// Execution metrics of one plan operator, with its children.
@@ -26,6 +27,10 @@ pub struct PlanMetrics {
     pub elapsed: Duration,
     /// Buffer/disk traffic attributable to this operator's own work.
     pub io: IoStats,
+    /// Hash-partition statistics of a sharded blocking sink (`None` for
+    /// streaming operators): partition count and per-shard input sizes,
+    /// from which the skew factor is derived.
+    pub shards: Option<ShardStats>,
     /// Metrics of the operator's input plans, in plan order.
     pub children: Vec<PlanMetrics>,
 }
@@ -40,7 +45,7 @@ impl PlanMetrics {
 
     fn render_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{pad}{} | in={} out={} batches={} time={:.3?} pages={} disk_reads={}",
             self.op,
@@ -51,6 +56,15 @@ impl PlanMetrics {
             self.io.page_requests(),
             self.io.disk.reads,
         );
+        if let Some(shards) = &self.shards {
+            let _ = write!(
+                out,
+                " parts={} skew={:.2}",
+                shards.partitions,
+                shards.skew()
+            );
+        }
+        let _ = writeln!(out);
         for child in &self.children {
             child.render_into(out, depth + 1);
         }
@@ -112,5 +126,28 @@ mod tests {
         assert!(lines[1].starts_with("  SelectDb | in=0 out=3"));
         assert!(lines[0].contains("pages=0"));
         assert_eq!(m.node_count(), 2);
+    }
+
+    #[test]
+    fn render_includes_shard_stats_for_sinks() {
+        let m = PlanMetrics {
+            op: "GroupBy".into(),
+            trees_in: 8,
+            trees_out: 4,
+            batches: 1,
+            shards: Some(ShardStats {
+                partitions: 4,
+                sizes: vec![4, 2, 1, 1],
+            }),
+            ..Default::default()
+        };
+        let text = m.render();
+        assert!(text.contains("parts=4 skew=2.00"), "{text}");
+        // Streaming operators (shards: None) render without the fields.
+        let s = PlanMetrics {
+            op: "SelectDb".into(),
+            ..Default::default()
+        };
+        assert!(!s.render().contains("parts="));
     }
 }

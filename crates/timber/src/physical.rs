@@ -23,7 +23,7 @@ use crate::error::Result;
 use crate::metrics::PlanMetrics;
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
-use tax::exec::{par_map, ExecOptions};
+use tax::exec::{par_map, ExecOptions, ShardStats};
 use tax::matching::{match_db, Binding};
 use tax::ops;
 use tax::ops::aggregate::{AggFunc, UpdateSpec};
@@ -179,6 +179,7 @@ pub fn build<'a>(
             right_pattern: right_pattern.clone(),
             right_label: *right_label,
             right_sl: right_sl.clone(),
+            opts: *opts,
             batch,
             drained: None,
             meter,
@@ -209,6 +210,7 @@ pub fn build<'a>(
             agg: agg.clone(),
             order: *order,
             tag: tag.clone(),
+            opts: *opts,
             batch,
             drained: None,
             meter,
@@ -235,6 +237,7 @@ struct Meter {
     batches: usize,
     elapsed: Duration,
     io: IoStats,
+    shards: Option<ShardStats>,
 }
 
 impl Meter {
@@ -246,6 +249,7 @@ impl Meter {
             batches: 0,
             elapsed: Duration::ZERO,
             io: IoStats::default(),
+            shards: None,
         }
     }
 
@@ -275,6 +279,7 @@ impl Meter {
             batches: self.batches,
             elapsed: self.elapsed,
             io: self.io,
+            shards: self.shards.clone(),
             children,
         }
     }
@@ -540,8 +545,10 @@ impl PhysOp for RenameOp<'_> {
 }
 
 /// Blocking sink: grouping needs the whole input to form groups, so it
-/// drains its input, runs the kernel once, and emits the grouped trees
-/// in batches.
+/// drains its input, runs the **sharded** kernel once (witnesses
+/// hash-partitioned by grouping-basis key over `opts.threads` workers,
+/// order-restoring merge; see [`ops::groupby::groupby_sharded`]), and
+/// emits the grouped trees in batches.
 struct GroupByOp<'a> {
     store: &'a DocumentStore,
     input: Box<dyn PhysOp + 'a>,
@@ -560,29 +567,30 @@ impl PhysOp for GroupByOp<'_> {
     }
 
     fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
-        if self.drained.is_none() {
-            let mut all = Vec::new();
-            while let Some(b) = self.input.next_batch()? {
-                self.meter.trees_in += b.len();
-                all.extend(b);
+        let iter = match self.drained.take() {
+            Some(iter) => self.drained.insert(iter),
+            None => {
+                let mut all = Vec::new();
+                while let Some(b) = self.input.next_batch()? {
+                    self.meter.trees_in += b.len();
+                    all.extend(b);
+                }
+                let window = self.meter.start(self.store);
+                let (out, shards) = ops::groupby::groupby_sharded(
+                    self.store,
+                    &all,
+                    &self.pattern,
+                    &self.basis,
+                    &self.ordering,
+                    &self.opts,
+                    self.opts.threads.max(1),
+                )?;
+                self.meter.stop(self.store, window);
+                self.meter.shards = Some(shards);
+                self.drained.insert(out.into_iter())
             }
-            let window = self.meter.start(self.store);
-            let out = ops::groupby::groupby_opts(
-                self.store,
-                &all,
-                &self.pattern,
-                &self.basis,
-                &self.ordering,
-                &self.opts,
-            )?;
-            self.meter.stop(self.store, window);
-            self.drained = Some(out.into_iter());
-        }
-        emit_drained(
-            self.drained.as_mut().expect("drained just set"),
-            self.batch,
-            &mut self.meter,
-        )
+        };
+        emit_drained(iter, self.batch, &mut self.meter)
     }
 
     fn metrics(&self) -> PlanMetrics {
@@ -591,7 +599,8 @@ impl PhysOp for GroupByOp<'_> {
 }
 
 /// Blocking sink: the naive plan's left outer join against the stored
-/// database.
+/// database, left trees hash-partitioned by join key over `opts.threads`
+/// workers (see [`ops::join::left_outer_join_db_sharded`]).
 struct JoinOp<'a> {
     store: &'a DocumentStore,
     left: Box<dyn PhysOp + 'a>,
@@ -600,6 +609,7 @@ struct JoinOp<'a> {
     right_pattern: PatternTree,
     right_label: PatternNodeId,
     right_sl: Vec<PatternNodeId>,
+    opts: ExecOptions,
     batch: usize,
     drained: Option<std::vec::IntoIter<Tree>>,
     meter: Meter,
@@ -611,30 +621,32 @@ impl PhysOp for JoinOp<'_> {
     }
 
     fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
-        if self.drained.is_none() {
-            let mut all = Vec::new();
-            while let Some(b) = self.left.next_batch()? {
-                self.meter.trees_in += b.len();
-                all.extend(b);
+        let iter = match self.drained.take() {
+            Some(iter) => self.drained.insert(iter),
+            None => {
+                let mut all = Vec::new();
+                while let Some(b) = self.left.next_batch()? {
+                    self.meter.trees_in += b.len();
+                    all.extend(b);
+                }
+                let window = self.meter.start(self.store);
+                let (out, shards) = ops::join::left_outer_join_db_sharded(
+                    self.store,
+                    &all,
+                    &self.left_pattern,
+                    self.left_label,
+                    &self.right_pattern,
+                    self.right_label,
+                    &self.right_sl,
+                    &self.opts,
+                    self.opts.threads.max(1),
+                )?;
+                self.meter.stop(self.store, window);
+                self.meter.shards = Some(shards);
+                self.drained.insert(out.into_iter())
             }
-            let window = self.meter.start(self.store);
-            let out = ops::join::left_outer_join_db(
-                self.store,
-                &all,
-                &self.left_pattern,
-                self.left_label,
-                &self.right_pattern,
-                self.right_label,
-                &self.right_sl,
-            )?;
-            self.meter.stop(self.store, window);
-            self.drained = Some(out.into_iter());
-        }
-        emit_drained(
-            self.drained.as_mut().expect("drained just set"),
-            self.batch,
-            &mut self.meter,
-        )
+        };
+        emit_drained(iter, self.batch, &mut self.meter)
     }
 
     fn metrics(&self) -> PlanMetrics {
@@ -643,7 +655,9 @@ impl PhysOp for JoinOp<'_> {
 }
 
 /// Blocking sink: the RETURN stitching pairs every outer tree with all
-/// inner parts sharing its key, so both inputs drain fully first.
+/// inner parts sharing its key, so both inputs drain fully first; outer
+/// trees are hash-partitioned by stitch key over `opts.threads` workers
+/// (see [`crate::eval::stitch_sharded`]).
 struct StitchOp<'a> {
     store: &'a DocumentStore,
     outer: Box<dyn PhysOp + 'a>,
@@ -656,6 +670,7 @@ struct StitchOp<'a> {
     agg: Option<(AggFunc, String)>,
     order: Option<(PatternNodeId, Direction)>,
     tag: String,
+    opts: ExecOptions,
     batch: usize,
     drained: Option<std::vec::IntoIter<Tree>>,
     meter: Meter,
@@ -667,41 +682,43 @@ impl PhysOp for StitchOp<'_> {
     }
 
     fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
-        if self.drained.is_none() {
-            let mut outer_c = Vec::new();
-            while let Some(b) = self.outer.next_batch()? {
-                self.meter.trees_in += b.len();
-                outer_c.extend(b);
-            }
-            let mut inner_c = Vec::new();
-            if let Some(inner) = self.inner.as_mut() {
-                while let Some(b) = inner.next_batch()? {
+        let iter = match self.drained.take() {
+            Some(iter) => self.drained.insert(iter),
+            None => {
+                let mut outer_c = Vec::new();
+                while let Some(b) = self.outer.next_batch()? {
                     self.meter.trees_in += b.len();
-                    inner_c.extend(b);
+                    outer_c.extend(b);
                 }
+                let mut inner_c = Vec::new();
+                if let Some(inner) = self.inner.as_mut() {
+                    while let Some(b) = inner.next_batch()? {
+                        self.meter.trees_in += b.len();
+                        inner_c.extend(b);
+                    }
+                }
+                let window = self.meter.start(self.store);
+                let (out, shards) = crate::eval::stitch_sharded(
+                    self.store,
+                    &outer_c,
+                    &self.outer_pattern,
+                    self.outer_label,
+                    &inner_c,
+                    &self.inner_pattern,
+                    self.inner_label,
+                    &self.inner_extract,
+                    self.agg.as_ref().map(|(f, t)| (*f, t.as_str())),
+                    self.order,
+                    &self.tag,
+                    &self.opts,
+                    self.opts.threads.max(1),
+                )?;
+                self.meter.stop(self.store, window);
+                self.meter.shards = Some(shards);
+                self.drained.insert(out.into_iter())
             }
-            let window = self.meter.start(self.store);
-            let out = crate::eval::stitch(
-                self.store,
-                &outer_c,
-                &self.outer_pattern,
-                self.outer_label,
-                &inner_c,
-                &self.inner_pattern,
-                self.inner_label,
-                &self.inner_extract,
-                self.agg.as_ref().map(|(f, t)| (*f, t.as_str())),
-                self.order,
-                &self.tag,
-            )?;
-            self.meter.stop(self.store, window);
-            self.drained = Some(out.into_iter());
-        }
-        emit_drained(
-            self.drained.as_mut().expect("drained just set"),
-            self.batch,
-            &mut self.meter,
-        )
+        };
+        emit_drained(iter, self.batch, &mut self.meter)
     }
 
     fn metrics(&self) -> PlanMetrics {
@@ -830,6 +847,57 @@ mod tests {
         assert_eq!(nodes, metrics.node_count());
         assert!(nodes >= 4, "expected a multi-operator plan, got {nodes}");
         assert!(metrics.total_page_requests() > 0);
+    }
+
+    #[test]
+    fn sharded_sinks_match_serial_and_report_partitions() {
+        let db = db();
+        let to_xml = |c: &Collection| {
+            c.iter()
+                .map(|t| {
+                    xmlparse::serialize::element_to_string(&t.materialize(db.store()).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        fn sink_stats(m: &PlanMetrics, out: &mut Vec<ShardStats>) {
+            if let Some(s) = &m.shards {
+                out.push(s.clone());
+            }
+            for c in &m.children {
+                sink_stats(c, out);
+            }
+        }
+        for mode in [PlanMode::Direct, PlanMode::GroupByRewrite] {
+            let (plan, _) = db.compile(QUERY1, mode).unwrap();
+            let (serial, serial_metrics) =
+                execute(db.store(), &plan, &ExecOptions::sequential(), 3).unwrap();
+            let serial_xml = to_xml(&serial);
+            // At threads=1 the sinks still report their (single) partition.
+            let mut stats = Vec::new();
+            sink_stats(&serial_metrics, &mut stats);
+            assert!(!stats.is_empty(), "{mode:?}: no sink reported partitions");
+            assert!(stats.iter().all(|s| s.partitions == 1));
+            for threads in [2, 4, 8] {
+                let opts = ExecOptions::with_threads(threads);
+                let (phys, metrics) = execute(db.store(), &plan, &opts, 3).unwrap();
+                assert_eq!(serial_xml, to_xml(&phys), "{mode:?} threads={threads}");
+                let mut stats = Vec::new();
+                sink_stats(&metrics, &mut stats);
+                assert!(!stats.is_empty(), "{mode:?}: no sink reported partitions");
+                for s in &stats {
+                    assert!(s.partitions >= 1 && s.partitions <= threads, "{s:?}");
+                    assert_eq!(s.sizes.iter().sum::<usize>(), s.total());
+                    assert!(s.skew() >= 1.0, "{s:?}");
+                }
+                // With a handful of distinct keys and >1 requested
+                // partitions, at least one sink actually splits.
+                assert!(
+                    stats.iter().any(|s| s.partitions > 1),
+                    "{mode:?} threads={threads}: {stats:?}"
+                );
+            }
+        }
     }
 
     #[test]

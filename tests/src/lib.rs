@@ -39,3 +39,35 @@ pub const QUERY_COUNT: &str = r#"
 pub fn fig6_db() -> TimberDb {
     TimberDb::load_xml(FIG6_DB, &StoreOptions::in_memory()).expect("load fig6")
 }
+
+/// Parse a comma-separated list of positive integers from `var`, falling
+/// back to `default` when the variable is unset, empty, or malformed.
+/// This is how CI plumbs its `{threads} × {batch}` matrix into the
+/// differential suite without recompiling.
+fn env_matrix(var: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(var) {
+        Ok(s) if !s.trim().is_empty() => {
+            let parsed: Option<Vec<usize>> = s
+                .split(',')
+                .map(|p| p.trim().parse::<usize>().ok().filter(|&n| n > 0))
+                .collect();
+            match parsed {
+                Some(v) if !v.is_empty() => v,
+                _ => default.to_vec(),
+            }
+        }
+        _ => default.to_vec(),
+    }
+}
+
+/// Thread counts the differential tests sweep: `TIMBER_TEST_THREADS`
+/// (e.g. `"1,4"`) or the given default.
+pub fn thread_matrix(default: &[usize]) -> Vec<usize> {
+    env_matrix("TIMBER_TEST_THREADS", default)
+}
+
+/// Batch sizes the differential tests sweep: `TIMBER_TEST_BATCH`
+/// (e.g. `"16,256"`) or the given default.
+pub fn batch_matrix(default: &[usize]) -> Vec<usize> {
+    env_matrix("TIMBER_TEST_BATCH", default)
+}

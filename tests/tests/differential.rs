@@ -6,7 +6,9 @@
 
 use smallrand::prop::{check, Gen};
 use timber::{ExecMode, PlanMode, TimberDb};
-use timber_integration_tests::{fig6_db, FIG6_DB, QUERY1, QUERY2, QUERY_COUNT};
+use timber_integration_tests::{
+    batch_matrix, fig6_db, thread_matrix, FIG6_DB, QUERY1, QUERY2, QUERY_COUNT,
+};
 use xmlstore::StoreOptions;
 
 /// A projection-only query: no grouping, no join — exercises the
@@ -32,7 +34,7 @@ fn physical_equals_legacy_on_corpus() {
     for query in CORPUS {
         for mode in [PlanMode::Direct, PlanMode::GroupByRewrite] {
             let legacy = run(&mut db, query, mode, ExecMode::Legacy, 256);
-            for batch in [1, 2, 3, 256] {
+            for batch in batch_matrix(&[1, 2, 3, 256]) {
                 let phys = run(&mut db, query, mode, ExecMode::Physical, batch);
                 assert_eq!(legacy, phys, "{mode:?} batch={batch} query: {query}");
             }
@@ -43,13 +45,18 @@ fn physical_equals_legacy_on_corpus() {
 #[test]
 fn physical_equals_legacy_across_thread_counts() {
     let mut db = fig6_db();
-    for threads in [1usize, 2, 4] {
+    for threads in thread_matrix(&[1, 2, 4]) {
         db.set_threads(threads);
         for query in CORPUS {
             for mode in [PlanMode::Direct, PlanMode::GroupByRewrite] {
                 let legacy = run(&mut db, query, mode, ExecMode::Legacy, 256);
-                let phys = run(&mut db, query, mode, ExecMode::Physical, 2);
-                assert_eq!(legacy, phys, "threads={threads} {mode:?} query: {query}");
+                for batch in batch_matrix(&[2]) {
+                    let phys = run(&mut db, query, mode, ExecMode::Physical, batch);
+                    assert_eq!(
+                        legacy, phys,
+                        "threads={threads} batch={batch} {mode:?} query: {query}"
+                    );
+                }
             }
         }
     }
