@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! reproduce [e1] [e2] [scale] [pool] [matching] [groupby-impl] [value-index]
-//!           [threads] [faults] [bench-smoke] [all] [--articles N] [--mem]
-//!           [--threads N] [--faults SPEC] [--analyze] [--json PATH]
+//!           [threads] [rollup] [faults] [bench-smoke] [all] [--articles N]
+//!           [--mem] [--threads N] [--faults SPEC] [--analyze] [--json PATH]
 //!           [--baseline PATH] [--bench-threshold PCT]
 //! ```
 //!
@@ -18,7 +18,9 @@
 //! approach it). `--mem` keeps the page file in memory (for quick runs).
 //! `--threads N` evaluates the operators with N worker threads (output is
 //! byte-identical to a single-threaded run); the `threads` experiment
-//! sweeps E1 over 1/2/4/8 threads.
+//! sweeps E1 over 1/2/4/8 threads, and `rollup` sweeps the E2 count
+//! query over the same thread counts comparing the materialized
+//! `GroupBy → Aggregate` pipeline against the fused streaming rollup.
 //!
 //! The `faults` experiment replays a deterministic fault schedule against
 //! the E1/E2 workload and reports per-run outcomes (absorbed via retry,
@@ -152,6 +154,9 @@ fn main() {
     if wants("threads") {
         run_threads(articles, on_disk);
     }
+    if wants("rollup") {
+        run_rollup(articles, on_disk);
+    }
     if wants("faults") {
         run_faults(threads, fault_spec.as_deref());
     }
@@ -188,7 +193,12 @@ fn run_bench_smoke(
     println!("calibration quantum: {calibration_secs:.4}s");
     let mut db = build_db(articles, None, on_disk);
 
-    let workload: [(&str, &str, PlanMode, usize); 6] = [
+    // The count query runs in three plan flavors: `*_groupby` pins the
+    // materialized GroupBy → Aggregate reference, `*_rollup` the fused
+    // streaming kernel (GroupByRewrite now fires rollup-fuse), so the
+    // gate catches a regression in either path — and a fusion win that
+    // stops beating the materialized floor.
+    let workload: [(&str, &str, PlanMode, usize); 8] = [
         ("e1_titles_direct", QUERY_TITLES, PlanMode::Direct, 1),
         (
             "e1_titles_groupby",
@@ -197,7 +207,13 @@ fn run_bench_smoke(
             1,
         ),
         ("e2_count_direct", QUERY_COUNT, PlanMode::Direct, 1),
-        ("e2_count_groupby", QUERY_COUNT, PlanMode::GroupByRewrite, 1),
+        (
+            "e2_count_groupby",
+            QUERY_COUNT,
+            PlanMode::GroupByMaterialized,
+            1,
+        ),
+        ("e2_count_rollup", QUERY_COUNT, PlanMode::GroupByRewrite, 1),
         (
             "e1_titles_groupby_t4",
             QUERY_TITLES,
@@ -206,6 +222,12 @@ fn run_bench_smoke(
         ),
         (
             "e2_count_groupby_t4",
+            QUERY_COUNT,
+            PlanMode::GroupByMaterialized,
+            4,
+        ),
+        (
+            "e2_count_rollup_t4",
             QUERY_COUNT,
             PlanMode::GroupByRewrite,
             4,
@@ -502,6 +524,31 @@ fn run_threads(articles: usize, on_disk: bool) {
         );
     }
     println!("(outputs are byte-identical across thread counts by construction)\n");
+}
+
+fn run_rollup(articles: usize, on_disk: bool) {
+    println!(
+        "-- X13: rollup fusion (E2 count: materialized GroupBy → Aggregate vs fused streaming rollup, {articles} articles) --"
+    );
+    let mut db = build_db(articles, None, on_disk);
+    for threads in [1usize, 2, 4, 8] {
+        db.set_threads(threads);
+        let m = measure(&db, QUERY_COUNT, PlanMode::GroupByMaterialized);
+        let r = measure(&db, QUERY_COUNT, PlanMode::GroupByRewrite);
+        assert_eq!(
+            (m.output_trees, m.output_bytes),
+            (r.output_trees, r.output_bytes),
+            "fused rollup output diverged from the materialized pipeline"
+        );
+        let (mt, rt) = (m.elapsed.as_secs_f64(), r.elapsed.as_secs_f64());
+        println!(
+            "{threads:>2} thread(s): materialized {mt:>8.3}s ({:>8} pages) | rollup {rt:>8.3}s ({:>8} pages) | {:.2}x faster",
+            m.io.page_requests(),
+            r.io.page_requests(),
+            mt / rt,
+        );
+    }
+    println!("(the differential suite pins byte-identity; see tests/tests/rollup.rs)\n");
 }
 
 fn run_groupby_impl() {

@@ -9,7 +9,7 @@
 //! ```text
 //! .load <file.xml>     load an XML document
 //! .gen <articles>      load a synthetic DBLP of the given size
-//! .mode direct|groupby|both
+//! .mode direct|groupby|materialized|auto|both
 //! .exec physical|legacy
 //! .batch <n>           physical executor batch size
 //! .threads <n>         worker threads for operator evaluation
@@ -38,6 +38,12 @@ struct Shell {
 enum Mode {
     Direct,
     GroupBy,
+    /// The grouping rewrite without rollup fusion — the reference
+    /// `GroupBy → Aggregate` pipeline the fused kernel is checked against.
+    Materialized,
+    /// Metric-driven plan choice: grouped plan unless the sampled basis
+    /// keys look degenerate (distinct ≈ cardinality).
+    Auto,
     Both,
 }
 
@@ -108,7 +114,7 @@ impl Shell {
             ".quit" | ".exit" => return false,
             ".help" => {
                 println!(
-                    ".load <file.xml> | .gen <articles> | .mode direct|groupby|both\n\
+                    ".load <file.xml> | .gen <articles> | .mode direct|groupby|materialized|auto|both\n\
                      .exec physical|legacy | .batch <n> | .threads <n>\n\
                      .explain (toggle) | .explain analyze | .explain off\n\
                      .faults <spec|off> | .stats | .quit\n\
@@ -139,9 +145,11 @@ impl Shell {
                 self.mode = match arg {
                     "direct" => Mode::Direct,
                     "groupby" => Mode::GroupBy,
+                    "materialized" => Mode::Materialized,
+                    "auto" => Mode::Auto,
                     "both" => Mode::Both,
                     _ => {
-                        eprintln!("mode must be direct, groupby, or both");
+                        eprintln!("mode must be direct, groupby, materialized, auto, or both");
                         self.mode
                     }
                 }
@@ -286,6 +294,8 @@ impl Shell {
         let modes: &[(&str, PlanMode)] = match self.mode {
             Mode::Direct => &[("direct", PlanMode::Direct)],
             Mode::GroupBy => &[("groupby", PlanMode::GroupByRewrite)],
+            Mode::Materialized => &[("materialized", PlanMode::GroupByMaterialized)],
+            Mode::Auto => &[("auto", PlanMode::Auto)],
             Mode::Both => &[
                 ("direct", PlanMode::Direct),
                 ("groupby", PlanMode::GroupByRewrite),

@@ -101,7 +101,7 @@ pub struct GroupOrder {
 
 /// The grouping key: one value per basis item (`None` when the value is
 /// absent, e.g. a missing attribute).
-type Key = Vec<Option<String>>;
+pub type Key = Vec<Option<String>>;
 
 struct Group {
     /// Basis values (for the basis children).
@@ -257,8 +257,9 @@ pub fn groupby_sharded(
 
 /// The shard a grouping key belongs to: FNV-1a over a self-delimiting
 /// encoding of the key's values (absent values hash distinctly from
-/// empty strings).
-fn shard_of(key: &Key, partitions: usize) -> usize {
+/// empty strings). Shared with the rollup kernel so both sinks route a
+/// given key identically.
+pub(crate) fn shard_of(key: &Key, partitions: usize) -> usize {
     let mut h = FNV_SEED;
     for value in key {
         h = match value {
@@ -519,7 +520,11 @@ where
     Ok(out)
 }
 
-fn validate(pattern: &PatternTree, basis: &[BasisItem], ordering: &[GroupOrder]) -> Result<()> {
+pub(crate) fn validate(
+    pattern: &PatternTree,
+    basis: &[BasisItem],
+    ordering: &[GroupOrder],
+) -> Result<()> {
     for b in basis {
         if b.label >= pattern.len() {
             return Err(crate::error::Error::UnknownLabel(format!(
@@ -568,18 +573,19 @@ fn basis_child_tag(item: &BasisItem, _key: &Key) -> String {
     }
 }
 
-fn build_group_tree(
-    _store: &DocumentStore,
-    input: &Collection,
+/// Append the grouping-basis children under `basis_root`, one per basis
+/// item, exactly as the serial kernel builds them. Shared with the
+/// rollup kernel so its basis children are byte-identical to the
+/// materialized group trees'.
+pub(crate) fn add_basis_children(
+    tree: &mut Tree,
+    basis_root: usize,
+    src_tree: &Tree,
     key: &Key,
-    group: &Group,
+    basis_nodes: &[VNode],
     basis: &[BasisItem],
-    _replicate: bool,
-) -> Result<Tree> {
-    let mut tree = Tree::new_elem(crate::tags::GROUP_ROOT);
-    let basis_root = tree.add_elem(tree.root(), crate::tags::GROUPING_BASIS);
-    let src_tree = &input[group.basis_tree];
-    for (item, (v, value)) in basis.iter().zip(group.basis_nodes.iter().zip(key.iter())) {
+) {
+    for (item, (v, value)) in basis.iter().zip(basis_nodes.iter().zip(key.iter())) {
         match item.attr {
             Some(_) => {
                 // $i.attr: a constructed child named after the attribute.
@@ -606,6 +612,57 @@ fn build_group_tree(
             },
         }
     }
+}
+
+/// The grouping key of every witness in `input`, in global arrival
+/// order — the planner's distinct-key sampling hook: a distinct/total
+/// ratio near one means grouping would emit ≈ one group per witness.
+pub fn witness_keys(
+    store: &DocumentStore,
+    input: &Collection,
+    pattern: &PatternTree,
+    basis: &[BasisItem],
+    opts: &ExecOptions,
+) -> Result<Vec<Key>> {
+    validate(pattern, basis, &[])?;
+    let per_tree: Vec<Vec<Key>> = par_map(opts, input, |_, tree| {
+        let vt = VTree::new(store, tree);
+        let mut keys = Vec::new();
+        for binding in match_tree(store, tree, pattern, false)? {
+            let mut key: Key = Vec::with_capacity(basis.len());
+            for item in basis {
+                let v = binding[item.label];
+                key.push(match &item.attr {
+                    Some(name) => vt.attr(v, name)?,
+                    None => vt.content(v)?,
+                });
+            }
+            keys.push(key);
+        }
+        Ok(keys)
+    })?;
+    Ok(per_tree.into_iter().flatten().collect())
+}
+
+fn build_group_tree(
+    _store: &DocumentStore,
+    input: &Collection,
+    key: &Key,
+    group: &Group,
+    basis: &[BasisItem],
+    _replicate: bool,
+) -> Result<Tree> {
+    let mut tree = Tree::new_elem(crate::tags::GROUP_ROOT);
+    let basis_root = tree.add_elem(tree.root(), crate::tags::GROUPING_BASIS);
+    let src_tree = &input[group.basis_tree];
+    add_basis_children(
+        &mut tree,
+        basis_root,
+        src_tree,
+        key,
+        &group.basis_nodes,
+        basis,
+    );
     let subroot = tree.add_elem(tree.root(), crate::tags::GROUP_SUBROOT);
     for (tree_idx, _, _) in &group.members {
         tree.append_subtree(subroot, &input[*tree_idx], input[*tree_idx].root());

@@ -13,6 +13,7 @@
 //! | [`mod@join`] | left / full outer join ("join-plan" trees, stitching) | Sec. 4.1 |
 //! | [`mod@groupby`] | grouping with basis + ordering list | Sec. 3 |
 //! | [`mod@aggregate`] | aggregation with update specification | Sec. 4.3 |
+//! | [`mod@rollup`] | fused grouped aggregation (no group materialization) | Sec. 3 + 4.3 |
 //! | [`mod@rename`] | root renaming (final tag of RETURN) | Sec. 4.1 |
 //! | [`mod@reorder`] | collection reordering by bound contents | TAX [8] |
 //! | [`mod@setops`] | union / intersection / difference | TAX [8] |
@@ -24,6 +25,7 @@ pub mod join;
 pub mod project;
 pub mod rename;
 pub mod reorder;
+pub mod rollup;
 pub mod select;
 pub mod setops;
 
@@ -34,5 +36,6 @@ pub use join::{full_outer_join, left_outer_join_db};
 pub use project::{project, ProjectItem};
 pub use rename::rename_root;
 pub use reorder::reorder;
+pub use rollup::{rollup, RollupShape};
 pub use select::{select, select_db};
 pub use setops::{difference, intersection, union};

@@ -1,0 +1,1005 @@
+//! The fused grouped-aggregate rollup (the streaming counterpart of
+//! `GROUPBY` + aggregation).
+//!
+//! When grouped trees exist only to be counted/summed and immediately
+//! discarded — the paper's E2 workload, and the XOLAP rollup formulation
+//! of Hachicha & Darmont — materializing a `TAX_group_root` tree with a
+//! full member list per group is pure overhead. `rollup` instead
+//! hash-accumulates per-basis-key aggregate state directly from the
+//! input scan:
+//!
+//! * witnesses are extracted per input tree exactly as in
+//!   [`super::groupby::groupby_sharded`] (same multi-valued-basis
+//!   semantics: a two-author article contributes to both authors'
+//!   accumulators, and the same tree enters a given group only once);
+//! * each tree's aggregate contribution (its member-pattern binding
+//!   count and numeric values) is computed once, tree-locally, and
+//!   folded into the group's **running** accumulators in member arrival
+//!   order — Count/Sum/Min/Max as scalars, Avg as sum + count — so the
+//!   folds replay the materialized kernel's `values.iter()` order bit
+//!   for bit;
+//! * each group emits one small output tree
+//!   `TAX_group_root { TAX_grouping_basis {…}, <tag>value</tag> }` in
+//!   first-witness order, with basis children built by the same routine
+//!   as the group trees' — no member subtrees, ever.
+//!
+//! The member subroot is omitted, so the rollup output is byte-identical
+//! to `GroupBy → Aggregate` only for consumers that never bind
+//! `TAX_group_subroot`; the `rollup-fuse` optimizer rule (in `xquery`)
+//! checks exactly that before substituting this kernel.
+//!
+//! With [`RollupShape::Flat`] the kernel additionally absorbs the
+//! canonical downstream projection: it emits
+//! `TAX_group_root { <key subtree>, <tag>value</tag> }` — no basis
+//! wrapper — and **drops** groups whose aggregate is undefined, exactly
+//! as the projection (whose pattern requires the value child) would.
+//! The optimizer only selects this shape when the consuming projection
+//! is precisely that extraction.
+
+use crate::error::{Error, Result};
+use crate::exec::{par_map, par_map_owned, ExecOptions, ShardStats};
+use crate::matching::vnode::{VNode, VTree};
+use crate::matching::{match_db, match_tree};
+use crate::ops::aggregate::{format_value, AggFunc};
+use crate::ops::groupby::{add_basis_children, shard_of, validate, BasisItem, Key};
+use crate::pattern::{PatternNodeId, PatternTree};
+use crate::tree::{Collection, Tree, TreeNodeKind};
+use std::collections::HashMap;
+use xmlstore::{DocumentStore, NodeEntry};
+
+/// The output tree shape of a rollup run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RollupShape {
+    /// `TAX_group_root { TAX_grouping_basis {…}, <tag>v</tag> }` — the
+    /// materialized group-tree shape minus the member subroot; groups
+    /// with an undefined aggregate are emitted without the value child.
+    Grouped,
+    /// `TAX_group_root { <key subtree>, <tag>v</tag> }` — the downstream
+    /// projection pre-applied; groups with an undefined aggregate are
+    /// dropped (the projection's pattern requires the value child).
+    Flat,
+}
+
+/// One grouping witness: key plus the nodes that become basis children.
+struct RollupWitness {
+    key: Key,
+    basis_nodes: Vec<VNode>,
+}
+
+/// One witness-stream entry: `(input tree index, arrival ordinal,
+/// witness)` — the collection-major order the accumulators fold in.
+type StreamEntry = (usize, usize, RollupWitness);
+
+/// One input tree's aggregate contribution: what the materialized
+/// `Aggregate` would see for this tree as a group member.
+struct Contribution {
+    /// Member-pattern bindings (what COUNT counts).
+    bindings: usize,
+    /// Numeric values at the aggregated label, in binding order (empty
+    /// for COUNT, which never fetches values).
+    values: Vec<f64>,
+}
+
+/// Running accumulator state of one group.
+struct GroupAcc {
+    key: Key,
+    basis_nodes: Vec<VNode>,
+    basis_tree: usize,
+    /// Last input tree folded in (member dedup: same-key witnesses of
+    /// one tree are consecutive, exactly as in group formation).
+    last_member: Option<usize>,
+    bindings: usize,
+    values: usize,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl GroupAcc {
+    fn fold(&mut self, c: &Contribution) {
+        self.bindings += c.bindings;
+        for &v in &c.values {
+            self.values += 1;
+            self.sum += v;
+            self.min = Some(self.min.map_or(v, |m| m.min(v)));
+            self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        }
+    }
+
+    /// The finished aggregate value; `None` when undefined (Min/Max/Avg
+    /// over no numeric values), mirroring `aggregate::compute` — every
+    /// arm replays the same left fold the batch kernel runs over the
+    /// gathered value slice.
+    fn finish(&self, func: AggFunc) -> Option<f64> {
+        match func {
+            AggFunc::Count => Some(self.bindings as f64),
+            AggFunc::Sum => Some(self.sum),
+            AggFunc::Min => self.min,
+            AggFunc::Max => self.max,
+            AggFunc::Avg => {
+                if self.values == 0 {
+                    None
+                } else {
+                    Some(self.sum / self.values as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Streaming grouped aggregation with default execution options.
+#[allow(clippy::too_many_arguments)]
+pub fn rollup(
+    store: &DocumentStore,
+    input: &Collection,
+    pattern: &PatternTree,
+    basis: &[BasisItem],
+    member_pattern: &PatternTree,
+    of: PatternNodeId,
+    func: AggFunc,
+    new_tag: &str,
+    shape: RollupShape,
+) -> Result<Collection> {
+    rollup_opts(
+        store,
+        input,
+        pattern,
+        basis,
+        member_pattern,
+        of,
+        func,
+        new_tag,
+        shape,
+        &ExecOptions::default(),
+    )
+}
+
+/// [`rollup`] with explicit execution options (serial accumulation).
+#[allow(clippy::too_many_arguments)]
+pub fn rollup_opts(
+    store: &DocumentStore,
+    input: &Collection,
+    pattern: &PatternTree,
+    basis: &[BasisItem],
+    member_pattern: &PatternTree,
+    of: PatternNodeId,
+    func: AggFunc,
+    new_tag: &str,
+    shape: RollupShape,
+    opts: &ExecOptions,
+) -> Result<Collection> {
+    Ok(rollup_sharded(
+        store,
+        input,
+        pattern,
+        basis,
+        member_pattern,
+        of,
+        func,
+        new_tag,
+        shape,
+        opts,
+        1,
+    )?
+    .0)
+}
+
+/// Hash-partitioned rollup: the sharded-sink entry point.
+///
+/// Witness extraction and per-tree contributions fan out over
+/// `opts.threads`; witnesses are then routed to `partitions` shards by
+/// the same FNV-1a key hash as [`super::groupby::groupby_sharded`], each
+/// shard accumulates its groups independently (in parallel via
+/// [`par_map_owned`]), and the per-shard outputs merge ordered by each
+/// group's global first-arrival position — byte-identical to
+/// `partitions = 1`. Returns the collection plus the partition
+/// statistics for the metrics tree.
+#[allow(clippy::too_many_arguments)]
+pub fn rollup_sharded(
+    store: &DocumentStore,
+    input: &Collection,
+    pattern: &PatternTree,
+    basis: &[BasisItem],
+    member_pattern: &PatternTree,
+    of: PatternNodeId,
+    func: AggFunc,
+    new_tag: &str,
+    shape: RollupShape,
+    opts: &ExecOptions,
+    partitions: usize,
+) -> Result<(Collection, ShardStats)> {
+    validate(pattern, basis, &[])?;
+    if of >= member_pattern.len() {
+        return Err(Error::UnknownLabel(format!("${}", of + 1)));
+    }
+
+    // Extraction: grouping witnesses (as in groupby) plus each tree's
+    // aggregate contribution. When the input is a collection of disjoint
+    // stored subtrees (the post-selection scan the optimizer feeds the
+    // rollup), both patterns are matched **once** against the whole
+    // database through the tag index and the bindings routed back to
+    // their input trees by region containment — two index joins instead
+    // of 2·N scoped matches. Other inputs take the per-tree matcher.
+    // Either way the witness stream is collection-major (all of tree 0's
+    // witnesses, then tree 1's, …), which the member dedup relies on.
+    let (contributions, stream): (Vec<Contribution>, Vec<StreamEntry>) = match stored_scopes(input)
+    {
+        Some(scopes) => extract_batched(
+            store,
+            input,
+            &scopes,
+            pattern,
+            basis,
+            member_pattern,
+            of,
+            func,
+        )?,
+        None => {
+            let per_tree = par_map(opts, input, |_, tree| {
+                extract_tree(store, tree, pattern, basis, member_pattern, of, func)
+            })?;
+            let mut contributions: Vec<Contribution> = Vec::with_capacity(per_tree.len());
+            let mut stream: Vec<StreamEntry> = Vec::new();
+            let mut seq = 0usize;
+            for (tree_idx, (witnesses, contribution)) in per_tree.into_iter().enumerate() {
+                contributions.push(contribution);
+                for w in witnesses {
+                    stream.push((tree_idx, seq, w));
+                    seq += 1;
+                }
+            }
+            (contributions, stream)
+        }
+    };
+
+    let partitions = partitions.max(1).min(stream.len().max(1));
+    if partitions <= 1 {
+        let n = stream.len();
+        let built = accumulate_shard(input, basis, &contributions, func, new_tag, shape, stream)?;
+        return Ok((
+            built.into_iter().map(|(_, t)| t).collect(),
+            ShardStats::serial(n),
+        ));
+    }
+
+    let mut shards: Vec<Vec<StreamEntry>> = (0..partitions).map(|_| Vec::new()).collect();
+    for entry in stream {
+        let shard = shard_of(&entry.2.key, partitions);
+        shards[shard].push(entry);
+    }
+    let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+    let built = par_map_owned(opts, shards, |_, shard| {
+        accumulate_shard(input, basis, &contributions, func, new_tag, shape, shard)
+    })?;
+    let mut all: Vec<(usize, Tree)> = built.into_iter().flatten().collect();
+    all.sort_by_key(|&(first_seq, _)| first_seq);
+    Ok((
+        all.into_iter().map(|(_, t)| t).collect(),
+        ShardStats { partitions, sizes },
+    ))
+}
+
+/// `(tree index, stored scope)` per input tree, ordered by pre-order
+/// region start — the precondition for batched extraction. `None` when
+/// any tree is arena-backed, a shallow reference, or the scopes overlap
+/// (nested or duplicated inputs), in which case extraction falls back to
+/// the per-tree matcher.
+fn stored_scopes(input: &Collection) -> Option<Vec<(usize, NodeEntry)>> {
+    let mut scopes = Vec::with_capacity(input.len());
+    for (i, t) in input.iter().enumerate() {
+        if t.len() != 1 {
+            return None;
+        }
+        match t.node(t.root()).kind {
+            TreeNodeKind::Ref { node, deep: true } => scopes.push((i, node)),
+            _ => return None,
+        }
+    }
+    scopes.sort_by_key(|&(_, s)| s.start);
+    if scopes.windows(2).any(|w| w[1].1.start <= w[0].1.end) {
+        return None;
+    }
+    Some(scopes)
+}
+
+/// Batched extraction over disjoint stored subtrees: one database-wide
+/// index match per pattern, bindings assigned to input trees by region
+/// containment of the pattern-root binding (witnesses anywhere inside
+/// the tree; member bindings anchored at the tree root exactly, like the
+/// per-tree matcher's `anchor_root`). Returns the per-tree contributions
+/// and the collection-major witness stream directly — no per-tree
+/// buffers, just one stable sort of the doc-ordered bindings by input
+/// position (within a tree that keeps the document order the scoped
+/// matcher produces).
+#[allow(clippy::too_many_arguments)]
+fn extract_batched(
+    store: &DocumentStore,
+    input: &Collection,
+    scopes: &[(usize, NodeEntry)],
+    pattern: &PatternTree,
+    basis: &[BasisItem],
+    member_pattern: &PatternTree,
+    of: PatternNodeId,
+    func: AggFunc,
+) -> Result<(Vec<Contribution>, Vec<StreamEntry>)> {
+    let mut contributions: Vec<Contribution> = input
+        .iter()
+        .map(|_| Contribution {
+            bindings: 0,
+            values: Vec::new(),
+        })
+        .collect();
+    if scopes.is_empty() {
+        return Ok((contributions, Vec::new()));
+    }
+
+    // The input tree whose region contains `e`, if any.
+    let locate = |e: &NodeEntry| -> Option<(usize, NodeEntry)> {
+        let i = scopes.partition_point(|&(_, s)| s.start <= e.start);
+        let (ti, s) = scopes[i.checked_sub(1)?];
+        (e.end <= s.end).then_some((ti, s))
+    };
+
+    let bindings = match_db(store, pattern)?;
+    let mut flat: Vec<(usize, RollupWitness)> = Vec::with_capacity(bindings.len());
+    for binding in bindings {
+        let VNode::Stored(root) = binding[pattern.root()] else {
+            continue;
+        };
+        let Some((ti, scope)) = locate(&root) else {
+            continue;
+        };
+        let tree = &input[ti];
+        let vt = VTree::new(store, tree);
+        let mut key: Key = Vec::with_capacity(basis.len());
+        for item in basis {
+            let v = binding[item.label];
+            key.push(match &item.attr {
+                Some(name) => vt.attr(v, name)?,
+                None => vt.content(v)?,
+            });
+        }
+        // Canonicalize a binding of the scope node itself to the tree's
+        // arena root, exactly as the per-tree matcher does.
+        let basis_nodes = basis
+            .iter()
+            .map(|b| match binding[b.label] {
+                VNode::Stored(e) if e.id == scope.id => VNode::Arena(tree.root()),
+                v => v,
+            })
+            .collect();
+        flat.push((ti, RollupWitness { key, basis_nodes }));
+    }
+    // Stable by construction: sorting doc-ordered bindings by input
+    // position yields the collection-major stream.
+    flat.sort_by_key(|&(ti, _)| ti);
+    let stream = flat
+        .into_iter()
+        .enumerate()
+        .map(|(seq, (ti, w))| (ti, seq, w))
+        .collect();
+
+    for binding in match_db(store, member_pattern)? {
+        let VNode::Stored(root) = binding[member_pattern.root()] else {
+            continue;
+        };
+        // Member bindings anchor at the tree root (`anchor_root = true`
+        // in the per-tree path).
+        let Some((ti, scope)) = locate(&root) else {
+            continue;
+        };
+        if root.id != scope.id {
+            continue;
+        }
+        let c = &mut contributions[ti];
+        c.bindings += 1;
+        if func != AggFunc::Count {
+            let vt = VTree::new(store, &input[ti]);
+            if let Some(text) = vt.content(binding[of])? {
+                if let Ok(v) = text.trim().parse::<f64>() {
+                    c.values.push(v);
+                }
+            }
+        }
+    }
+    Ok((contributions, stream))
+}
+
+/// Per-tree extraction (the general path): grouping witnesses and the
+/// tree's aggregate contribution from two scoped matches.
+fn extract_tree(
+    store: &DocumentStore,
+    tree: &Tree,
+    pattern: &PatternTree,
+    basis: &[BasisItem],
+    member_pattern: &PatternTree,
+    of: PatternNodeId,
+    func: AggFunc,
+) -> Result<(Vec<RollupWitness>, Contribution)> {
+    let vt = VTree::new(store, tree);
+    let mut witnesses = Vec::new();
+    for binding in match_tree(store, tree, pattern, false)? {
+        let mut key: Key = Vec::with_capacity(basis.len());
+        for item in basis {
+            let v = binding[item.label];
+            key.push(match &item.attr {
+                Some(name) => vt.attr(v, name)?,
+                None => vt.content(v)?,
+            });
+        }
+        witnesses.push(RollupWitness {
+            key,
+            basis_nodes: basis.iter().map(|b| binding[b.label]).collect(),
+        });
+    }
+    // Member bindings anchor at the tree root: inside a group tree the
+    // member label binds exactly the subroot's member children, i.e.
+    // this tree's root.
+    let member_bindings = match_tree(store, tree, member_pattern, true)?;
+    let mut values = Vec::new();
+    if func != AggFunc::Count {
+        for b in &member_bindings {
+            if let Some(text) = vt.content(b[of])? {
+                if let Ok(v) = text.trim().parse::<f64>() {
+                    values.push(v);
+                }
+            }
+        }
+    }
+    Ok((
+        witnesses,
+        Contribution {
+            bindings: member_bindings.len(),
+            values,
+        },
+    ))
+}
+
+/// Accumulation + output building over one witness shard, witnesses in
+/// global arrival order — the rollup counterpart of the groupby's
+/// `form_and_build`, and like it the single routine both the serial and
+/// sharded paths run.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_shard(
+    input: &Collection,
+    basis: &[BasisItem],
+    contributions: &[Contribution],
+    func: AggFunc,
+    new_tag: &str,
+    shape: RollupShape,
+    shard: Vec<StreamEntry>,
+) -> Result<Vec<(usize, Tree)>> {
+    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut groups: Vec<(usize, GroupAcc)> = Vec::new();
+    for (tree_idx, seq, w) in shard {
+        let gid = match index.get(&w.key) {
+            Some(&g) => g,
+            None => {
+                let g = groups.len();
+                index.insert(w.key.clone(), g);
+                groups.push((
+                    seq,
+                    GroupAcc {
+                        key: w.key,
+                        basis_nodes: w.basis_nodes,
+                        basis_tree: tree_idx,
+                        last_member: None,
+                        bindings: 0,
+                        values: 0,
+                        sum: 0.0,
+                        min: None,
+                        max: None,
+                    },
+                ));
+                g
+            }
+        };
+        let acc = &mut groups[gid].1;
+        if acc.last_member != Some(tree_idx) {
+            acc.last_member = Some(tree_idx);
+            acc.fold(&contributions[tree_idx]);
+        }
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (first_seq, acc) in groups {
+        // The materialized Aggregate leaves a group tree unchanged when
+        // no binding exists or the aggregate is undefined; the grouped
+        // shape emits the tree without the value child to match (the
+        // downstream projection drops such groups), and the flat shape —
+        // the projection pre-applied — drops the group outright.
+        let value = if acc.bindings > 0 {
+            acc.finish(func)
+        } else {
+            None
+        };
+        let mut tree = Tree::new_elem(crate::tags::GROUP_ROOT);
+        let basis_root = match shape {
+            RollupShape::Grouped => tree.add_elem(tree.root(), crate::tags::GROUPING_BASIS),
+            RollupShape::Flat => {
+                if value.is_none() {
+                    continue;
+                }
+                tree.root()
+            }
+        };
+        add_basis_children(
+            &mut tree,
+            basis_root,
+            &input[acc.basis_tree],
+            &acc.key,
+            &acc.basis_nodes,
+            basis,
+        );
+        if let Some(v) = value {
+            tree.add_elem_with_content(tree.root(), new_tag, format_value(v));
+        }
+        out.push((first_seq, tree));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::aggregate::{aggregate, UpdateSpec};
+    use crate::ops::groupby::groupby;
+    use crate::ops::project::{project, ProjectItem};
+    use crate::pattern::{Axis, Pred};
+    use crate::tags;
+    use xmlstore::StoreOptions;
+
+    const SAMPLE: &str = "<bib>\
+        <article><title>Querying XML</title><author>Jack</author><author>John</author><year>1999</year></article>\
+        <article><title>XML and the Web</title><author>Jill</author><author>Jack</author><year>2001</year></article>\
+        <article><title>Hack HTML</title><author>John</author><year>2002</year></article>\
+    </bib>";
+
+    fn store() -> DocumentStore {
+        DocumentStore::from_xml(SAMPLE, &StoreOptions::in_memory()).unwrap()
+    }
+
+    fn articles(s: &DocumentStore) -> Collection {
+        let article = s.tag_id("article").unwrap();
+        s.nodes_with_tag(article)
+            .iter()
+            .map(|e| Tree::new_ref(*e, true))
+            .collect()
+    }
+
+    /// article -pc-> author, grouped on the author content.
+    fn grouping() -> (PatternTree, Vec<BasisItem>) {
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        let author = p.add_child(p.root(), Axis::Child, Pred::tag("author"));
+        (p, vec![BasisItem::content(author)])
+    }
+
+    /// article -pc-> <leaf>, the member-side aggregate pattern.
+    fn member(leaf: &str) -> (PatternTree, PatternNodeId) {
+        let mut p = PatternTree::with_root(Pred::tag("article"));
+        let l = p.add_child(p.root(), Axis::Child, Pred::tag(leaf));
+        (p, l)
+    }
+
+    /// The materialized reference: GroupBy, then Aggregate over the
+    /// group trees with the canonical root→subroot→member pattern.
+    fn materialized(
+        s: &DocumentStore,
+        input: &Collection,
+        leaf: &str,
+        func: AggFunc,
+        new_tag: &str,
+    ) -> Collection {
+        let (gp, basis) = grouping();
+        let groups = groupby(s, input, &gp, &basis, &[]).unwrap();
+        let mut ap = PatternTree::with_root(Pred::tag(tags::GROUP_ROOT));
+        let subroot = ap.add_child(ap.root(), Axis::Child, Pred::tag(tags::GROUP_SUBROOT));
+        let m = ap.add_child(subroot, Axis::Child, Pred::tag("article"));
+        let of = ap.add_child(m, Axis::Child, Pred::tag(leaf));
+        aggregate(
+            s,
+            groups,
+            &ap,
+            func,
+            of,
+            new_tag,
+            UpdateSpec::AfterLastChild(0),
+        )
+        .unwrap()
+    }
+
+    /// Project both sides down to root/basis/value — the only consumer
+    /// shape the fusion admits — and serialize.
+    fn projected_xml(s: &DocumentStore, c: &Collection, new_tag: &str) -> Vec<String> {
+        let mut fp = PatternTree::with_root(Pred::tag(tags::GROUP_ROOT));
+        let b = fp.add_child(fp.root(), Axis::Child, Pred::tag(tags::GROUPING_BASIS));
+        let key = fp.add_child(b, Axis::Child, Pred::tag("author"));
+        let agg = fp.add_child(fp.root(), Axis::Child, Pred::tag(new_tag));
+        let pl = vec![
+            ProjectItem::shallow(fp.root()),
+            ProjectItem::deep(key),
+            ProjectItem::deep(agg),
+        ];
+        project(s, c, &fp, &pl, true)
+            .unwrap()
+            .iter()
+            .map(|t| xmlparse::serialize::element_to_string(&t.materialize(s).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn rollup_matches_materialized_pipeline_for_every_func() {
+        let s = store();
+        let arts = articles(&s);
+        let (gp, basis) = grouping();
+        for (leaf, func, tag) in [
+            ("title", AggFunc::Count, "count"),
+            ("year", AggFunc::Sum, "sum"),
+            ("year", AggFunc::Min, "min"),
+            ("year", AggFunc::Max, "max"),
+            ("year", AggFunc::Avg, "avg"),
+        ] {
+            let (mp, of) = member(leaf);
+            let fused = rollup(
+                &s,
+                &arts,
+                &gp,
+                &basis,
+                &mp,
+                of,
+                func,
+                tag,
+                RollupShape::Grouped,
+            )
+            .unwrap();
+            let reference = materialized(&s, &arts, leaf, func, tag);
+            assert_eq!(fused.len(), reference.len(), "{func:?}");
+            assert_eq!(
+                projected_xml(&s, &fused, tag),
+                projected_xml(&s, &reference, tag),
+                "{func:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_valued_basis_contributes_to_every_group() {
+        // The two-author articles must count for both authors.
+        let s = store();
+        let arts = articles(&s);
+        let (gp, basis) = grouping();
+        let (mp, of) = member("title");
+        let out = rollup(
+            &s,
+            &arts,
+            &gp,
+            &basis,
+            &mp,
+            of,
+            AggFunc::Count,
+            "count",
+            RollupShape::Grouped,
+        )
+        .unwrap();
+        // First-witness order: Jack, John, Jill.
+        let counts: Vec<(String, String)> = out
+            .iter()
+            .map(|t| {
+                let e = t.materialize(&s).unwrap();
+                (
+                    e.child(tags::GROUPING_BASIS)
+                        .unwrap()
+                        .child("author")
+                        .unwrap()
+                        .text(),
+                    e.child("count").unwrap().text(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            counts,
+            [
+                ("Jack".into(), "2".into()),
+                ("John".into(), "2".into()),
+                ("Jill".into(), "1".into()),
+            ]
+        );
+        // No member subroot is ever built.
+        for t in &out {
+            assert!(t
+                .materialize(&s)
+                .unwrap()
+                .child(tags::GROUP_SUBROOT)
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn undefined_aggregate_omits_the_value_child() {
+        // Min over a label with no numeric content: the materialized
+        // path passes the group tree through unchanged; the rollup tree
+        // must omit the value child.
+        let s = store();
+        let arts = articles(&s);
+        let (gp, basis) = grouping();
+        let (mp, of) = member("title");
+        let out = rollup(
+            &s,
+            &arts,
+            &gp,
+            &basis,
+            &mp,
+            of,
+            AggFunc::Min,
+            "min",
+            RollupShape::Grouped,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+        for t in &out {
+            assert!(t.materialize(&s).unwrap().child("min").is_none());
+        }
+    }
+
+    #[test]
+    fn flat_shape_equals_the_projected_grouped_output() {
+        // Flat absorbs the downstream projection: its trees must be
+        // byte-identical to Project over the grouped rollup output.
+        let s = store();
+        let arts = articles(&s);
+        let (gp, basis) = grouping();
+        for (leaf, func, tag) in [
+            ("title", AggFunc::Count, "count"),
+            ("year", AggFunc::Sum, "sum"),
+            ("year", AggFunc::Avg, "avg"),
+        ] {
+            let (mp, of) = member(leaf);
+            let grouped = rollup(
+                &s,
+                &arts,
+                &gp,
+                &basis,
+                &mp,
+                of,
+                func,
+                tag,
+                RollupShape::Grouped,
+            )
+            .unwrap();
+            let flat = rollup(
+                &s,
+                &arts,
+                &gp,
+                &basis,
+                &mp,
+                of,
+                func,
+                tag,
+                RollupShape::Flat,
+            )
+            .unwrap();
+            let flat_xml: Vec<String> = flat
+                .iter()
+                .map(|t| xmlparse::serialize::element_to_string(&t.materialize(&s).unwrap()))
+                .collect();
+            assert_eq!(flat_xml, projected_xml(&s, &grouped, tag), "{func:?}");
+            // No basis wrapper survives in the flat shape.
+            for x in &flat_xml {
+                assert!(!x.contains(tags::GROUPING_BASIS), "{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_shape_drops_groups_with_an_undefined_aggregate() {
+        // Min over non-numeric content is undefined for every group; the
+        // projection the flat shape absorbs would drop each such tree
+        // (no bound aggregate child), so the flat rollup emits nothing.
+        let s = store();
+        let arts = articles(&s);
+        let (gp, basis) = grouping();
+        let (mp, of) = member("title");
+        let out = rollup(
+            &s,
+            &arts,
+            &gp,
+            &basis,
+            &mp,
+            of,
+            AggFunc::Min,
+            "min",
+            RollupShape::Flat,
+        )
+        .unwrap();
+        assert!(out.is_empty(), "{} trees", out.len());
+    }
+
+    #[test]
+    fn sharded_rollup_matches_serial_kernel() {
+        let s = store();
+        let arts = articles(&s);
+        let (gp, basis) = grouping();
+        for (leaf, func, tag) in [
+            ("title", AggFunc::Count, "count"),
+            ("year", AggFunc::Avg, "avg"),
+        ] {
+            let (mp, of) = member(leaf);
+            let serial = rollup(
+                &s,
+                &arts,
+                &gp,
+                &basis,
+                &mp,
+                of,
+                func,
+                tag,
+                RollupShape::Grouped,
+            )
+            .unwrap();
+            for partitions in [1usize, 2, 3, 8] {
+                for threads in [1usize, 4] {
+                    let opts = ExecOptions::with_threads(threads);
+                    let (sharded, stats) = rollup_sharded(
+                        &s,
+                        &arts,
+                        &gp,
+                        &basis,
+                        &mp,
+                        of,
+                        func,
+                        tag,
+                        RollupShape::Grouped,
+                        &opts,
+                        partitions,
+                    )
+                    .unwrap();
+                    assert_eq!(serial.len(), sharded.len());
+                    for (a, b) in serial.iter().zip(sharded.iter()) {
+                        assert_eq!(
+                            xmlparse::serialize::element_to_string(&a.materialize(&s).unwrap()),
+                            xmlparse::serialize::element_to_string(&b.materialize(&s).unwrap()),
+                            "partitions={partitions} threads={threads}"
+                        );
+                    }
+                    // 5 witnesses: Jack ×2, John ×2, Jill.
+                    assert_eq!(stats.total(), 5);
+                    assert_eq!(stats.partitions, partitions.min(5));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_trees_take_the_per_tree_path_with_identical_results() {
+        // In-memory (arena) article trees cannot be located in the tag
+        // index, so extraction falls back to the per-tree matcher; the
+        // results must be what the batched path produces for the same
+        // logical content.
+        let s = store();
+        let stored = articles(&s);
+        let mut arena: Collection = Vec::new();
+        for (authors, title) in [
+            (vec!["Jack", "John"], "Querying XML"),
+            (vec!["Jill", "Jack"], "XML and the Web"),
+            (vec!["John"], "Hack HTML"),
+        ] {
+            let mut t = Tree::new_elem("article");
+            t.add_elem_with_content(t.root(), "title", title.to_owned());
+            for a in authors {
+                t.add_elem_with_content(t.root(), "author", a.to_owned());
+            }
+            arena.push(t);
+        }
+        assert!(stored_scopes(&arena).is_none());
+        assert!(stored_scopes(&stored).is_some());
+        let (gp, basis) = grouping();
+        let (mp, of) = member("title");
+        let from_arena = rollup(
+            &s,
+            &arena,
+            &gp,
+            &basis,
+            &mp,
+            of,
+            AggFunc::Count,
+            "count",
+            RollupShape::Grouped,
+        )
+        .unwrap();
+        let from_stored = rollup(
+            &s,
+            &stored,
+            &gp,
+            &basis,
+            &mp,
+            of,
+            AggFunc::Count,
+            "count",
+            RollupShape::Grouped,
+        )
+        .unwrap();
+        let counts = |c: &Collection| -> Vec<(String, String)> {
+            c.iter()
+                .map(|t| {
+                    let e = t.materialize(&s).unwrap();
+                    (
+                        e.child(tags::GROUPING_BASIS)
+                            .unwrap()
+                            .child("author")
+                            .unwrap()
+                            .text(),
+                        e.child("count").unwrap().text(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(counts(&from_arena), counts(&from_stored));
+    }
+
+    #[test]
+    fn duplicated_stored_inputs_fall_back_and_count_twice() {
+        // The same article appearing twice in the input overlaps in the
+        // region index, so the batched path refuses; the per-tree path
+        // folds its contribution once per occurrence, exactly like the
+        // materialized pipeline, which lists the member twice.
+        let s = store();
+        let mut arts = articles(&s);
+        arts.push(arts[0].clone());
+        assert!(stored_scopes(&arts).is_none());
+        let (gp, basis) = grouping();
+        let (mp, of) = member("title");
+        let fused = rollup(
+            &s,
+            &arts,
+            &gp,
+            &basis,
+            &mp,
+            of,
+            AggFunc::Count,
+            "count",
+            RollupShape::Grouped,
+        )
+        .unwrap();
+        let reference = materialized(&s, &arts, "title", AggFunc::Count, "count");
+        assert_eq!(
+            projected_xml(&s, &fused, "count"),
+            projected_xml(&s, &reference, "count")
+        );
+    }
+
+    #[test]
+    fn empty_input_and_bad_labels() {
+        let s = store();
+        let (gp, basis) = grouping();
+        let (mp, of) = member("title");
+        let (out, stats) = rollup_sharded(
+            &s,
+            &Vec::new(),
+            &gp,
+            &basis,
+            &mp,
+            of,
+            AggFunc::Count,
+            "count",
+            RollupShape::Grouped,
+            &ExecOptions::with_threads(4),
+            4,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(stats.partitions, 1);
+        // Aggregated label outside the member pattern.
+        assert!(rollup(
+            &s,
+            &Vec::new(),
+            &gp,
+            &basis,
+            &mp,
+            9,
+            AggFunc::Count,
+            "count",
+            RollupShape::Grouped,
+        )
+        .is_err());
+    }
+}

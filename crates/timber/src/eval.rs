@@ -80,6 +80,35 @@ pub fn eval_with(store: &DocumentStore, plan: &Plan, opts: &ExecOptions) -> Resu
             let c = eval_with(store, input, opts)?;
             ops::aggregate::aggregate_opts(store, c, pattern, *func, *of, new_tag, *spec, opts)?
         }
+        Plan::Rollup {
+            input,
+            pattern,
+            basis,
+            member_pattern,
+            of,
+            func,
+            new_tag,
+            flat,
+        } => {
+            let c = eval_with(store, input, opts)?;
+            let shape = if *flat {
+                ops::rollup::RollupShape::Flat
+            } else {
+                ops::rollup::RollupShape::Grouped
+            };
+            ops::rollup::rollup_opts(
+                store,
+                &c,
+                pattern,
+                basis,
+                member_pattern,
+                *of,
+                *func,
+                new_tag,
+                shape,
+                opts,
+            )?
+        }
         Plan::Rename { input, tag } => {
             let c = eval_with(store, input, opts)?;
             ops::rename::rename_root(c, tag)?

@@ -57,9 +57,33 @@ pub enum PlanMode {
     Direct,
     /// The optimized plan: the full rewrite-rule framework, headlined by
     /// the GROUPBY rewrite (falls back to the naive plan when no rule
-    /// applies).
+    /// applies). Grouped aggregates fuse into the streaming `Rollup`
+    /// kernel.
     GroupByRewrite,
+    /// The optimized plan *without* rollup fusion
+    /// ([`xquery::opt::Optimizer::materializing`]): grouped aggregates
+    /// keep the materialized `GroupBy → Aggregate` pipeline. The
+    /// reference mode for the rollup's differential tests and the
+    /// `e2_count_groupby` benchmark key.
+    GroupByMaterialized,
+    /// Metric-driven plan choice: optimize as [`PlanMode::GroupByRewrite`],
+    /// then sample the grouping input's first batch and fall back to the
+    /// direct plan when nearly every witness carries a distinct
+    /// grouping-basis key (grouping would build one group per input
+    /// tree, so the rewrite's sharing buys nothing). The fallback is
+    /// recorded in the trace as the pseudo-firing
+    /// [`PLAN_CHOICE_DIRECT`].
+    Auto,
 }
+
+/// Pseudo-rule name recorded in the [`OptTrace`] when [`PlanMode::Auto`]
+/// abandons the grouped plan for the direct one, so `EXPLAIN ANALYZE`
+/// shows why the executed plan differs from the optimizer's output.
+pub const PLAN_CHOICE_DIRECT: &str = "plan-choice-direct";
+
+/// Fewest sampled witnesses [`PlanMode::Auto`] needs before it trusts
+/// the distinct-key ratio; below this the grouped plan always stands.
+const MIN_PLAN_SAMPLE: usize = 8;
 
 /// Which executor interprets the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -166,7 +190,47 @@ impl TimberDb {
                 let rewritten = trace.fired("groupby-rewrite");
                 (plan, rewritten, trace)
             }
+            PlanMode::GroupByMaterialized => {
+                let (plan, trace) = xquery::opt::Optimizer::materializing().optimize(naive);
+                let rewritten = trace.fired("groupby-rewrite");
+                (plan, rewritten, trace)
+            }
+            PlanMode::Auto => {
+                let (plan, mut trace) = xquery::opt::optimize(naive.clone());
+                let rewritten = trace.fired("groupby-rewrite");
+                if rewritten && self.grouping_is_degenerate(&plan)? {
+                    trace.firings.push(xquery::opt::RuleFiring {
+                        rule: PLAN_CHOICE_DIRECT,
+                        pass: trace.passes,
+                    });
+                    (naive, false, trace)
+                } else {
+                    (plan, rewritten, trace)
+                }
+            }
         })
+    }
+
+    /// [`PlanMode::Auto`]'s sampling probe: pull the grouping input's
+    /// first batch and measure its distinct-basis-key ratio. Degenerate
+    /// means at least [`MIN_PLAN_SAMPLE`] sampled witnesses of which
+    /// ≥ 90 % carry distinct keys — grouping would emit about one group
+    /// per input tree.
+    fn grouping_is_degenerate(&self, plan: &Plan) -> Result<bool> {
+        let Some((input, pattern, basis)) = find_grouping(plan) else {
+            return Ok(false);
+        };
+        let mut op = physical::build(&self.store, input, &self.exec, self.batch_size)?;
+        let Some(batch) = op.next_batch()? else {
+            return Ok(false);
+        };
+        let keys =
+            tax::ops::groupby::witness_keys(&self.store, &batch, pattern, basis, &self.exec)?;
+        if keys.len() < MIN_PLAN_SAMPLE {
+            return Ok(false);
+        }
+        let distinct: std::collections::HashSet<_> = keys.iter().collect();
+        Ok(distinct.len() * 10 >= keys.len() * 9)
     }
 
     /// Parse, plan, and evaluate a query.
@@ -326,6 +390,37 @@ impl ExplainAnalysis {
     }
 }
 
+/// The grouping node (`GroupBy` or `Rollup`) an optimized plan pivots
+/// on, together with its input plan and grouping parameters. Walks the
+/// unary spine of the pipeline shapes the optimizer emits.
+fn find_grouping(
+    plan: &Plan,
+) -> Option<(
+    &Plan,
+    &tax::pattern::PatternTree,
+    &[tax::ops::groupby::BasisItem],
+)> {
+    match plan {
+        Plan::GroupBy {
+            input,
+            pattern,
+            basis,
+            ..
+        }
+        | Plan::Rollup {
+            input,
+            pattern,
+            basis,
+            ..
+        } => Some((input, pattern, basis)),
+        Plan::Project { input, .. }
+        | Plan::DupElim { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Rename { input, .. } => find_grouping(input),
+        _ => None,
+    }
+}
+
 pub(crate) fn diff_io(before: IoStats, after: IoStats) -> IoStats {
     IoStats {
         buffer: xmlstore::buffer::BufferStats {
@@ -428,6 +523,83 @@ mod tests {
             grouped.io.page_requests(),
             direct.io.page_requests()
         );
+    }
+
+    const QUERY_COUNT: &str = r#"
+        FOR $a IN distinct-values(document("bib.xml")//author)
+        LET $t := document("bib.xml")//article[author = $a]/title
+        RETURN <authorpubs> {$a} {count($t)} </authorpubs>
+    "#;
+
+    #[test]
+    fn rollup_plan_matches_materialized_and_direct() {
+        let db = db();
+        let (plan, _, trace) = db
+            .compile_traced(QUERY_COUNT, PlanMode::GroupByRewrite)
+            .unwrap();
+        assert!(trace.fired("rollup-fuse"), "{}", trace.render());
+        assert!(plan.explain().contains("Rollup Count"));
+        let (mat_plan, _, mat_trace) = db
+            .compile_traced(QUERY_COUNT, PlanMode::GroupByMaterialized)
+            .unwrap();
+        assert!(!mat_trace.fired("rollup-fuse"));
+        assert!(mat_plan.explain().contains("GroupBy"));
+        let direct = db.query(QUERY_COUNT, PlanMode::Direct).unwrap();
+        let rollup = db.query(QUERY_COUNT, PlanMode::GroupByRewrite).unwrap();
+        let materialized = db
+            .query(QUERY_COUNT, PlanMode::GroupByMaterialized)
+            .unwrap();
+        let expected = direct.to_xml_on(db.store()).unwrap();
+        assert_eq!(rollup.to_xml_on(db.store()).unwrap(), expected);
+        assert_eq!(materialized.to_xml_on(db.store()).unwrap(), expected);
+    }
+
+    #[test]
+    fn auto_mode_falls_back_on_degenerate_grouping() {
+        // Ten articles, every author unique: grouping emits one group
+        // per article, so Auto should run the direct plan and say why.
+        let mut xml = String::from("<bib>");
+        for i in 0..10 {
+            xml.push_str(&format!(
+                "<article><title>T{i}</title><author>A{i}</author></article>"
+            ));
+        }
+        xml.push_str("</bib>");
+        let db = TimberDb::load_xml(&xml, &StoreOptions::in_memory()).unwrap();
+        let (_, rewritten, trace) = db.compile_traced(QUERY_COUNT, PlanMode::Auto).unwrap();
+        assert!(!rewritten);
+        assert!(trace.fired(PLAN_CHOICE_DIRECT), "{}", trace.render());
+        let auto = db.query(QUERY_COUNT, PlanMode::Auto).unwrap();
+        let direct = db.query(QUERY_COUNT, PlanMode::Direct).unwrap();
+        assert_eq!(
+            auto.to_xml_on(db.store()).unwrap(),
+            direct.to_xml_on(db.store()).unwrap()
+        );
+    }
+
+    #[test]
+    fn auto_mode_keeps_grouped_plan_when_keys_repeat() {
+        // Twelve articles over three authors: plenty of sharing, the
+        // grouped (rollup) plan stands.
+        let mut xml = String::from("<bib>");
+        for i in 0..12 {
+            xml.push_str(&format!(
+                "<article><title>T{i}</title><author>A{}</author></article>",
+                i % 3
+            ));
+        }
+        xml.push_str("</bib>");
+        let shared = TimberDb::load_xml(&xml, &StoreOptions::in_memory()).unwrap();
+        let (plan, rewritten, trace) = shared.compile_traced(QUERY_COUNT, PlanMode::Auto).unwrap();
+        assert!(rewritten);
+        assert!(!trace.fired(PLAN_CHOICE_DIRECT), "{}", trace.render());
+        assert!(plan.explain().contains("Rollup"));
+        // Small samples never trigger the fallback, even with unique
+        // keys (the figure-6 database has only 5 witnesses).
+        let small = db();
+        let (_, rewritten, trace) = small.compile_traced(QUERY_COUNT, PlanMode::Auto).unwrap();
+        assert!(rewritten);
+        assert!(!trace.fired(PLAN_CHOICE_DIRECT), "{}", trace.render());
     }
 
     #[test]

@@ -162,6 +162,34 @@ pub fn build<'a>(
             drained: None,
             meter,
         }),
+        Plan::Rollup {
+            input,
+            pattern,
+            basis,
+            member_pattern,
+            of,
+            func,
+            new_tag,
+            flat,
+        } => Box::new(RollupOp {
+            store,
+            input: build(store, input, opts, batch)?,
+            pattern: pattern.clone(),
+            basis: basis.clone(),
+            member_pattern: member_pattern.clone(),
+            of: *of,
+            func: *func,
+            new_tag: new_tag.clone(),
+            shape: if *flat {
+                ops::rollup::RollupShape::Flat
+            } else {
+                ops::rollup::RollupShape::Grouped
+            },
+            opts: *opts,
+            batch,
+            drained: None,
+            meter,
+        }),
         Plan::LeftOuterJoinDb {
             left,
             left_pattern,
@@ -582,6 +610,69 @@ impl PhysOp for GroupByOp<'_> {
                     &self.pattern,
                     &self.basis,
                     &self.ordering,
+                    &self.opts,
+                    self.opts.threads.max(1),
+                )?;
+                self.meter.stop(self.store, window);
+                self.meter.shards = Some(shards);
+                self.drained.insert(out.into_iter())
+            }
+        };
+        emit_drained(iter, self.batch, &mut self.meter)
+    }
+
+    fn metrics(&self) -> PlanMetrics {
+        self.meter.metrics(vec![self.input.metrics()])
+    }
+}
+
+/// Blocking sink: the fused grouped aggregate. Like [`GroupByOp`] it
+/// drains its input and hash-partitions witnesses by grouping-basis key
+/// over `opts.threads` workers with an order-restoring merge — but the
+/// kernel ([`ops::rollup::rollup_sharded`]) folds each tree's aggregate
+/// contribution into running per-group accumulators instead of
+/// materializing group trees, so rows in greatly exceed groups out.
+struct RollupOp<'a> {
+    store: &'a DocumentStore,
+    input: Box<dyn PhysOp + 'a>,
+    pattern: PatternTree,
+    basis: Vec<BasisItem>,
+    member_pattern: PatternTree,
+    of: PatternNodeId,
+    func: AggFunc,
+    new_tag: String,
+    shape: ops::rollup::RollupShape,
+    opts: ExecOptions,
+    batch: usize,
+    drained: Option<std::vec::IntoIter<Tree>>,
+    meter: Meter,
+}
+
+impl PhysOp for RollupOp<'_> {
+    fn name(&self) -> &str {
+        &self.meter.op
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
+        let iter = match self.drained.take() {
+            Some(iter) => self.drained.insert(iter),
+            None => {
+                let mut all = Vec::new();
+                while let Some(b) = self.input.next_batch()? {
+                    self.meter.trees_in += b.len();
+                    all.extend(b);
+                }
+                let window = self.meter.start(self.store);
+                let (out, shards) = ops::rollup::rollup_sharded(
+                    self.store,
+                    &all,
+                    &self.pattern,
+                    &self.basis,
+                    &self.member_pattern,
+                    self.of,
+                    self.func,
+                    &self.new_tag,
+                    self.shape,
                     &self.opts,
                     self.opts.threads.max(1),
                 )?;

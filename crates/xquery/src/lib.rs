@@ -24,13 +24,17 @@
 //!   renaming, and the final stitch/construct step;
 //! * [`mod@translate`] — the naive parse (Sec. 4.1, "Naive Parsing"),
 //!   producing the join-based plan of Figs. 4, 7, 8;
-//! * [`mod@rewrite`] — Phase 1 (grouping detection via the pattern-tree
-//!   subset test) and Phase 2 (the `GROUPBY` plan of Figs. 5, 9, 10).
+//! * [`opt`] — the rule-based optimizer and its single entry point
+//!   [`opt::optimize`]: the grouping rewrite of Sec. 4.1 (Phase 1
+//!   detection via the pattern-tree subset test, Phase 2 the `GROUPBY`
+//!   plan of Figs. 5, 9, 10, both implemented in [`mod@rewrite`]),
+//!   rollup fusion of grouped aggregates, projection pruning, and
+//!   select→project fusion, applied to a fixpoint with a firing trace.
 //!
 //! # Example
 //!
 //! ```
-//! use xquery::{parse_query, translate, rewrite};
+//! use xquery::{opt, parse_query, translate};
 //!
 //! let q = r#"
 //!     FOR $a IN distinct-values(document("bib.xml")//author)
@@ -43,8 +47,12 @@
 //! "#;
 //! let ast = parse_query(q).unwrap();
 //! let naive = translate(&ast).unwrap();
-//! let (optimized, rewritten) = rewrite(naive);
-//! assert!(rewritten, "Query 1 must be recognized as a grouping query");
+//! let (optimized, trace) = opt::optimize(naive);
+//! assert!(
+//!     trace.fired("groupby-rewrite"),
+//!     "Query 1 must be recognized as a grouping query"
+//! );
+//! # let _ = optimized;
 //! ```
 
 pub mod ast;
@@ -60,5 +68,4 @@ pub use ast::Flwr;
 pub use error::{QueryError, Result};
 pub use parser::parse_query;
 pub use plan::Plan;
-pub use rewrite::rewrite;
 pub use translate::translate;

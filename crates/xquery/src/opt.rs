@@ -14,10 +14,16 @@
 //!    [`crate::rewrite`]. It must run first: detection keys on the
 //!    pristine `StitchConstruct`/`LeftOuterJoinDb` shape the naive
 //!    translation emits.
-//! 2. [`ProjectionPruneRule`] — drops the synthetic `doc_root` pattern
+//! 2. [`RollupFuseRule`] — fuses an `Aggregate` whose only input is a
+//!    `GroupBy` (and whose grouped trees are not otherwise consumed)
+//!    into one streaming [`Plan::Rollup`], skipping group-tree
+//!    materialization entirely. It runs right after the grouping
+//!    rewrite so the `Aggregate`∘`GroupBy` pair it keys on is fused
+//!    before the projection rules restructure the pipeline below it.
+//! 3. [`ProjectionPruneRule`] — drops the synthetic `doc_root` pattern
 //!    root from a `Project`∘`SelectDb` pair when no downstream list
 //!    references it, shrinking every pattern match by one node.
-//! 3. [`SelectProjectFuseRule`] — fuses a `Project` directly over a
+//! 4. [`SelectProjectFuseRule`] — fuses a `Project` directly over a
 //!    `SelectDb` with the *same* pattern into one
 //!    [`Plan::SelectProject`], so a single pattern match serves both
 //!    operators.
@@ -25,8 +31,11 @@
 use crate::plan::Plan;
 use crate::rewrite;
 use std::fmt::Write;
+use tax::ops::aggregate::UpdateSpec;
+use tax::ops::groupby::BasisItem;
 use tax::ops::project::ProjectItem;
-use tax::pattern::{Axis, PatternNodeId, Pred};
+use tax::pattern::{Axis, PatternNodeId, PatternTree, Pred};
+use tax::tags;
 
 /// A plan rewrite rule: inspect one plan node, optionally replace it.
 ///
@@ -90,9 +99,23 @@ const MAX_PASSES: usize = 16;
 const MAX_LOCAL: usize = 8;
 
 impl Optimizer {
-    /// The standard rule set (grouping rewrite, projection pruning,
-    /// select→project fusion), in the order described at module level.
+    /// The standard rule set (grouping rewrite, rollup fusion,
+    /// projection pruning, select→project fusion), in the order
+    /// described at module level.
     pub fn standard() -> Optimizer {
+        Optimizer::with_rules(vec![
+            Box::new(GroupByRewriteRule),
+            Box::new(RollupFuseRule),
+            Box::new(ProjectionPruneRule),
+            Box::new(SelectProjectFuseRule),
+        ])
+    }
+
+    /// The standard set *without* [`RollupFuseRule`]: grouped plans keep
+    /// the materialized `GroupBy → Aggregate` pipeline. This is the
+    /// reference plan the rollup's differential tests and the
+    /// `e2_count_groupby` benchmark key compare against.
+    pub fn materializing() -> Optimizer {
         Optimizer::with_rules(vec![
             Box::new(GroupByRewriteRule),
             Box::new(ProjectionPruneRule),
@@ -220,6 +243,25 @@ fn map_children(plan: Plan, f: &mut impl FnMut(Plan) -> Plan) -> Plan {
             new_tag,
             spec,
         },
+        Plan::Rollup {
+            input,
+            pattern,
+            basis,
+            member_pattern,
+            of,
+            func,
+            new_tag,
+            flat,
+        } => Plan::Rollup {
+            input: Box::new(f(*input)),
+            pattern,
+            basis,
+            member_pattern,
+            of,
+            func,
+            new_tag,
+            flat,
+        },
         Plan::Rename { input, tag } => Plan::Rename {
             input: Box::new(f(*input)),
             tag,
@@ -263,6 +305,206 @@ impl Rule for GroupByRewriteRule {
 
     fn apply(&self, plan: &Plan) -> Option<Plan> {
         rewrite::detect(plan)
+    }
+}
+
+/// Rollup fusion: an `Aggregate` whose only input is a `GroupBy`, with
+/// the grouped trees not otherwise consumed, fuses into one streaming
+/// [`Plan::Rollup`] that never materializes the group trees.
+///
+/// The rule keys on the exact pipeline the grouping rewrite emits —
+/// `Project ∘ Aggregate ∘ GroupBy` with the `Project` as the pair's sole
+/// consumer — and checks everything the substitution's byte-identity
+/// argument needs:
+///
+/// * the consuming projection anchors at tree roots, its pattern root is
+///   exactly `Tag(TAX_group_root)`, and every pattern node carries a
+///   required tag that is **not** `TAX_group_subroot`, reached by a `pc`
+///   edge — so no binding can ever descend into the member subtree,
+///   which is the only part of a group tree the rollup omits;
+/// * the aggregate pattern is the canonical member walk
+///   `TAX_group_root -pc-> TAX_group_subroot -pc-> member …`, its update
+///   spec appends at the group root, and the aggregated label lies
+///   inside the member subtree — so it re-anchors cleanly at the input
+///   trees (inside a group tree, the member label binds exactly the
+///   subroot's member children, i.e. the input trees themselves);
+/// * the `GroupBy` has no ordering list: members then accumulate in
+///   witness arrival order, and the rollup's running folds replay the
+///   materialized kernel's value sequence bit for bit (floating-point
+///   folds are order-sensitive).
+///
+/// Undefined aggregates need no special case: the materialized
+/// `Aggregate` passes such group trees through without the value child
+/// and the projection drops them; the rollup emits the group without the
+/// value child and the same projection drops it too.
+pub struct RollupFuseRule;
+
+impl Rule for RollupFuseRule {
+    fn name(&self) -> &'static str {
+        "rollup-fuse"
+    }
+
+    fn apply(&self, plan: &Plan) -> Option<Plan> {
+        let Plan::Project {
+            input,
+            pattern,
+            pl,
+            anchor_root: true,
+        } = plan
+        else {
+            return None;
+        };
+        let Plan::Aggregate {
+            input: agg_input,
+            pattern: agg_pattern,
+            func,
+            of,
+            new_tag,
+            spec,
+        } = input.as_ref()
+        else {
+            return None;
+        };
+        let Plan::GroupBy {
+            input: gb_input,
+            pattern: gb_pattern,
+            basis,
+            ordering,
+        } = agg_input.as_ref()
+        else {
+            return None;
+        };
+        if !ordering.is_empty() {
+            return None;
+        }
+
+        // The consumer must be provably blind to the member subtree.
+        let proot = pattern.root();
+        if !matches!(&pattern.node(proot).pred, Pred::Tag(t) if t == tags::GROUP_ROOT) {
+            return None;
+        }
+        for (id, node) in pattern.iter() {
+            let tag = node.pred.required_tag()?;
+            if tag == tags::GROUP_SUBROOT {
+                return None;
+            }
+            if id != proot && node.axis != Axis::Child {
+                return None;
+            }
+        }
+
+        // The aggregate must walk root → subroot → member and append its
+        // value at the group root.
+        let aroot = agg_pattern.root();
+        if *spec != UpdateSpec::AfterLastChild(aroot) {
+            return None;
+        }
+        if !matches!(&agg_pattern.node(aroot).pred, Pred::Tag(t) if t == tags::GROUP_ROOT) {
+            return None;
+        }
+        let [subroot] = agg_pattern.node(aroot).children[..] else {
+            return None;
+        };
+        if agg_pattern.node(subroot).axis != Axis::Child
+            || !matches!(&agg_pattern.node(subroot).pred, Pred::Tag(t) if t == tags::GROUP_SUBROOT)
+        {
+            return None;
+        }
+        let [member] = agg_pattern.node(subroot).children[..] else {
+            return None;
+        };
+        if agg_pattern.node(member).axis != Axis::Child {
+            return None;
+        }
+        let (member_pattern, mapping) = agg_pattern.subtree_pattern(member);
+        let of = (*mapping.get(*of)?)?;
+
+        let flat = Self::projection_is_flat_shape(pattern, pl, gb_pattern, basis, new_tag);
+        let rollup = Plan::Rollup {
+            input: gb_input.clone(),
+            pattern: gb_pattern.clone(),
+            basis: basis.clone(),
+            member_pattern,
+            of,
+            func: *func,
+            new_tag: new_tag.clone(),
+            flat,
+        };
+        Some(if flat {
+            rollup
+        } else {
+            Plan::Project {
+                input: Box::new(rollup),
+                pattern: pattern.clone(),
+                pl: pl.clone(),
+                anchor_root: true,
+            }
+        })
+    }
+}
+
+impl RollupFuseRule {
+    /// True when the consuming projection is exactly the canonical
+    /// `root { basis-wrapper { key }, aggregate }` reshape — in which
+    /// case the rollup emits that shape directly ([`Plan::Rollup`]'s
+    /// `flat`) and the `Project` node disappears. Requires all of:
+    ///
+    /// * a single content-valued basis item, so the basis wrapper holds
+    ///   exactly one child: the bound key node, whose subtree the kernel
+    ///   copies verbatim (identical to the projection's deep copy);
+    /// * the pattern is exactly four nodes `root { wrapper { key }, agg }`
+    ///   with bare-`Tag` predicates: the wrapper is `TAX_grouping_basis`,
+    ///   the key tag is the basis node's required tag (every emitted
+    ///   wrapper holds exactly one child with that tag, so the key
+    ///   binding exists and is unique), and the aggregate tag is
+    ///   `new_tag` (bound iff the aggregate is defined — the flat kernel
+    ///   drops undefined groups just as the projection drops trees with
+    ///   no aggregate binding);
+    /// * the projection list is exactly `[shallow(root), deep(key),
+    ///   deep(agg)]` — a fresh shallow group root with the key subtree
+    ///   and value element appended in order, which is the flat tree.
+    fn projection_is_flat_shape(
+        pattern: &PatternTree,
+        pl: &[ProjectItem],
+        gb_pattern: &PatternTree,
+        basis: &[BasisItem],
+        new_tag: &str,
+    ) -> bool {
+        let [item] = basis else { return false };
+        if item.attr.is_some() {
+            return false;
+        }
+        let Some(key_tag) = gb_pattern.node(item.label).pred.required_tag() else {
+            return false;
+        };
+        if pattern.iter().count() != 4 {
+            return false;
+        }
+        let proot = pattern.root();
+        let [wrapper, agg] = pattern.node(proot).children[..] else {
+            return false;
+        };
+        if !matches!(&pattern.node(wrapper).pred, Pred::Tag(t) if t == tags::GROUPING_BASIS) {
+            return false;
+        }
+        if !matches!(&pattern.node(agg).pred, Pred::Tag(t) if t == new_tag)
+            || !pattern.node(agg).children.is_empty()
+        {
+            return false;
+        }
+        let [key] = pattern.node(wrapper).children[..] else {
+            return false;
+        };
+        if !matches!(&pattern.node(key).pred, Pred::Tag(t) if t == key_tag)
+            || !pattern.node(key).children.is_empty()
+        {
+            return false;
+        }
+        *pl == [
+            ProjectItem::shallow(proot),
+            ProjectItem::deep(key),
+            ProjectItem::deep(agg),
+        ]
     }
 }
 
@@ -430,6 +672,84 @@ mod tests {
         assert!(trace.passes < MAX_PASSES, "did not converge");
         let rendered = trace.render();
         assert!(rendered.contains("pass 1: groupby-rewrite"), "{rendered}");
+    }
+
+    const QUERY_COUNT: &str = r#"
+        FOR $a IN distinct-values(document("bib.xml")//author)
+        LET $t := document("bib.xml")//article[author = $a]/title
+        RETURN <authorpubs> {$a} {count($t)} </authorpubs>
+    "#;
+
+    #[test]
+    fn rollup_fuse_fires_on_the_count_pipeline() {
+        let (plan, trace) = optimize(naive(QUERY_COUNT));
+        assert!(trace.fired("groupby-rewrite"), "{:?}", trace.firings);
+        assert!(trace.fired("rollup-fuse"), "{:?}", trace.firings);
+        let text = plan.explain();
+        assert!(text.contains("Rollup Count"), "{text}");
+        assert!(!text.contains("GroupBy"), "{text}");
+        assert!(!text.contains("Aggregate"), "{text}");
+        // Both fire in the first pass, grouping rewrite before fusion.
+        let order: Vec<&str> = trace.firings.iter().map(|f| f.rule).collect();
+        let gb = order.iter().position(|r| *r == "groupby-rewrite").unwrap();
+        let ru = order.iter().position(|r| *r == "rollup-fuse").unwrap();
+        assert!(gb < ru, "{order:?}");
+    }
+
+    #[test]
+    fn rollup_fuse_skips_plans_that_keep_the_group_trees() {
+        // QUERY1 groups without aggregating: its projection extracts the
+        // member titles through TAX_group_subroot, so the group trees
+        // are consumed and fusion must not fire.
+        let (plan, trace) = optimize(naive(QUERY1));
+        assert!(!trace.fired("rollup-fuse"), "{:?}", trace.firings);
+        assert!(plan.explain().contains("GroupBy"));
+    }
+
+    #[test]
+    fn materializing_optimizer_keeps_aggregate_over_groupby() {
+        let (plan, trace) = Optimizer::materializing().optimize(naive(QUERY_COUNT));
+        assert!(trace.fired("groupby-rewrite"));
+        assert!(!trace.fired("rollup-fuse"));
+        let text = plan.explain();
+        assert!(text.contains("Aggregate Count"), "{text}");
+        assert!(text.contains("GroupBy"), "{text}");
+    }
+
+    #[test]
+    fn rollup_fuse_refuses_an_ordered_groupby() {
+        // Inject an ordering list into the fused pair's GroupBy: the
+        // rollup's running floating-point folds are only bit-identical
+        // in witness arrival order, so the rule must back off.
+        let naive_plan = naive(QUERY_COUNT);
+        let (plan, _) =
+            Optimizer::with_rules(vec![Box::new(GroupByRewriteRule)]).optimize(naive_plan);
+        fn add_ordering(plan: Plan) -> Plan {
+            if let Plan::GroupBy {
+                input,
+                pattern,
+                basis,
+                ..
+            } = plan
+            {
+                let label = basis[0].label;
+                return Plan::GroupBy {
+                    input,
+                    pattern,
+                    basis,
+                    ordering: vec![tax::ops::groupby::GroupOrder {
+                        label,
+                        direction: tax::ops::groupby::Direction::Ascending,
+                    }],
+                };
+            }
+            map_children(plan, &mut add_ordering)
+        }
+        let ordered = add_ordering(plan);
+        let (fused, trace) =
+            Optimizer::with_rules(vec![Box::new(RollupFuseRule)]).optimize(ordered);
+        assert!(!trace.fired("rollup-fuse"), "{:?}", trace.firings);
+        assert!(fused.explain().contains("GroupBy"));
     }
 
     #[test]

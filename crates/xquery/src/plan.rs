@@ -100,6 +100,36 @@ pub enum Plan {
         /// Where to insert it.
         spec: UpdateSpec,
     },
+    /// Fused grouped aggregation (the `rollup-fuse` rewrite of
+    /// `Aggregate` over `GroupBy`): hash-accumulate per-basis-key
+    /// aggregate state directly from the input scan, never building the
+    /// grouped member trees. Emits `TAX_group_root { TAX_grouping_basis
+    /// {…}, <new_tag>value</new_tag> }` per group in first-witness
+    /// order — byte-identical to the materialized pair for any consumer
+    /// that never binds `TAX_group_subroot`.
+    Rollup {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping pattern (as in `GroupBy`).
+        pattern: PatternTree,
+        /// Grouping basis.
+        basis: Vec<BasisItem>,
+        /// The member-side aggregate pattern, re-anchored at the input
+        /// trees (the `Aggregate` pattern's subtree below the member).
+        member_pattern: PatternTree,
+        /// Label in `member_pattern` whose contents are aggregated.
+        of: PatternNodeId,
+        /// Aggregate function.
+        func: AggFunc,
+        /// Name of the element carrying the computed value.
+        new_tag: String,
+        /// Flat output shape: the rollup also absorbed the downstream
+        /// projection, emitting `TAX_group_root { <key>, <new_tag>v
+        /// </new_tag> }` with no basis wrapper and dropping groups whose
+        /// aggregate is undefined (the projection would have dropped
+        /// them via the unbound optional aggregate child).
+        flat: bool,
+    },
     /// Root renaming.
     Rename {
         /// Input plan.
@@ -261,6 +291,35 @@ impl Plan {
                 let _ = writeln!(out, "{pad}Aggregate {func:?}(${}) as <{new_tag}>", of + 1);
                 input.explain_into(out, depth + 1);
             }
+            Plan::Rollup {
+                input,
+                pattern,
+                basis,
+                member_pattern,
+                of,
+                func,
+                new_tag,
+                flat,
+            } => {
+                let bs: Vec<String> = basis
+                    .iter()
+                    .map(|b| match &b.attr {
+                        Some(a) => format!("${}.{a}", b.label + 1),
+                        None => {
+                            format!("${}{}.content", b.label + 1, if b.deep { "*" } else { "" })
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}Rollup {func:?}(member ${}) as <{new_tag}>{} pattern={} basis={bs:?} member={}",
+                    of + 1,
+                    if *flat { " flat" } else { "" },
+                    pattern_summary(pattern),
+                    pattern_summary(member_pattern)
+                );
+                input.explain_into(out, depth + 1);
+            }
             Plan::Rename { input, tag } => {
                 let _ = writeln!(out, "{pad}Rename to <{tag}>");
                 input.explain_into(out, depth + 1);
@@ -304,7 +363,7 @@ impl Plan {
     /// Does the plan (recursively) contain a `GroupBy` node?
     pub fn uses_groupby(&self) -> bool {
         match self {
-            Plan::GroupBy { .. } => true,
+            Plan::GroupBy { .. } | Plan::Rollup { .. } => true,
             Plan::SelectDb { .. } | Plan::SelectProject { .. } => false,
             Plan::Project { input, .. }
             | Plan::DupElim { input, .. }
@@ -326,7 +385,7 @@ impl Plan {
             | Plan::DupElim { input, .. }
             | Plan::Aggregate { input, .. }
             | Plan::Rename { input, .. } => input.uses_join(),
-            Plan::GroupBy { input, .. } => input.uses_join(),
+            Plan::GroupBy { input, .. } | Plan::Rollup { input, .. } => input.uses_join(),
             Plan::StitchConstruct { outer, inner, .. } => {
                 outer.uses_join() || inner.as_ref().map(|i| i.uses_join()).unwrap_or(false)
             }

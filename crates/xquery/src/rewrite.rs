@@ -29,9 +29,15 @@ use tax::pattern::{Axis, PatternNodeId, PatternTree, Pred};
 /// Try to rewrite a naive plan into a `GROUPBY` plan. Returns the plan
 /// (rewritten or original) and whether the rewrite fired.
 ///
-/// This is the single-rule entry point kept for compatibility; the full
-/// optimizer (grouping rewrite plus projection pruning and
-/// select→project fusion) lives in [`crate::opt`].
+/// Deprecated: the optimizer has a single entry point now. Use
+/// [`crate::opt::optimize`] for the full rule set, or
+/// `Optimizer::with_rules(vec![Box::new(GroupByRewriteRule)])` to run
+/// only the grouping rewrite; `trace.fired("groupby-rewrite")` replaces
+/// the boolean.
+#[deprecated(
+    since = "0.1.0",
+    note = "use xquery::opt::optimize (check trace.fired(\"groupby-rewrite\")) instead"
+)]
 pub fn rewrite(plan: Plan) -> (Plan, bool) {
     use crate::opt::{GroupByRewriteRule, Optimizer, Rule};
     let (plan, trace) = Optimizer::with_rules(vec![Box::new(GroupByRewriteRule)]).optimize(plan);
@@ -365,6 +371,10 @@ fn lca(pattern: &PatternTree, a: PatternNodeId, b: PatternNodeId) -> Option<Patt
 
 #[cfg(test)]
 mod tests {
+    // The tests exercise the deprecated single-rule entry point on
+    // purpose: it must keep working until it is removed.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::{parse_query, translate};
 

@@ -53,13 +53,12 @@ StitchConstruct <authorpubs> key: outer.$2 = inner.$3 extract=[\"$6*\"] agg=Coun
 
 == optimized plan ==
 Rename to <authorpubs>
-  Project pattern=[$1:TAX_group_root, $1-pc->$2:TAX_grouping_basis, $2-pc->$3:author, $1-pc->$4:count] PL=[\"$1\", \"$3*\", \"$4*\"] anchor_root=true
-    Aggregate Count($4) as <count>
-      GroupBy pattern=[$1:article, $1-pc->$2:author] basis=[\"$2.content\"] ordering=[]
-        SelectProject pattern=[$1:article] SL=[\"$1\"] PL=[\"$1*\"]
+  Rollup Count(member $2) as <count> flat pattern=[$1:article, $1-pc->$2:author] basis=[\"$2.content\"] member=[$1:article, $1-pc->$2:title]
+    SelectProject pattern=[$1:article] SL=[\"$1\"] PL=[\"$1*\"]
 
 == rewrite trace ==
 pass 1: groupby-rewrite
+pass 1: rollup-fuse
 pass 1: projection-prune
 pass 1: select-project-fuse
 ";
@@ -111,4 +110,30 @@ fn explain_analyze_structural_snapshot() {
     }
     assert!(text.trim_end().ends_with("disk reads"), "{text}");
     assert!(text.contains("3 trees in "), "{text}");
+}
+
+#[test]
+fn explain_analyze_rollup_operator_line() {
+    // The fused count plan runs a Rollup blocking sink; its metrics line
+    // must report trees in (articles scanned), groups out, and the
+    // shard statistics, like the other sinks.
+    let mut db = fig6_db();
+    db.set_threads(4);
+    let a = db
+        .explain_analyze(QUERY_COUNT, PlanMode::GroupByRewrite)
+        .unwrap();
+    let text = a.render();
+    assert!(text.contains("pass 1: rollup-fuse"), "{text}");
+    let rollup_line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("Rollup Count") && l.contains(" | in="))
+        .unwrap_or_else(|| panic!("no Rollup metrics line in:\n{text}"));
+    // Figure 6: 3 articles in, 3 author groups out.
+    assert!(rollup_line.contains("in=3"), "{rollup_line}");
+    assert!(rollup_line.contains("out=3"), "{rollup_line}");
+    assert!(rollup_line.contains("parts="), "{rollup_line}");
+    assert!(rollup_line.contains("skew="), "{rollup_line}");
+    // No GroupBy or Aggregate operator executed.
+    assert!(!text.contains("\n  GroupBy"), "{text}");
+    assert!(!text.contains("Aggregate Count"), "{text}");
 }

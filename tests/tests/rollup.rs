@@ -1,0 +1,312 @@
+//! Differential suite for the fused rollup path: under
+//! `PlanMode::GroupByRewrite` grouped aggregates run the streaming
+//! `Rollup` kernel, and its serialized output must be byte-identical to
+//! the materialized `GroupBy → Aggregate` pipeline
+//! (`PlanMode::GroupByMaterialized`) and to the direct plan — for every
+//! aggregate function, across thread counts and batch sizes (CI sweeps
+//! `{threads 1,4} × {batch 16,256}` via `TIMBER_TEST_THREADS` /
+//! `TIMBER_TEST_BATCH`), on random multi-author bibliographies, for
+//! fractional Avg/Sum values, and under seeded fault schedules
+//! (correct-or-typed-error).
+
+use datagen::{DblpConfig, DblpGenerator};
+use smallrand::prop::{check, Gen};
+use timber::{ExecMode, PlanMode, TimberDb};
+use timber_integration_tests::{batch_matrix, fig6_db, thread_matrix, QUERY_COUNT};
+use xmlstore::{FaultConfig, StoreOptions};
+
+/// A per-author aggregate query over the articles' `<year>` values.
+fn agg_query(func: &str) -> String {
+    format!(
+        r#"
+        FOR $a IN distinct-values(document("bib.xml")//author)
+        LET $y := document("bib.xml")//article[author = $a]/year
+        RETURN <authorpubs> {{$a}} {{{func}($y)}} </authorpubs>
+    "#
+    )
+}
+
+/// Every aggregate the rollup kernel accumulates.
+const FUNCS: [&str; 5] = ["count", "sum", "min", "max", "avg"];
+
+fn corpus() -> Vec<String> {
+    let mut qs = vec![QUERY_COUNT.to_owned()];
+    qs.extend(FUNCS.iter().map(|f| agg_query(f)));
+    qs
+}
+
+fn run(db: &mut TimberDb, query: &str, mode: PlanMode, exec: ExecMode, batch: usize) -> String {
+    db.set_exec_mode(exec);
+    db.set_batch_size(batch);
+    let r = db.query(query, mode).expect("query evaluates");
+    r.to_xml_on(db.store()).expect("result serializes")
+}
+
+#[test]
+fn every_corpus_aggregate_fuses_to_a_rollup() {
+    let db = fig6_db();
+    for query in corpus() {
+        let (plan, _, trace) = db.compile_traced(&query, PlanMode::GroupByRewrite).unwrap();
+        assert!(trace.fired("rollup-fuse"), "{query}: {}", trace.render());
+        let text = plan.explain();
+        assert!(text.contains("Rollup"), "{text}");
+        assert!(!text.contains("GroupBy"), "{text}");
+        // The materialized mode keeps the unfused pair.
+        let (plan, _, trace) = db
+            .compile_traced(&query, PlanMode::GroupByMaterialized)
+            .unwrap();
+        assert!(!trace.fired("rollup-fuse"), "{query}");
+        assert!(plan.explain().contains("GroupBy"), "{}", plan.explain());
+    }
+}
+
+/// Every article carries the `<year>` the LET path selects, so the
+/// direct (outer-join) plan and both grouped plans agree; Alpha's two
+/// authors exercise the multi-valued grouping basis.
+const YEARS_DB: &str = "<bib>\
+    <article><author>Jack</author><title>Zeta</title><year>2001</year></article>\
+    <article><author>Jack</author><author>Jill</author><title>Alpha</title><year>1999</year></article>\
+    <article><author>Jack</author><title>Midway</title><year>1995</year></article>\
+    <article><author>Jill</author><title>Beta</title><year>2002</year></article>\
+    <article><author>John</author><title>Gamma</title><year>1984</year></article>\
+</bib>";
+
+#[test]
+fn rollup_matches_materialized_across_threads_and_batches() {
+    let mut db = TimberDb::load_xml(YEARS_DB, &StoreOptions::in_memory()).unwrap();
+    for threads in thread_matrix(&[1, 4]) {
+        db.set_threads(threads);
+        for query in corpus() {
+            let reference = run(
+                &mut db,
+                &query,
+                PlanMode::GroupByMaterialized,
+                ExecMode::Physical,
+                256,
+            );
+            let direct = run(&mut db, &query, PlanMode::Direct, ExecMode::Physical, 256);
+            assert_eq!(reference, direct, "threads={threads} query: {query}");
+            for batch in batch_matrix(&[16, 256]) {
+                let rollup = run(
+                    &mut db,
+                    &query,
+                    PlanMode::GroupByRewrite,
+                    ExecMode::Physical,
+                    batch,
+                );
+                assert_eq!(
+                    reference, rollup,
+                    "threads={threads} batch={batch} query: {query}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn legacy_interpreter_agrees_with_physical_rollup() {
+    let mut db = fig6_db();
+    for query in corpus() {
+        let legacy = run(
+            &mut db,
+            &query,
+            PlanMode::GroupByRewrite,
+            ExecMode::Legacy,
+            256,
+        );
+        for batch in batch_matrix(&[1, 3, 256]) {
+            let phys = run(
+                &mut db,
+                &query,
+                PlanMode::GroupByRewrite,
+                ExecMode::Physical,
+                batch,
+            );
+            assert_eq!(legacy, phys, "batch={batch} query: {query}");
+        }
+    }
+}
+
+#[test]
+fn avg_keeps_its_fraction_formatting_through_the_rollup() {
+    // Jack's years 2001/1999/1995 average to a repeating fraction; the
+    // rollup's sum+count accumulator must render it exactly as the
+    // materialized kernel's compute() does.
+    let xml = "<bib>\
+        <article><author>Jack</author><title>Zeta</title><year>2001</year></article>\
+        <article><author>Jack</author><title>Alpha</title><year>1999</year></article>\
+        <article><author>Jack</author><title>Midway</title><year>1995</year></article>\
+        <article><author>Jill</author><title>Beta</title><year>2002</year></article>\
+    </bib>";
+    let db = TimberDb::load_xml(xml, &StoreOptions::in_memory()).unwrap();
+    let q = agg_query("avg");
+    let rollup = db.query(&q, PlanMode::GroupByRewrite).unwrap();
+    let materialized = db.query(&q, PlanMode::GroupByMaterialized).unwrap();
+    let rx = rollup.to_xml_on(db.store()).unwrap();
+    assert_eq!(rx, materialized.to_xml_on(db.store()).unwrap());
+    assert!(rx.contains("<avg>1998.3333333333333</avg>"), "{rx}");
+    // Whole-number averages render as integers (2002, not 2002.0).
+    assert!(rx.contains("<avg>2002</avg>"), "{rx}");
+}
+
+#[test]
+fn fractional_values_fold_identically() {
+    // Fractional years force real floating-point accumulation: the
+    // running Sum/Avg folds must replay the materialized kernel's value
+    // order bit for bit, at every thread count.
+    let xml = "<bib>\
+        <article><author>Jack</author><title>A</title><year>0.1</year></article>\
+        <article><author>Jack</author><title>B</title><year>0.2</year></article>\
+        <article><author>Jack</author><author>Jill</author><title>C</title><year>0.30000000000000004</year></article>\
+        <article><author>Jill</author><title>D</title><year>12.5</year></article>\
+        <article><author>Jill</author><title>E</title><year>not-a-number</year></article>\
+    </bib>";
+    let mut db = TimberDb::load_xml(xml, &StoreOptions::in_memory()).unwrap();
+    for threads in thread_matrix(&[1, 4]) {
+        db.set_threads(threads);
+        for func in ["sum", "avg", "min", "max"] {
+            let q = agg_query(func);
+            let reference = run(
+                &mut db,
+                &q,
+                PlanMode::GroupByMaterialized,
+                ExecMode::Physical,
+                256,
+            );
+            let rollup = run(
+                &mut db,
+                &q,
+                PlanMode::GroupByRewrite,
+                ExecMode::Physical,
+                16,
+            );
+            assert_eq!(reference, rollup, "threads={threads} func={func}");
+        }
+    }
+}
+
+/// Random multi-author bibliographies: the multi-valued grouping basis
+/// (an article with k authors contributes to k accumulators) and group
+/// sizes vary per case.
+fn bibliography(g: &mut Gen) -> String {
+    const POOL: [&str; 5] = ["Jack", "Jill", "John", "Jane", "Joan"];
+    let articles = g.usize_in(0, 11);
+    let mut s = String::from("<bib>");
+    for n in 0..articles {
+        s.push_str("<article>");
+        let k = g.usize_in(1, 3);
+        let mut picked = Vec::new();
+        while picked.len() < k {
+            let i = g.usize_in(0, POOL.len() - 1);
+            if !picked.contains(&i) {
+                picked.push(i);
+            }
+        }
+        picked.sort_unstable();
+        for &i in &picked {
+            s.push_str(&format!("<author>{}</author>", POOL[i]));
+        }
+        s.push_str(&format!("<title>Title {n}</title>"));
+        s.push_str(&format!(
+            "<year>{}.{}</year>",
+            1970 + g.usize_in(0, 32),
+            g.usize_in(0, 99)
+        ));
+        s.push_str("</article>");
+    }
+    s.push_str("</bib>");
+    s
+}
+
+#[test]
+fn rollup_matches_materialized_on_random_bibliographies() {
+    check(
+        "rollup_matches_materialized_on_random_bibliographies",
+        24,
+        |g| {
+            let xml = bibliography(g);
+            let mut db = TimberDb::load_xml(&xml, &StoreOptions::in_memory()).unwrap();
+            db.set_threads([1, 4][g.usize_in(0, 1)]);
+            let batch = [1, 16, 256][g.usize_in(0, 2)];
+            for query in corpus() {
+                let reference = run(
+                    &mut db,
+                    &query,
+                    PlanMode::GroupByMaterialized,
+                    ExecMode::Physical,
+                    256,
+                );
+                let rollup = run(
+                    &mut db,
+                    &query,
+                    PlanMode::GroupByRewrite,
+                    ExecMode::Physical,
+                    batch,
+                );
+                assert_eq!(reference, rollup, "batch={batch} on {xml}");
+            }
+        },
+    );
+}
+
+fn fault_seeds() -> Vec<u64> {
+    match std::env::var("CRASH_SEEDS") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => vec![1, 2, 3],
+    }
+}
+
+#[test]
+fn rollup_under_fault_schedules_is_correct_or_typed_error() {
+    // On-disk database with a tiny pool so the rollup scan does real
+    // physical I/O the schedules can hit. Contract: the byte-identical
+    // fault-free answer, or a clean typed error — never a panic, never
+    // a silently wrong aggregate.
+    let xml = DblpGenerator::new(DblpConfig::sized(80)).generate_xml();
+    let opts = StoreOptions {
+        on_disk: true,
+        pool_pages: 2,
+        ..StoreOptions::in_memory()
+    };
+    let db = TimberDb::load_xml(&xml, &opts).unwrap();
+    let queries: Vec<String> = vec![QUERY_COUNT.to_owned(), agg_query("avg")];
+    let reference: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let r = db.query(q, PlanMode::GroupByRewrite).unwrap();
+            r.to_xml_on(db.store()).unwrap()
+        })
+        .collect();
+    let mut injected = 0u64;
+    for seed in fault_seeds() {
+        for schedule in [
+            FaultConfig::seeded(seed).with_read_error(0.02),
+            FaultConfig::seeded(seed).with_read_flip(0.02),
+        ] {
+            db.set_faults(Some(schedule)).unwrap();
+            for (qi, q) in queries.iter().enumerate() {
+                match db.query(q, PlanMode::GroupByRewrite) {
+                    Ok(result) => match result.to_xml_on(db.store()) {
+                        Ok(out) => {
+                            assert_eq!(out, reference[qi], "seed={seed}: silent corruption")
+                        }
+                        Err(e) => {
+                            let _ = e.to_string();
+                        }
+                    },
+                    Err(e) => {
+                        let _ = e.to_string();
+                    }
+                }
+            }
+            injected += db.fault_stats().unwrap().total();
+            db.set_faults(None).unwrap();
+        }
+    }
+    assert!(injected > 0, "schedules must actually inject faults");
+    // Disarmed, the store answers perfectly again.
+    for (qi, q) in queries.iter().enumerate() {
+        let r = db.query(q, PlanMode::GroupByRewrite).unwrap();
+        assert_eq!(r.to_xml_on(db.store()).unwrap(), reference[qi]);
+    }
+}
