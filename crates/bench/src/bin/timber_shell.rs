@@ -11,6 +11,8 @@
 //! .gen <articles>      load a synthetic DBLP of the given size
 //! .mode direct|groupby|materialized|auto|both
 //! .exec physical|legacy
+//! .cube                run the X14 lattice query (journal → year →
+//!                      author cube) under the current settings
 //! .batch <n>           physical executor batch size
 //! .threads <n>         worker threads for operator evaluation
 //! .explain             show plans instead of executing (toggle)
@@ -30,6 +32,7 @@ use xmlstore::StoreOptions;
 struct Shell {
     db: Option<TimberDb>,
     mode: Mode,
+    exec: ExecMode,
     explain: Explain,
     threads: usize,
 }
@@ -47,6 +50,58 @@ enum Mode {
     Both,
 }
 
+/// Accepted `.mode` arguments, echoed by the unknown-argument report.
+const MODE_VALUES: &str = "direct|groupby|materialized|auto|both";
+
+impl Mode {
+    fn parse(arg: &str) -> Option<Mode> {
+        match arg {
+            "direct" => Some(Mode::Direct),
+            "groupby" => Some(Mode::GroupBy),
+            "materialized" => Some(Mode::Materialized),
+            "auto" => Some(Mode::Auto),
+            "both" => Some(Mode::Both),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Direct => "direct",
+            Mode::GroupBy => "groupby",
+            Mode::Materialized => "materialized",
+            Mode::Auto => "auto",
+            Mode::Both => "both",
+        }
+    }
+}
+
+/// Accepted `.exec` arguments.
+const EXEC_VALUES: &str = "physical|legacy";
+
+fn parse_exec(arg: &str) -> Option<ExecMode> {
+    match arg {
+        "physical" => Some(ExecMode::Physical),
+        "legacy" => Some(ExecMode::Legacy),
+        _ => None,
+    }
+}
+
+fn exec_name(exec: ExecMode) -> &'static str {
+    match exec {
+        ExecMode::Physical => "physical",
+        ExecMode::Legacy => "legacy",
+    }
+}
+
+/// The one unknown-argument report every settings command prints: which
+/// command rejected what, the values it accepts, and the setting that
+/// stays in force — so a typo never silently changes (or appears to
+/// change) the session state.
+fn bad_setting(cmd: &str, arg: &str, expected: &str, retained: &str) -> String {
+    format!("{cmd}: unknown argument '{arg}' (expected {expected}); keeping {retained}")
+}
+
 #[derive(Clone, Copy, PartialEq)]
 enum Explain {
     Off,
@@ -58,6 +113,7 @@ fn main() {
     let mut shell = Shell {
         db: None,
         mode: Mode::GroupBy,
+        exec: ExecMode::Physical,
         explain: Explain::Off,
         threads: 1,
     };
@@ -114,9 +170,9 @@ impl Shell {
             ".quit" | ".exit" => return false,
             ".help" => {
                 println!(
-                    ".load <file.xml> | .gen <articles> | .mode direct|groupby|materialized|auto|both\n\
-                     .exec physical|legacy | .batch <n> | .threads <n>\n\
-                     .explain (toggle) | .explain analyze | .explain off\n\
+                    ".load <file.xml> | .gen <articles> | .mode {MODE_VALUES}\n\
+                     .exec {EXEC_VALUES} | .batch <n> | .threads <n>\n\
+                     .cube (run the X14 lattice query) | .explain (toggle) | .explain analyze | .explain off\n\
                      .faults <spec|off> | .stats | .quit\n\
                      end a query with ';' to run it"
                 );
@@ -129,6 +185,7 @@ impl Shell {
                     match TimberDb::load_xml(&xml, &StoreOptions::default()) {
                         Ok(mut db) => {
                             db.set_threads(self.threads);
+                            db.set_exec_mode(self.exec);
                             println!(
                                 "generated {n} articles: {} nodes, {:.1} MB",
                                 db.store().node_count(),
@@ -141,33 +198,45 @@ impl Shell {
                 }
                 Err(_) => eprintln!(".gen needs an article count"),
             },
-            ".mode" => {
-                self.mode = match arg {
-                    "direct" => Mode::Direct,
-                    "groupby" => Mode::GroupBy,
-                    "materialized" => Mode::Materialized,
-                    "auto" => Mode::Auto,
-                    "both" => Mode::Both,
-                    _ => {
-                        eprintln!("mode must be direct, groupby, materialized, auto, or both");
-                        self.mode
-                    }
+            ".mode" => match Mode::parse(arg) {
+                Some(m) => {
+                    self.mode = m;
+                    println!("mode {}", m.name());
                 }
-            }
-            ".exec" => match arg {
-                "physical" | "legacy" => {
-                    let mode = if arg == "legacy" {
-                        ExecMode::Legacy
-                    } else {
-                        ExecMode::Physical
-                    };
-                    if let Some(db) = &mut self.db {
-                        db.set_exec_mode(mode);
-                    }
-                    println!("executor: {arg}");
-                }
-                _ => eprintln!("exec must be physical or legacy"),
+                None => eprintln!(
+                    "{}",
+                    bad_setting(
+                        ".mode",
+                        arg,
+                        MODE_VALUES,
+                        &format!("mode {}", self.mode.name())
+                    )
+                ),
             },
+            ".exec" => match parse_exec(arg) {
+                Some(exec) => {
+                    // Remember the choice even with no database loaded;
+                    // `.load`/`.gen` apply it to the new database.
+                    self.exec = exec;
+                    if let Some(db) = &mut self.db {
+                        db.set_exec_mode(exec);
+                    }
+                    println!("executor {}", exec_name(exec));
+                }
+                None => eprintln!(
+                    "{}",
+                    bad_setting(
+                        ".exec",
+                        arg,
+                        EXEC_VALUES,
+                        &format!("executor {}", exec_name(self.exec))
+                    )
+                ),
+            },
+            ".cube" => {
+                println!("-- X14 lattice query: CUBE BY journal, year, author --");
+                self.run_query(timber_bench::QUERY_CUBE.trim());
+            }
             ".batch" => match arg.parse::<usize>() {
                 Ok(n) => {
                     if let Some(db) = &mut self.db {
@@ -267,6 +336,7 @@ impl Shell {
             Ok(xml) => match TimberDb::load_xml(&xml, &StoreOptions::default()) {
                 Ok(mut db) => {
                     db.set_threads(self.threads);
+                    db.set_exec_mode(self.exec);
                     println!(
                         "loaded {path}: {} nodes, {} pages",
                         db.store().node_count(),
@@ -339,6 +409,96 @@ impl Shell {
                     }
                 },
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shell() -> Shell {
+        Shell {
+            db: None,
+            mode: Mode::GroupBy,
+            exec: ExecMode::Physical,
+            explain: Explain::Off,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn unknown_mode_argument_keeps_the_setting_and_reports_it() {
+        let mut sh = shell();
+        assert!(sh.command(".mode warp"), "shell keeps running");
+        assert!(sh.mode == Mode::GroupBy, "typo must not change the mode");
+        assert_eq!(
+            bad_setting(".mode", "warp", MODE_VALUES, "mode groupby"),
+            ".mode: unknown argument 'warp' (expected \
+             direct|groupby|materialized|auto|both); keeping mode groupby"
+        );
+        // A valid argument still switches.
+        assert!(sh.command(".mode materialized"));
+        assert!(sh.mode == Mode::Materialized);
+    }
+
+    #[test]
+    fn unknown_exec_argument_keeps_the_setting_and_reports_it() {
+        let mut sh = shell();
+        assert!(sh.command(".exec quantum"));
+        assert_eq!(
+            sh.exec,
+            ExecMode::Physical,
+            "typo must not change the executor"
+        );
+        assert_eq!(
+            bad_setting(".exec", "quantum", EXEC_VALUES, "executor physical"),
+            ".exec: unknown argument 'quantum' (expected physical|legacy); \
+             keeping executor physical"
+        );
+        // The choice survives without a database and is echoed verbatim.
+        assert!(sh.command(".exec legacy"));
+        assert_eq!(sh.exec, ExecMode::Legacy);
+        assert!(sh.command(".exec nope"));
+        assert_eq!(
+            sh.exec,
+            ExecMode::Legacy,
+            "error keeps the *current* setting"
+        );
+    }
+
+    #[test]
+    fn both_arms_share_one_error_shape() {
+        // The unified report always names the command, quotes the
+        // argument, lists the accepted values, and echoes the retained
+        // setting — the format both `.mode` and `.exec` arms print.
+        for (cmd, arg, expected, retained) in [
+            (".mode", "x", MODE_VALUES, "mode auto"),
+            (".exec", "x", EXEC_VALUES, "executor legacy"),
+        ] {
+            let msg = bad_setting(cmd, arg, expected, retained);
+            assert!(
+                msg.starts_with(&format!("{cmd}: unknown argument 'x'")),
+                "{msg}"
+            );
+            assert!(msg.contains(expected), "{msg}");
+            assert!(msg.ends_with(&format!("keeping {retained}")), "{msg}");
+        }
+    }
+
+    #[test]
+    fn mode_names_round_trip_through_parse() {
+        for m in [
+            Mode::Direct,
+            Mode::GroupBy,
+            Mode::Materialized,
+            Mode::Auto,
+            Mode::Both,
+        ] {
+            assert!(Mode::parse(m.name()) == Some(m));
+        }
+        for e in [ExecMode::Physical, ExecMode::Legacy] {
+            assert_eq!(parse_exec(exec_name(e)), Some(e));
         }
     }
 }

@@ -44,6 +44,16 @@ pub const QUERY_COUNT: &str = r#"
     RETURN <authorpubs> {$a} {count($t)} </authorpubs>
 "#;
 
+/// The XOLAP lattice query (X14): all prefix levels of
+/// journal → year → author computed by one `Plan::Cube` scan under the
+/// grouping rewrite, or as the composed per-level rollup union under the
+/// materialized mode.
+pub const QUERY_CUBE: &str = r#"
+    FOR $b IN document("bib.xml")//article
+    CUBE BY $b/journal, $b/year, $b/author
+    RETURN <pubs> {count($b/title)} </pubs>
+"#;
+
 /// Paper-reported seconds for E1/E2 (direct, groupby).
 pub const PAPER_E1: (f64, f64) = (323.966, 178.607);
 /// Paper-reported seconds for E2.
@@ -137,6 +147,20 @@ pub fn calibrate() -> f64 {
         best = best.min(t0.elapsed().as_secs_f64());
     }
     best
+}
+
+/// Convert measured wall-clock `seconds` into calibration units for the
+/// quantum measured on the same host in the same run.
+///
+/// This is the gate's whole portability argument in one line: a host
+/// that is uniformly 2× slower doubles both the numerator (the measured
+/// query seconds) and the denominator (its own freshly measured
+/// [`calibrate`] quantum), so the units — and therefore the
+/// [`BenchReport::regressions`] comparison against a baseline written on
+/// a different machine — are unchanged. Only a genuine slowdown of the
+/// *workload relative to the host* moves the number.
+pub fn units(seconds: f64, calibration_secs: f64) -> f64 {
+    seconds / calibration_secs.max(1e-12)
 }
 
 /// A machine-portable benchmark report: named measurements in
@@ -330,6 +354,41 @@ mod tests {
         assert!(viol.iter().any(|v| v.starts_with("b:")), "{viol:?}");
         assert!(viol.iter().any(|v| v.starts_with("c:")), "{viol:?}");
         assert!(now.regressions(&now.clone(), 25.0).is_empty());
+    }
+
+    #[test]
+    fn gate_units_are_host_portable() {
+        // The committed baseline was written on host A (quantum 0.04 s).
+        let base = BenchReport {
+            calibration_secs: 0.04,
+            articles: 1500,
+            entries: vec![("e2".into(), units(0.48, 0.04))], // 12 units
+        };
+        // Host B is uniformly 2× slower: the query takes twice the wall
+        // time, but so does the freshly measured quantum — identical
+        // units, so the gate must not fire.
+        let slower_host = BenchReport {
+            calibration_secs: 0.08,
+            articles: 1500,
+            entries: vec![("e2".into(), units(0.96, 0.08))],
+        };
+        assert_eq!(slower_host.get("e2"), base.get("e2"));
+        assert!(slower_host.regressions(&base, 25.0).is_empty());
+        // A genuine 2× workload slowdown on the *same* host doubles the
+        // units and fails the 25 % bar; an unchanged 1.0× run passes.
+        let regressed = BenchReport {
+            calibration_secs: 0.04,
+            articles: 1500,
+            entries: vec![("e2".into(), units(0.96, 0.04))], // 24 units
+        };
+        let viol = regressed.regressions(&base, 25.0);
+        assert_eq!(viol.len(), 1, "{viol:?}");
+        let same = BenchReport {
+            calibration_secs: 0.04,
+            articles: 1500,
+            entries: vec![("e2".into(), units(0.48, 0.04))],
+        };
+        assert!(same.regressions(&base, 25.0).is_empty());
     }
 
     #[test]

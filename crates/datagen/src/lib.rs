@@ -39,6 +39,13 @@ pub struct DblpConfig {
     pub max_authors: usize,
     /// Attach an `institution` child to each author element.
     pub institutions: bool,
+    /// Ragged hierarchies: each author's name sits at a varying depth
+    /// below `<author>` — bare text, wrapped in `<name>`, or nested
+    /// `<name><full>…</full></name>` — chosen per element. Exercises
+    /// grouping bases whose key node is not uniformly shaped (the XOLAP
+    /// lattice's "complex hierarchy" case). Ignored when `institutions`
+    /// is set.
+    pub ragged_authors: bool,
     /// Size of the institution pool.
     pub institution_pool: usize,
     /// RNG seed — equal configs generate byte-identical documents.
@@ -53,6 +60,7 @@ impl Default for DblpConfig {
             zipf_exponent: 0.9,
             max_authors: 5,
             institutions: false,
+            ragged_authors: false,
             institution_pool: 40,
             seed: 20020324, // EDBT 2002
         }
@@ -73,6 +81,12 @@ impl DblpConfig {
     /// Enable institutions.
     pub fn with_institutions(mut self) -> Self {
         self.institutions = true;
+        self
+    }
+
+    /// Enable ragged author hierarchies (varying name depth).
+    pub fn with_ragged_authors(mut self) -> Self {
+        self.ragged_authors = true;
         self
     }
 
@@ -287,6 +301,19 @@ impl DblpGenerator {
                     "<name>{}</name><institution>{}</institution>",
                     self.author_names[a], self.institution_names[self.author_institutions[a]]
                 );
+            } else if self.cfg.ragged_authors {
+                // Same name pool, but the name lands at depth 0, 1, or 2
+                // below <author> — picked per element, so one author's
+                // occurrences differ in shape across articles.
+                match self.rng.random_range(0..4u32) {
+                    0 => {
+                        let _ = write!(out, "<name>{}</name>", self.author_names[a]);
+                    }
+                    1 => {
+                        let _ = write!(out, "<name><full>{}</full></name>", self.author_names[a]);
+                    }
+                    _ => out.push_str(&self.author_names[a]),
+                }
             } else {
                 out.push_str(&self.author_names[a]);
             }
@@ -398,6 +425,32 @@ mod tests {
         let author = article.child("author").unwrap();
         assert!(author.child("name").is_some());
         assert!(author.child("institution").is_some());
+    }
+
+    #[test]
+    fn ragged_authors_vary_in_depth() {
+        let doc = generate_document(DblpConfig::sized(200).with_ragged_authors());
+        let (mut bare, mut nested, mut deep) = (0usize, 0usize, 0usize);
+        for article in doc.root().children_named("article") {
+            for author in article.children_named("author") {
+                match author.child("name") {
+                    None => bare += 1,
+                    Some(name) if name.child("full").is_some() => deep += 1,
+                    Some(_) => nested += 1,
+                }
+            }
+        }
+        assert!(
+            bare > 0 && nested > 0 && deep > 0,
+            "all three depths must occur (bare={bare} nested={nested} deep={deep})"
+        );
+        // Determinism holds with the knob on.
+        let a = DblpGenerator::new(DblpConfig::sized(50).with_ragged_authors()).generate_xml();
+        let b = DblpGenerator::new(DblpConfig::sized(50).with_ragged_authors()).generate_xml();
+        assert_eq!(a, b);
+        // And the knob actually changes the document.
+        let plain = DblpGenerator::new(DblpConfig::sized(50)).generate_xml();
+        assert_ne!(a, plain);
     }
 
     #[test]

@@ -238,6 +238,18 @@ impl ShardStats {
         let max = self.sizes.iter().copied().max().unwrap_or(0);
         (max * self.partitions) as f64 / total as f64
     }
+
+    /// The skew factor when it was actually measured: `None` for the
+    /// serial kernel and for empty inputs, where [`ShardStats::skew`]'s
+    /// placeholder `1.0` would read as a measured, perfectly balanced
+    /// split that never happened.
+    pub fn measured_skew(&self) -> Option<f64> {
+        if self.total() == 0 || self.partitions <= 1 {
+            None
+        } else {
+            Some(self.skew())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -420,6 +432,12 @@ mod tests {
             sizes: vec![0; 4],
         };
         assert_eq!(empty.skew(), 1.0);
+        // measured_skew distinguishes "balanced" from "never measured":
+        // serial kernels and empty inputs report None.
+        assert_eq!(ShardStats::serial(7).measured_skew(), None);
+        assert_eq!(empty.measured_skew(), None);
+        assert_eq!(balanced.measured_skew(), Some(1.0));
+        assert_eq!(lopsided.measured_skew(), Some(4.0));
     }
 
     #[test]

@@ -259,7 +259,7 @@ pub fn groupby_sharded(
 /// encoding of the key's values (absent values hash distinctly from
 /// empty strings). Shared with the rollup kernel so both sinks route a
 /// given key identically.
-pub(crate) fn shard_of(key: &Key, partitions: usize) -> usize {
+pub(crate) fn shard_of(key: &[Option<String>], partitions: usize) -> usize {
     let mut h = FNV_SEED;
     for value in key {
         h = match value {
@@ -575,8 +575,16 @@ fn basis_child_tag(item: &BasisItem, _key: &Key) -> String {
 
 /// Append the grouping-basis children under `basis_root`, one per basis
 /// item, exactly as the serial kernel builds them. Shared with the
-/// rollup kernel so its basis children are byte-identical to the
-/// materialized group trees'.
+/// rollup and cube kernels so their basis children are byte-identical to
+/// the materialized group trees'.
+///
+/// `deep_keys` is set by the *flat* shapes (fused rollup, cube): they
+/// pre-apply the consumer's `Project deep(key)` step, which expands each
+/// key node's whole subtree — a shallow copy would drop the children of
+/// a structured key node (an `<author><name>…</name></author>` in a
+/// ragged hierarchy) and diverge from the materialized pipeline. The
+/// grouped shape keeps the shallow copy; its downstream projection does
+/// the deep expansion itself.
 pub(crate) fn add_basis_children(
     tree: &mut Tree,
     basis_root: usize,
@@ -584,8 +592,10 @@ pub(crate) fn add_basis_children(
     key: &Key,
     basis_nodes: &[VNode],
     basis: &[BasisItem],
+    deep_keys: bool,
 ) {
     for (item, (v, value)) in basis.iter().zip(basis_nodes.iter().zip(key.iter())) {
+        let deep = item.deep || deep_keys;
         match item.attr {
             Some(_) => {
                 // $i.attr: a constructed child named after the attribute.
@@ -599,10 +609,10 @@ pub(crate) fn add_basis_children(
             None => match v {
                 // $i / $i*: a match of the node (subtree when deep).
                 VNode::Stored(e) => {
-                    tree.add_ref(basis_root, *e, item.deep);
+                    tree.add_ref(basis_root, *e, deep);
                 }
                 VNode::Arena(i) => {
-                    if item.deep {
+                    if deep {
                         tree.append_subtree(basis_root, src_tree, *i);
                     } else {
                         let kind = src_tree.node(*i).kind.clone();
@@ -662,6 +672,7 @@ fn build_group_tree(
         key,
         &group.basis_nodes,
         basis,
+        false,
     );
     let subroot = tree.add_elem(tree.root(), crate::tags::GROUP_SUBROOT);
     for (tree_idx, _, _) in &group.members {

@@ -14,11 +14,13 @@
 //! | [`mod@groupby`] | grouping with basis + ordering list | Sec. 3 |
 //! | [`mod@aggregate`] | aggregation with update specification | Sec. 4.3 |
 //! | [`mod@rollup`] | fused grouped aggregation (no group materialization) | Sec. 3 + 4.3 |
+//! | [`mod@cube`] | grouping lattice: all basis-prefix levels in one scan | XOLAP [Hachicha & Darmont] |
 //! | [`mod@rename`] | root renaming (final tag of RETURN) | Sec. 4.1 |
 //! | [`mod@reorder`] | collection reordering by bound contents | TAX [8] |
 //! | [`mod@setops`] | union / intersection / difference | TAX [8] |
 
 pub mod aggregate;
+pub mod cube;
 pub mod dupelim;
 pub mod groupby;
 pub mod join;
@@ -30,6 +32,7 @@ pub mod select;
 pub mod setops;
 
 pub use aggregate::{aggregate, AggFunc, UpdateSpec};
+pub use cube::cube;
 pub use dupelim::dup_elim;
 pub use groupby::{groupby, groupby_replicated, groupby_with, BasisItem, Direction, GroupOrder};
 pub use join::{full_outer_join, left_outer_join_db};

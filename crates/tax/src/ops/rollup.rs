@@ -61,42 +61,59 @@ pub enum RollupShape {
 }
 
 /// One grouping witness: key plus the nodes that become basis children.
-struct RollupWitness {
-    key: Key,
-    basis_nodes: Vec<VNode>,
+/// Shared with the cube kernel ([`super::cube`]), which accumulates the
+/// same witness stream at every basis-prefix level.
+pub(crate) struct RollupWitness {
+    pub(crate) key: Key,
+    pub(crate) basis_nodes: Vec<VNode>,
 }
 
 /// One witness-stream entry: `(input tree index, arrival ordinal,
 /// witness)` — the collection-major order the accumulators fold in.
-type StreamEntry = (usize, usize, RollupWitness);
+pub(crate) type StreamEntry = (usize, usize, RollupWitness);
 
 /// One input tree's aggregate contribution: what the materialized
 /// `Aggregate` would see for this tree as a group member.
-struct Contribution {
+pub(crate) struct Contribution {
     /// Member-pattern bindings (what COUNT counts).
-    bindings: usize,
+    pub(crate) bindings: usize,
     /// Numeric values at the aggregated label, in binding order (empty
     /// for COUNT, which never fetches values).
-    values: Vec<f64>,
+    pub(crate) values: Vec<f64>,
 }
 
 /// Running accumulator state of one group.
-struct GroupAcc {
-    key: Key,
-    basis_nodes: Vec<VNode>,
-    basis_tree: usize,
+pub(crate) struct GroupAcc {
+    pub(crate) key: Key,
+    pub(crate) basis_nodes: Vec<VNode>,
+    pub(crate) basis_tree: usize,
     /// Last input tree folded in (member dedup: same-key witnesses of
     /// one tree are consecutive, exactly as in group formation).
-    last_member: Option<usize>,
-    bindings: usize,
-    values: usize,
-    sum: f64,
-    min: Option<f64>,
-    max: Option<f64>,
+    pub(crate) last_member: Option<usize>,
+    pub(crate) bindings: usize,
+    pub(crate) values: usize,
+    pub(crate) sum: f64,
+    pub(crate) min: Option<f64>,
+    pub(crate) max: Option<f64>,
 }
 
 impl GroupAcc {
-    fn fold(&mut self, c: &Contribution) {
+    /// A fresh accumulator for a group first seen with this witness.
+    pub(crate) fn new(key: Key, basis_nodes: Vec<VNode>, basis_tree: usize) -> GroupAcc {
+        GroupAcc {
+            key,
+            basis_nodes,
+            basis_tree,
+            last_member: None,
+            bindings: 0,
+            values: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
+    pub(crate) fn fold(&mut self, c: &Contribution) {
         self.bindings += c.bindings;
         for &v in &c.values {
             self.values += 1;
@@ -110,7 +127,7 @@ impl GroupAcc {
     /// over no numeric values), mirroring `aggregate::compute` — every
     /// arm replays the same left fold the batch kernel runs over the
     /// gathered value slice.
-    fn finish(&self, func: AggFunc) -> Option<f64> {
+    pub(crate) fn finish(&self, func: AggFunc) -> Option<f64> {
         match func {
             AggFunc::Count => Some(self.bindings as f64),
             AggFunc::Sum => Some(self.sum),
@@ -284,7 +301,7 @@ pub fn rollup_sharded(
 /// any tree is arena-backed, a shallow reference, or the scopes overlap
 /// (nested or duplicated inputs), in which case extraction falls back to
 /// the per-tree matcher.
-fn stored_scopes(input: &Collection) -> Option<Vec<(usize, NodeEntry)>> {
+pub(crate) fn stored_scopes(input: &Collection) -> Option<Vec<(usize, NodeEntry)>> {
     let mut scopes = Vec::with_capacity(input.len());
     for (i, t) in input.iter().enumerate() {
         if t.len() != 1 {
@@ -312,7 +329,7 @@ fn stored_scopes(input: &Collection) -> Option<Vec<(usize, NodeEntry)>> {
 /// position (within a tree that keeps the document order the scoped
 /// matcher produces).
 #[allow(clippy::too_many_arguments)]
-fn extract_batched(
+pub(crate) fn extract_batched(
     store: &DocumentStore,
     input: &Collection,
     scopes: &[(usize, NodeEntry)],
@@ -407,7 +424,7 @@ fn extract_batched(
 
 /// Per-tree extraction (the general path): grouping witnesses and the
 /// tree's aggregate contribution from two scoped matches.
-fn extract_tree(
+pub(crate) fn extract_tree(
     store: &DocumentStore,
     tree: &Tree,
     pattern: &PatternTree,
@@ -477,20 +494,7 @@ fn accumulate_shard(
             None => {
                 let g = groups.len();
                 index.insert(w.key.clone(), g);
-                groups.push((
-                    seq,
-                    GroupAcc {
-                        key: w.key,
-                        basis_nodes: w.basis_nodes,
-                        basis_tree: tree_idx,
-                        last_member: None,
-                        bindings: 0,
-                        values: 0,
-                        sum: 0.0,
-                        min: None,
-                        max: None,
-                    },
-                ));
+                groups.push((seq, GroupAcc::new(w.key, w.basis_nodes, tree_idx)));
                 g
             }
         };
@@ -523,6 +527,8 @@ fn accumulate_shard(
                 tree.root()
             }
         };
+        // The flat shape pre-applies the consumer's deep key projection,
+        // so structured key nodes must materialize their whole subtree.
         add_basis_children(
             &mut tree,
             basis_root,
@@ -530,6 +536,7 @@ fn accumulate_shard(
             &acc.key,
             &acc.basis_nodes,
             basis,
+            matches!(shape, RollupShape::Flat),
         );
         if let Some(v) = value {
             tree.add_elem_with_content(tree.root(), new_tag, format_value(v));
@@ -788,6 +795,65 @@ mod tests {
                 assert!(!x.contains(tags::GROUPING_BASIS), "{x}");
             }
         }
+    }
+
+    #[test]
+    fn flat_shape_deep_copies_structured_basis_keys() {
+        // Ragged hierarchy: one author's name is nested below <author>.
+        // The flat shape pre-applies the consumer's deep key projection,
+        // so the key child must carry the whole subtree — a shallow copy
+        // would emit a childless <author/> and silently diverge from the
+        // materialized pipeline (the parity bug this pins).
+        let s = DocumentStore::from_xml(
+            "<bib>\
+                <article><title>A</title><author><name>Jack</name></author><year>1999</year></article>\
+                <article><title>B</title><author>Jill</author><year>2001</year></article>\
+            </bib>",
+            &StoreOptions::in_memory(),
+        )
+        .unwrap();
+        let arts = articles(&s);
+        let (gp, basis) = grouping();
+        let (mp, of) = member("year");
+        let grouped = rollup(
+            &s,
+            &arts,
+            &gp,
+            &basis,
+            &mp,
+            of,
+            AggFunc::Sum,
+            "sum",
+            RollupShape::Grouped,
+        )
+        .unwrap();
+        let flat = rollup(
+            &s,
+            &arts,
+            &gp,
+            &basis,
+            &mp,
+            of,
+            AggFunc::Sum,
+            "sum",
+            RollupShape::Flat,
+        )
+        .unwrap();
+        let flat_xml: Vec<String> = flat
+            .iter()
+            .map(|t| xmlparse::serialize::element_to_string(&t.materialize(&s).unwrap()))
+            .collect();
+        assert_eq!(flat_xml, projected_xml(&s, &grouped, "sum"));
+        assert!(
+            flat_xml
+                .iter()
+                .any(|x| x.contains("<author><name>Jack</name></author>")),
+            "structured key must keep its subtree: {flat_xml:?}"
+        );
+        assert!(
+            flat_xml.iter().all(|x| !x.contains("<author/>")),
+            "no key child may collapse to an empty element: {flat_xml:?}"
+        );
     }
 
     #[test]

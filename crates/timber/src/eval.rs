@@ -109,6 +109,35 @@ pub fn eval_with(store: &DocumentStore, plan: &Plan, opts: &ExecOptions) -> Resu
                 opts,
             )?
         }
+        Plan::Union { inputs } => {
+            let mut out = Vec::new();
+            for input in inputs {
+                out.extend(eval_with(store, input, opts)?);
+            }
+            out
+        }
+        Plan::Cube {
+            input,
+            pattern,
+            basis,
+            member_pattern,
+            of,
+            func,
+            new_tag,
+        } => {
+            let c = eval_with(store, input, opts)?;
+            ops::cube::cube_opts(
+                store,
+                &c,
+                pattern,
+                basis,
+                member_pattern,
+                *of,
+                *func,
+                new_tag,
+                opts,
+            )?
+        }
         Plan::Rename { input, tag } => {
             let c = eval_with(store, input, opts)?;
             ops::rename::rename_root(c, tag)?

@@ -412,11 +412,20 @@ fn find_grouping(
             pattern,
             basis,
             ..
+        }
+        | Plan::Cube {
+            input,
+            pattern,
+            basis,
+            ..
         } => Some((input, pattern, basis)),
         Plan::Project { input, .. }
         | Plan::DupElim { input, .. }
         | Plan::Aggregate { input, .. }
         | Plan::Rename { input, .. } => find_grouping(input),
+        // The composed lattice: every branch scans the same input, so
+        // the first branch's grouping probe stands for all of them.
+        Plan::Union { inputs } => inputs.first().and_then(find_grouping),
         _ => None,
     }
 }
@@ -600,6 +609,82 @@ mod tests {
         let (_, rewritten, trace) = small.compile_traced(QUERY_COUNT, PlanMode::Auto).unwrap();
         assert!(rewritten);
         assert!(!trace.fired(PLAN_CHOICE_DIRECT), "{}", trace.render());
+    }
+
+    const QUERY_CUBE: &str = r#"
+        FOR $b IN document("bib.xml")//article
+        CUBE BY $b/journal, $b/year, $b/author
+        RETURN <pubs> {count($b/title)} </pubs>
+    "#;
+
+    fn cube_db() -> TimberDb {
+        let xml = "<bib>\
+            <article><title>Querying XML</title><journal>TODS</journal><year>1999</year>\
+                <author>Jack</author><author>John</author></article>\
+            <article><title>XML and the Web</title><journal>TODS</journal><year>2001</year>\
+                <author>Jill</author><author>Jack</author></article>\
+            <article><title>Hack HTML</title><journal>WebDB</journal><year>2001</year>\
+                <author>John</author></article>\
+        </bib>";
+        TimberDb::load_xml(xml, &StoreOptions::in_memory()).unwrap()
+    }
+
+    #[test]
+    fn cube_query_fuses_to_one_scan_and_matches_the_composed_union() {
+        let db = cube_db();
+        let (plan, _, trace) = db
+            .compile_traced(QUERY_CUBE, PlanMode::GroupByRewrite)
+            .unwrap();
+        assert!(trace.fired("cube-fuse"), "{}", trace.render());
+        assert!(plan.explain().contains("Cube Count"), "{}", plan.explain());
+        // The materializing optimizer keeps the composed per-level
+        // union — the byte-identity reference.
+        let (mat_plan, _, mat_trace) = db
+            .compile_traced(QUERY_CUBE, PlanMode::GroupByMaterialized)
+            .unwrap();
+        assert!(!mat_trace.fired("cube-fuse"));
+        assert!(mat_plan.explain().contains("Union (3 branches)"));
+        let fused = db.query(QUERY_CUBE, PlanMode::GroupByRewrite).unwrap();
+        let composed = db.query(QUERY_CUBE, PlanMode::GroupByMaterialized).unwrap();
+        let fused_xml = fused.to_xml_on(db.store()).unwrap();
+        assert!(fused_xml.contains("TAX_cube_level"), "{fused_xml}");
+        assert_eq!(
+            tax::ops::cube::strip_level_markers(&fused_xml),
+            composed.to_xml_on(db.store()).unwrap()
+        );
+    }
+
+    #[test]
+    fn cube_query_agrees_across_executors_and_threads() {
+        let mut db = cube_db();
+        db.set_exec_mode(ExecMode::Legacy);
+        let legacy = db.query(QUERY_CUBE, PlanMode::GroupByRewrite).unwrap();
+        let expected = legacy.to_xml_on(db.store()).unwrap();
+        db.set_exec_mode(ExecMode::Physical);
+        for threads in [1, 4] {
+            db.set_threads(threads);
+            for batch in [1, 3, physical::DEFAULT_BATCH_SIZE] {
+                db.set_batch_size(batch);
+                let r = db.query(QUERY_CUBE, PlanMode::GroupByRewrite).unwrap();
+                assert_eq!(
+                    r.to_xml_on(db.store()).unwrap(),
+                    expected,
+                    "threads={threads} batch={batch}"
+                );
+            }
+        }
+        // The cube sink reports its partitions in EXPLAIN ANALYZE.
+        db.set_threads(4);
+        db.set_batch_size(physical::DEFAULT_BATCH_SIZE);
+        let a = db
+            .explain_analyze(QUERY_CUBE, PlanMode::GroupByRewrite)
+            .unwrap();
+        let text = a.render();
+        assert!(
+            text.lines()
+                .any(|l| l.contains("Cube") && l.contains("parts=") && l.contains("skew=")),
+            "{text}"
+        );
     }
 
     #[test]

@@ -57,12 +57,22 @@ impl PlanMetrics {
             self.io.disk.reads,
         );
         if let Some(shards) = &self.shards {
-            let _ = write!(
-                out,
-                " parts={} skew={:.2}",
-                shards.partitions,
-                shards.skew()
-            );
+            // A serial sink never split, and an empty input never
+            // exercised the split — say so instead of rendering a
+            // "measured" partition count and a perfect 1.00 skew.
+            if shards.partitions <= 1 {
+                let _ = write!(out, " parts=1 (serial) skew=-");
+            } else {
+                let _ = write!(out, " parts={}", shards.partitions);
+                match shards.measured_skew() {
+                    Some(skew) => {
+                        let _ = write!(out, " skew={skew:.2}");
+                    }
+                    None => {
+                        let _ = write!(out, " skew=-");
+                    }
+                }
+            }
         }
         let _ = writeln!(out);
         for child in &self.children {
@@ -149,5 +159,35 @@ mod tests {
             ..Default::default()
         };
         assert!(!s.render().contains("parts="));
+    }
+
+    #[test]
+    fn render_marks_serial_and_empty_shard_stats() {
+        // Serial kernel: the sink never split, whatever the input size.
+        let serial = PlanMetrics {
+            op: "GroupBy".into(),
+            shards: Some(ShardStats::serial(7)),
+            ..Default::default()
+        };
+        assert!(
+            serial.render().contains("parts=1 (serial) skew=-"),
+            "{}",
+            serial.render()
+        );
+        // Sharded sink over an empty input: partitions existed but no
+        // item was routed, so no skew was measured.
+        let empty = PlanMetrics {
+            op: "GroupBy".into(),
+            shards: Some(ShardStats {
+                partitions: 4,
+                sizes: vec![0, 0, 0, 0],
+            }),
+            ..Default::default()
+        };
+        assert!(
+            empty.render().contains("parts=4 skew=-"),
+            "{}",
+            empty.render()
+        );
     }
 }

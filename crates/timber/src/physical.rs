@@ -190,6 +190,36 @@ pub fn build<'a>(
             drained: None,
             meter,
         }),
+        Plan::Union { inputs } => Box::new(UnionOp {
+            inputs: inputs
+                .iter()
+                .map(|p| build(store, p, opts, batch))
+                .collect::<Result<Vec<_>>>()?,
+            pos: 0,
+            meter,
+        }),
+        Plan::Cube {
+            input,
+            pattern,
+            basis,
+            member_pattern,
+            of,
+            func,
+            new_tag,
+        } => Box::new(CubeOp {
+            store,
+            input: build(store, input, opts, batch)?,
+            pattern: pattern.clone(),
+            basis: basis.clone(),
+            member_pattern: member_pattern.clone(),
+            of: *of,
+            func: *func,
+            new_tag: new_tag.clone(),
+            opts: *opts,
+            batch,
+            drained: None,
+            meter,
+        }),
         Plan::LeftOuterJoinDb {
             left,
             left_pattern,
@@ -673,6 +703,102 @@ impl PhysOp for RollupOp<'_> {
                     self.func,
                     &self.new_tag,
                     self.shape,
+                    &self.opts,
+                    self.opts.threads.max(1),
+                )?;
+                self.meter.stop(self.store, window);
+                self.meter.shards = Some(shards);
+                self.drained.insert(out.into_iter())
+            }
+        };
+        emit_drained(iter, self.batch, &mut self.meter)
+    }
+
+    fn metrics(&self) -> PlanMetrics {
+        self.meter.metrics(vec![self.input.metrics()])
+    }
+}
+
+/// Streaming concatenation: drains its inputs left to right, passing
+/// each child's batches through unchanged, so the output order is the
+/// branch order (the composed cube plan relies on this — levels emit
+/// coarsest first).
+struct UnionOp<'a> {
+    inputs: Vec<Box<dyn PhysOp + 'a>>,
+    pos: usize,
+    meter: Meter,
+}
+
+impl PhysOp for UnionOp<'_> {
+    fn name(&self) -> &str {
+        &self.meter.op
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
+        while self.pos < self.inputs.len() {
+            if let Some(batch) = self.inputs[self.pos].next_batch()? {
+                self.meter.trees_in += batch.len();
+                self.meter.emitted(batch.len());
+                return Ok(Some(batch));
+            }
+            self.pos += 1;
+        }
+        Ok(None)
+    }
+
+    fn metrics(&self) -> PlanMetrics {
+        self.meter
+            .metrics(self.inputs.iter().map(|i| i.metrics()).collect())
+    }
+}
+
+/// Blocking sink: the one-scan grouping lattice. Like [`RollupOp`] it
+/// drains its input and folds witness contributions into per-group
+/// accumulators — but for **every prefix level** of the basis at once,
+/// so one pass replaces one rollup per level. Witnesses are
+/// hash-partitioned by their *coarsest* key component over
+/// `opts.threads` workers (every prefix group of a witness lives in one
+/// shard; see [`ops::cube::cube_sharded`]), with an order-restoring
+/// merge that emits levels coarsest first.
+struct CubeOp<'a> {
+    store: &'a DocumentStore,
+    input: Box<dyn PhysOp + 'a>,
+    pattern: PatternTree,
+    basis: Vec<BasisItem>,
+    member_pattern: PatternTree,
+    of: PatternNodeId,
+    func: AggFunc,
+    new_tag: String,
+    opts: ExecOptions,
+    batch: usize,
+    drained: Option<std::vec::IntoIter<Tree>>,
+    meter: Meter,
+}
+
+impl PhysOp for CubeOp<'_> {
+    fn name(&self) -> &str {
+        &self.meter.op
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Tree>>> {
+        let iter = match self.drained.take() {
+            Some(iter) => self.drained.insert(iter),
+            None => {
+                let mut all = Vec::new();
+                while let Some(b) = self.input.next_batch()? {
+                    self.meter.trees_in += b.len();
+                    all.extend(b);
+                }
+                let window = self.meter.start(self.store);
+                let (out, shards) = ops::cube::cube_sharded(
+                    self.store,
+                    &all,
+                    &self.pattern,
+                    &self.basis,
+                    &self.member_pattern,
+                    self.of,
+                    self.func,
+                    &self.new_tag,
                     &self.opts,
                     self.opts.threads.max(1),
                 )?;

@@ -6,6 +6,8 @@
 pub struct Flwr {
     /// The `FOR $v IN …` clause.
     pub for_clause: ForClause,
+    /// An optional `CUBE BY $v/dim, …` clause (the grouping lattice).
+    pub cube_by: Option<CubeClause>,
     /// An optional `LET $v := …` clause.
     pub let_clause: Option<LetClause>,
     /// Conjunctive `WHERE` comparisons.
@@ -25,6 +27,19 @@ pub struct OrderBy {
     pub path: Vec<String>,
     /// Sort direction (ascending when unspecified).
     pub descending: bool,
+}
+
+/// `CUBE BY $v/dim1, $v/dim2, …` — an ordered list of grouping
+/// dimensions rooted at the FOR variable. The query's aggregate is
+/// computed at every *prefix* of the list (the grouping lattice):
+/// `CUBE BY $b/journal, $b/year` groups by journal and by
+/// (journal, year).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CubeClause {
+    /// The FOR variable the dimension paths start from.
+    pub var: String,
+    /// The dimension paths (relative child paths), coarsest first.
+    pub dims: Vec<Vec<String>>,
 }
 
 /// `FOR $var IN [distinct-values(] source [)]`.
@@ -184,8 +199,10 @@ pub enum ReturnItem {
     Var(String),
     /// `{$v/rel/path}`
     VarPath(String, Vec<String>),
-    /// `{count($v)}`, `{sum($v)}`, `{min($v)}`, `{max($v)}`, `{avg($v)}`
-    Agg(AggName, String),
+    /// `{count($v)}`, `{sum($v/path)}`, … — an aggregate over a bound
+    /// variable, optionally followed by a relative child path (empty
+    /// for the bare-variable form).
+    Agg(AggName, String, Vec<String>),
     /// A nested FLWR.
     Nested(Box<Flwr>),
 }

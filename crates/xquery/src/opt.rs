@@ -14,16 +14,24 @@
 //!    [`crate::rewrite`]. It must run first: detection keys on the
 //!    pristine `StitchConstruct`/`LeftOuterJoinDb` shape the naive
 //!    translation emits.
-//! 2. [`RollupFuseRule`] — fuses an `Aggregate` whose only input is a
+//! 2. [`CubeFuseRule`] — collapses the `Union` of per-level
+//!    `Project ∘ Aggregate ∘ GroupBy` pipelines a `CUBE BY` translation
+//!    emits into one [`Plan::Cube`] scan, when every branch passes the
+//!    rollup-fusion guards, all branches share one input / pattern /
+//!    aggregate, and the bases form the prefix chain of the lattice. It
+//!    must run before [`RollupFuseRule`], which would otherwise fuse the
+//!    branches individually (the graceful-degradation path when a cube
+//!    guard fails).
+//! 3. [`RollupFuseRule`] — fuses an `Aggregate` whose only input is a
 //!    `GroupBy` (and whose grouped trees are not otherwise consumed)
 //!    into one streaming [`Plan::Rollup`], skipping group-tree
 //!    materialization entirely. It runs right after the grouping
 //!    rewrite so the `Aggregate`∘`GroupBy` pair it keys on is fused
 //!    before the projection rules restructure the pipeline below it.
-//! 3. [`ProjectionPruneRule`] — drops the synthetic `doc_root` pattern
+//! 4. [`ProjectionPruneRule`] — drops the synthetic `doc_root` pattern
 //!    root from a `Project`∘`SelectDb` pair when no downstream list
 //!    references it, shrinking every pattern match by one node.
-//! 4. [`SelectProjectFuseRule`] — fuses a `Project` directly over a
+//! 5. [`SelectProjectFuseRule`] — fuses a `Project` directly over a
 //!    `SelectDb` with the *same* pattern into one
 //!    [`Plan::SelectProject`], so a single pattern match serves both
 //!    operators.
@@ -99,22 +107,25 @@ const MAX_PASSES: usize = 16;
 const MAX_LOCAL: usize = 8;
 
 impl Optimizer {
-    /// The standard rule set (grouping rewrite, rollup fusion,
-    /// projection pruning, select→project fusion), in the order
+    /// The standard rule set (grouping rewrite, cube fusion, rollup
+    /// fusion, projection pruning, select→project fusion), in the order
     /// described at module level.
     pub fn standard() -> Optimizer {
         Optimizer::with_rules(vec![
             Box::new(GroupByRewriteRule),
+            Box::new(CubeFuseRule),
             Box::new(RollupFuseRule),
             Box::new(ProjectionPruneRule),
             Box::new(SelectProjectFuseRule),
         ])
     }
 
-    /// The standard set *without* [`RollupFuseRule`]: grouped plans keep
-    /// the materialized `GroupBy → Aggregate` pipeline. This is the
-    /// reference plan the rollup's differential tests and the
-    /// `e2_count_groupby` benchmark key compare against.
+    /// The standard set *without* [`CubeFuseRule`] and
+    /// [`RollupFuseRule`]: grouped plans keep the materialized
+    /// `GroupBy → Aggregate` pipeline (and cube plans the `Union` of
+    /// per-level pipelines). This is the reference plan the rollup's and
+    /// cube's differential tests and the `e2_count_groupby` benchmark
+    /// key compare against.
     pub fn materializing() -> Optimizer {
         Optimizer::with_rules(vec![
             Box::new(GroupByRewriteRule),
@@ -261,6 +272,26 @@ fn map_children(plan: Plan, f: &mut impl FnMut(Plan) -> Plan) -> Plan {
             func,
             new_tag,
             flat,
+        },
+        Plan::Union { inputs } => Plan::Union {
+            inputs: inputs.into_iter().map(f).collect(),
+        },
+        Plan::Cube {
+            input,
+            pattern,
+            basis,
+            member_pattern,
+            of,
+            func,
+            new_tag,
+        } => Plan::Cube {
+            input: Box::new(f(*input)),
+            pattern,
+            basis,
+            member_pattern,
+            of,
+            func,
+            new_tag,
         },
         Plan::Rename { input, tag } => Plan::Rename {
             input: Box::new(f(*input)),
@@ -508,6 +539,250 @@ impl RollupFuseRule {
     }
 }
 
+/// Cube fusion: the `Union` of per-level `Project ∘ Aggregate ∘ GroupBy`
+/// pipelines emitted by a `CUBE BY` translation collapses into one
+/// [`Plan::Cube`] scan that accumulates every lattice level at once.
+///
+/// Per branch the rule re-runs the [`RollupFuseRule`] substitution
+/// argument — consumer blind to the member subtree, canonical aggregate
+/// walk, unordered `GroupBy` — and additionally requires the consuming
+/// projection to be exactly the *multi-key flat* reshape
+/// `root { wrapper { key_1 … key_k }, value }` with projection list
+/// `[shallow(root), deep(key_1), …, deep(key_k), deep(value)]`, because
+/// the cube kernel only emits the flat shape. Across branches it
+/// requires:
+///
+/// * branch `k` (1-based) groups on exactly the first `k` items of the
+///   last branch's basis — the prefix chain of the lattice;
+/// * every branch shares the same grouping pattern, member pattern,
+///   aggregated label, function, and value tag;
+/// * every branch consumes the same input plan (compared by rendered
+///   plan text, since plans carry no structural equality).
+///
+/// Under those guards the cube's level-`k` accumulation *is* the flat
+/// rollup of branch `k` — same witness stream (identical pattern and
+/// input), same prefix keys, same fold order — so the fused output
+/// matches the union byte for byte, except for the `TAX_cube_level`
+/// marker child each cube tree carries. When any guard fails the rule
+/// backs off and [`RollupFuseRule`] fuses the branches individually.
+pub struct CubeFuseRule;
+
+/// One analyzed cube-candidate branch.
+struct CubeBranch<'a> {
+    input: &'a Plan,
+    gb_pattern: &'a PatternTree,
+    basis: &'a [BasisItem],
+    member_pattern: PatternTree,
+    of: PatternNodeId,
+    func: tax::ops::aggregate::AggFunc,
+    new_tag: &'a str,
+}
+
+impl Rule for CubeFuseRule {
+    fn name(&self) -> &'static str {
+        "cube-fuse"
+    }
+
+    fn apply(&self, plan: &Plan) -> Option<Plan> {
+        let Plan::Union { inputs } = plan else {
+            return None;
+        };
+        if inputs.len() < 2 {
+            return None;
+        }
+        let branches: Vec<CubeBranch<'_>> = inputs
+            .iter()
+            .map(Self::analyze_branch)
+            .collect::<Option<Vec<_>>>()?;
+        let full = branches.last().expect("at least two branches");
+        if full.basis.len() != branches.len() {
+            return None;
+        }
+        let input_text = full.input.explain();
+        for (i, b) in branches.iter().enumerate() {
+            if b.basis != &full.basis[..i + 1] {
+                return None;
+            }
+            if b.gb_pattern != full.gb_pattern
+                || b.member_pattern != full.member_pattern
+                || b.of != full.of
+                || b.func != full.func
+                || b.new_tag != full.new_tag
+            {
+                return None;
+            }
+            if i + 1 < branches.len() && b.input.explain() != input_text {
+                return None;
+            }
+        }
+        Some(Plan::Cube {
+            input: Box::new(full.input.clone()),
+            pattern: full.gb_pattern.clone(),
+            basis: full.basis.to_vec(),
+            member_pattern: full.member_pattern.clone(),
+            of: full.of,
+            func: full.func,
+            new_tag: full.new_tag.to_owned(),
+        })
+    }
+}
+
+impl CubeFuseRule {
+    /// Decompose one union branch, enforcing the per-branch guards
+    /// shared with [`RollupFuseRule`] plus the mandatory multi-key flat
+    /// projection. Returns `None` when any guard fails.
+    fn analyze_branch(plan: &Plan) -> Option<CubeBranch<'_>> {
+        let Plan::Project {
+            input,
+            pattern,
+            pl,
+            anchor_root: true,
+        } = plan
+        else {
+            return None;
+        };
+        let Plan::Aggregate {
+            input: agg_input,
+            pattern: agg_pattern,
+            func,
+            of,
+            new_tag,
+            spec,
+        } = input.as_ref()
+        else {
+            return None;
+        };
+        let Plan::GroupBy {
+            input: gb_input,
+            pattern: gb_pattern,
+            basis,
+            ordering,
+        } = agg_input.as_ref()
+        else {
+            return None;
+        };
+        if !ordering.is_empty() {
+            return None;
+        }
+
+        // Consumer blindness to the member subtree (as in rollup-fuse).
+        let proot = pattern.root();
+        if !matches!(&pattern.node(proot).pred, Pred::Tag(t) if t == tags::GROUP_ROOT) {
+            return None;
+        }
+        for (id, node) in pattern.iter() {
+            let tag = node.pred.required_tag()?;
+            if tag == tags::GROUP_SUBROOT {
+                return None;
+            }
+            if id != proot && node.axis != Axis::Child {
+                return None;
+            }
+        }
+
+        // The canonical aggregate walk (as in rollup-fuse).
+        let aroot = agg_pattern.root();
+        if *spec != UpdateSpec::AfterLastChild(aroot) {
+            return None;
+        }
+        if !matches!(&agg_pattern.node(aroot).pred, Pred::Tag(t) if t == tags::GROUP_ROOT) {
+            return None;
+        }
+        let [subroot] = agg_pattern.node(aroot).children[..] else {
+            return None;
+        };
+        if agg_pattern.node(subroot).axis != Axis::Child
+            || !matches!(&agg_pattern.node(subroot).pred, Pred::Tag(t) if t == tags::GROUP_SUBROOT)
+        {
+            return None;
+        }
+        let [member] = agg_pattern.node(subroot).children[..] else {
+            return None;
+        };
+        if agg_pattern.node(member).axis != Axis::Child {
+            return None;
+        }
+        let (member_pattern, mapping) = agg_pattern.subtree_pattern(member);
+        let of = (*mapping.get(*of)?)?;
+
+        // The cube kernel only emits the flat shape, so the multi-key
+        // flat projection is mandatory here, not an optimization.
+        if !Self::projection_is_multikey_flat_shape(pattern, pl, gb_pattern, basis, new_tag) {
+            return None;
+        }
+        Some(CubeBranch {
+            input: gb_input.as_ref(),
+            gb_pattern,
+            basis,
+            member_pattern,
+            of,
+            func: *func,
+            new_tag,
+        })
+    }
+
+    /// [`RollupFuseRule::projection_is_flat_shape`] generalized to `k`
+    /// grouping keys: the pattern is exactly
+    /// `root { wrapper { key_1 … key_k }, agg }` with bare-`Tag`
+    /// predicates, the key tags are the basis nodes' required tags in
+    /// basis order (and pairwise distinct, so each key binding is
+    /// unique), and the projection list is
+    /// `[shallow(root), deep(key_1), …, deep(key_k), deep(agg)]`.
+    fn projection_is_multikey_flat_shape(
+        pattern: &PatternTree,
+        pl: &[ProjectItem],
+        gb_pattern: &PatternTree,
+        basis: &[BasisItem],
+        new_tag: &str,
+    ) -> bool {
+        if basis.is_empty() || basis.iter().any(|b| b.attr.is_some()) {
+            return false;
+        }
+        let Some(key_tags) = basis
+            .iter()
+            .map(|b| gb_pattern.node(b.label).pred.required_tag())
+            .collect::<Option<Vec<_>>>()
+        else {
+            return false;
+        };
+        for (i, t) in key_tags.iter().enumerate() {
+            if key_tags[..i].contains(t) {
+                return false;
+            }
+        }
+        if pattern.iter().count() != 3 + basis.len() {
+            return false;
+        }
+        let proot = pattern.root();
+        let [wrapper, agg] = pattern.node(proot).children[..] else {
+            return false;
+        };
+        if !matches!(&pattern.node(wrapper).pred, Pred::Tag(t) if t == tags::GROUPING_BASIS) {
+            return false;
+        }
+        if !matches!(&pattern.node(agg).pred, Pred::Tag(t) if t == new_tag)
+            || !pattern.node(agg).children.is_empty()
+        {
+            return false;
+        }
+        let keys = &pattern.node(wrapper).children[..];
+        if keys.len() != basis.len() {
+            return false;
+        }
+        for (&key, tag) in keys.iter().zip(&key_tags) {
+            if !matches!(&pattern.node(key).pred, Pred::Tag(t) if t == tag)
+                || !pattern.node(key).children.is_empty()
+            {
+                return false;
+            }
+        }
+        let mut expect = vec![ProjectItem::shallow(proot)];
+        expect.extend(keys.iter().map(|&k| ProjectItem::deep(k)));
+        expect.push(ProjectItem::deep(agg));
+        *pl == expect
+    }
+}
+
 /// Projection pruning: in a `Project` applied directly over a `SelectDb`
 /// with the same pattern, drop the synthetic `doc_root` pattern root when
 /// nothing downstream references it.
@@ -750,6 +1025,105 @@ mod tests {
             Optimizer::with_rules(vec![Box::new(RollupFuseRule)]).optimize(ordered);
         assert!(!trace.fired("rollup-fuse"), "{:?}", trace.firings);
         assert!(fused.explain().contains("GroupBy"));
+    }
+
+    const QUERY_CUBE: &str = r#"
+        FOR $b IN document("bib.xml")//article
+        CUBE BY $b/journal, $b/year, $b/author
+        RETURN <pubs> {count($b/title)} </pubs>
+    "#;
+
+    #[test]
+    fn cube_fuse_collapses_the_lattice_union() {
+        let (plan, trace) = optimize(naive(QUERY_CUBE));
+        assert!(trace.fired("cube-fuse"), "{:?}", trace.firings);
+        assert!(!trace.fired("rollup-fuse"), "{:?}", trace.firings);
+        let text = plan.explain();
+        assert!(text.contains("Cube Count"), "{text}");
+        assert!(text.contains("levels=3"), "{text}");
+        assert!(!text.contains("Union"), "{text}");
+        assert!(!text.contains("GroupBy"), "{text}");
+        assert!(!text.contains("Aggregate"), "{text}");
+        // The shared scan below the cube still gets select/project fused.
+        assert!(text.contains("SelectProject"), "{text}");
+    }
+
+    #[test]
+    fn materializing_optimizer_keeps_the_lattice_union() {
+        let (plan, trace) = Optimizer::materializing().optimize(naive(QUERY_CUBE));
+        assert!(!trace.fired("cube-fuse"), "{:?}", trace.firings);
+        let text = plan.explain();
+        assert!(text.contains("Union (3 branches)"), "{text}");
+        assert_eq!(text.matches("GroupBy").count(), 3, "{text}");
+        assert!(!text.contains("Cube"), "{text}");
+    }
+
+    #[test]
+    fn cube_fuse_degrades_to_per_branch_rollups_when_a_guard_fails() {
+        // Order one branch's GroupBy: cube-fuse must back off entirely,
+        // and rollup-fuse then fuses the still-unordered branches — the
+        // graceful-degradation path.
+        fn order_first_level(plan: Plan) -> Plan {
+            if let Plan::GroupBy {
+                input,
+                pattern,
+                basis,
+                ordering,
+            } = plan
+            {
+                let ordering = if basis.len() == 1 {
+                    vec![tax::ops::groupby::GroupOrder {
+                        label: basis[0].label,
+                        direction: tax::ops::groupby::Direction::Ascending,
+                    }]
+                } else {
+                    ordering
+                };
+                return Plan::GroupBy {
+                    input,
+                    pattern,
+                    basis,
+                    ordering,
+                };
+            }
+            map_children(plan, &mut order_first_level)
+        }
+        let (plan, trace) = optimize(order_first_level(naive(QUERY_CUBE)));
+        assert!(!trace.fired("cube-fuse"), "{:?}", trace.firings);
+        assert!(trace.fired("rollup-fuse"), "{:?}", trace.firings);
+        let text = plan.explain();
+        assert!(text.contains("Union (3 branches)"), "{text}");
+        assert_eq!(text.matches("Rollup Count").count(), 2, "{text}");
+        assert_eq!(text.matches("GroupBy").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn cube_fuse_requires_prefix_bases_and_shared_scans() {
+        let Plan::Rename { input, .. } = naive(QUERY_CUBE) else {
+            panic!()
+        };
+        let Plan::Union { inputs } = *input else {
+            panic!()
+        };
+        assert!(CubeFuseRule
+            .apply(&Plan::Union {
+                inputs: inputs.clone()
+            })
+            .is_some());
+        // Dropping the middle level breaks the prefix chain.
+        let gappy = vec![inputs[0].clone(), inputs[2].clone()];
+        assert!(CubeFuseRule.apply(&Plan::Union { inputs: gappy }).is_none());
+        // A single branch is not a lattice.
+        let single = vec![inputs[2].clone()];
+        assert!(CubeFuseRule
+            .apply(&Plan::Union { inputs: single })
+            .is_none());
+        // Reordered levels are not a prefix chain either.
+        let mut reversed = inputs;
+        reversed.reverse();
+        assert!(CubeFuseRule
+            .apply(&Plan::Union { inputs: reversed })
+            .is_none());
     }
 
     #[test]

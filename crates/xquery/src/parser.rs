@@ -112,6 +112,44 @@ impl Parser {
         self.expect_keyword(Keyword::In, "IN")?;
         let (distinct, source) = self.parse_for_source()?;
 
+        // `CUBE` is contextual (an ordinary Name token), recognized only
+        // when immediately followed by `BY`.
+        let cube_by =
+            if matches!(self.peek(), Some(Token::Name(n)) if n.eq_ignore_ascii_case("cube")) {
+                self.bump();
+                self.expect_keyword(Keyword::By, "BY after CUBE")?;
+                let mut cvar = None;
+                let mut dims = Vec::new();
+                loop {
+                    let v = self.expect_var()?;
+                    match &cvar {
+                        None => cvar = Some(v),
+                        Some(first) if *first == v => {}
+                        Some(first) => {
+                            return Err(self
+                                .err(&format!("CUBE BY dimensions must all start from ${first}")))
+                        }
+                    }
+                    let mut path = Vec::new();
+                    while self.eat(&Token::Slash) {
+                        path.push(self.expect_name()?);
+                    }
+                    if path.is_empty() {
+                        return Err(self.err("expected a path after the CUBE BY variable"));
+                    }
+                    dims.push(path);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                Some(CubeClause {
+                    var: cvar.expect("at least one dimension"),
+                    dims,
+                })
+            } else {
+                None
+            };
+
         let let_clause = if self.eat(&Token::Keyword(Keyword::Let)) {
             let lvar = self.expect_var()?;
             self.expect(Token::Assign, "':=' after LET variable")?;
@@ -164,6 +202,7 @@ impl Parser {
                 distinct,
                 source,
             },
+            cube_by,
             let_clause,
             where_clause,
             order_by,
@@ -320,8 +359,12 @@ impl Parser {
                 self.bump();
                 self.expect(Token::LParen, "'(' after the aggregate function")?;
                 let v = self.expect_var()?;
+                let mut path = Vec::new();
+                while self.eat(&Token::Slash) {
+                    path.push(self.expect_name()?);
+                }
                 self.expect(Token::RParen, "')' closing the aggregate call")?;
-                Ok(ReturnItem::Agg(func, v))
+                Ok(ReturnItem::Agg(func, v, path))
             }
             Some(Token::Var(_)) => {
                 let v = self.expect_var()?;
@@ -431,7 +474,10 @@ mod tests {
         let ReturnExpr::Element(c) = &q.return_clause else {
             panic!()
         };
-        assert_eq!(c.items[1], ReturnItem::Agg(AggName::Count, "t".into()));
+        assert_eq!(
+            c.items[1],
+            ReturnItem::Agg(AggName::Count, "t".into(), vec![])
+        );
     }
 
     #[test]
@@ -496,5 +542,58 @@ mod tests {
     #[test]
     fn keywords_lowercase_accepted() {
         assert!(parse_query(r#"for $a in document("b.xml")//x return $a"#).is_ok());
+    }
+
+    #[test]
+    fn parses_cube_by_dimension_list() {
+        let q = parse_query(
+            r#"FOR $b IN document("bib.xml")//article
+               CUBE BY $b/journal, $b/year, $b/author/name
+               RETURN <pubs> {count($b/title)} </pubs>"#,
+        )
+        .unwrap();
+        let cube = q.cube_by.as_ref().unwrap();
+        assert_eq!(cube.var, "b");
+        assert_eq!(
+            cube.dims,
+            vec![
+                vec!["journal".to_owned()],
+                vec!["year".to_owned()],
+                vec!["author".to_owned(), "name".to_owned()],
+            ]
+        );
+        let ReturnExpr::Element(c) = &q.return_clause else {
+            panic!()
+        };
+        assert_eq!(
+            c.items[0],
+            ReturnItem::Agg(AggName::Count, "b".into(), vec!["title".into()])
+        );
+    }
+
+    #[test]
+    fn cube_is_contextual_not_a_keyword() {
+        // An element named "cube" still parses as a path step.
+        let q = parse_query(r#"FOR $a IN document("b.xml")//cube RETURN $a"#).unwrap();
+        assert_eq!(q.for_clause.source.steps[0].name, "cube");
+        assert!(q.cube_by.is_none());
+    }
+
+    #[test]
+    fn cube_by_rejects_foreign_variables_and_empty_paths() {
+        let err = parse_query(
+            r#"FOR $b IN document("bib.xml")//article
+               CUBE BY $b/journal, $x/year
+               RETURN <pubs> {count($b/title)} </pubs>"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("start from $b"), "{err}");
+        let err = parse_query(
+            r#"FOR $b IN document("bib.xml")//article
+               CUBE BY $b
+               RETURN <pubs> {count($b/title)} </pubs>"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("path"), "{err}");
     }
 }

@@ -130,6 +130,37 @@ pub enum Plan {
         /// them via the unbound optional aggregate child).
         flat: bool,
     },
+    /// Collection concatenation: the inputs' outputs in order. The cube
+    /// translation emits one branch per lattice level; `cube-fuse`
+    /// replaces the whole union with a single [`Plan::Cube`] scan when
+    /// its guards hold.
+    Union {
+        /// The branches, in output order.
+        inputs: Vec<Plan>,
+    },
+    /// The grouping lattice (the `cube-fuse` rewrite of a `Union` of
+    /// per-level `Project ∘ Aggregate ∘ GroupBy` pipelines): one scan
+    /// computes the aggregate at **every** prefix of the basis,
+    /// emitting per level the flat rollup shape
+    /// `TAX_group_root { key…, <new_tag>value</new_tag> }` with a
+    /// leading `TAX_cube_level` marker child, levels coarsest-first.
+    Cube {
+        /// Input plan (shared by every level).
+        input: Box<Plan>,
+        /// Grouping pattern containing every dimension.
+        pattern: PatternTree,
+        /// The full ordered basis; level `k` groups on `basis[..k]`.
+        basis: Vec<BasisItem>,
+        /// The member-side aggregate pattern, re-anchored at the input
+        /// trees (as in [`Plan::Rollup`]).
+        member_pattern: PatternTree,
+        /// Label in `member_pattern` whose contents are aggregated.
+        of: PatternNodeId,
+        /// Aggregate function.
+        func: AggFunc,
+        /// Name of the element carrying the computed value.
+        new_tag: String,
+    },
     /// Root renaming.
     Rename {
         /// Input plan.
@@ -320,6 +351,40 @@ impl Plan {
                 );
                 input.explain_into(out, depth + 1);
             }
+            Plan::Union { inputs } => {
+                let _ = writeln!(out, "{pad}Union ({} branches)", inputs.len());
+                for i in inputs {
+                    i.explain_into(out, depth + 1);
+                }
+            }
+            Plan::Cube {
+                input,
+                pattern,
+                basis,
+                member_pattern,
+                of,
+                func,
+                new_tag,
+            } => {
+                let bs: Vec<String> = basis
+                    .iter()
+                    .map(|b| match &b.attr {
+                        Some(a) => format!("${}.{a}", b.label + 1),
+                        None => {
+                            format!("${}{}.content", b.label + 1, if b.deep { "*" } else { "" })
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}Cube {func:?}(member ${}) as <{new_tag}> levels={} pattern={} basis={bs:?} member={}",
+                    of + 1,
+                    basis.len(),
+                    pattern_summary(pattern),
+                    pattern_summary(member_pattern)
+                );
+                input.explain_into(out, depth + 1);
+            }
             Plan::Rename { input, tag } => {
                 let _ = writeln!(out, "{pad}Rename to <{tag}>");
                 input.explain_into(out, depth + 1);
@@ -363,12 +428,13 @@ impl Plan {
     /// Does the plan (recursively) contain a `GroupBy` node?
     pub fn uses_groupby(&self) -> bool {
         match self {
-            Plan::GroupBy { .. } | Plan::Rollup { .. } => true,
+            Plan::GroupBy { .. } | Plan::Rollup { .. } | Plan::Cube { .. } => true,
             Plan::SelectDb { .. } | Plan::SelectProject { .. } => false,
             Plan::Project { input, .. }
             | Plan::DupElim { input, .. }
             | Plan::Aggregate { input, .. }
             | Plan::Rename { input, .. } => input.uses_groupby(),
+            Plan::Union { inputs } => inputs.iter().any(Plan::uses_groupby),
             Plan::LeftOuterJoinDb { left, .. } => left.uses_groupby(),
             Plan::StitchConstruct { outer, inner, .. } => {
                 outer.uses_groupby() || inner.as_ref().map(|i| i.uses_groupby()).unwrap_or(false)
@@ -385,7 +451,10 @@ impl Plan {
             | Plan::DupElim { input, .. }
             | Plan::Aggregate { input, .. }
             | Plan::Rename { input, .. } => input.uses_join(),
-            Plan::GroupBy { input, .. } | Plan::Rollup { input, .. } => input.uses_join(),
+            Plan::Union { inputs } => inputs.iter().any(Plan::uses_join),
+            Plan::GroupBy { input, .. } | Plan::Rollup { input, .. } | Plan::Cube { input, .. } => {
+                input.uses_join()
+            }
             Plan::StitchConstruct { outer, inner, .. } => {
                 outer.uses_join() || inner.as_ref().map(|i| i.uses_join()).unwrap_or(false)
             }

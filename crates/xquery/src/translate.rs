@@ -28,6 +28,9 @@ const DOC_ROOT: &str = "doc_root";
 
 /// Translate a parsed FLWR into the naive TAX plan.
 pub fn translate(q: &Flwr) -> Result<Plan> {
+    if let Some(cube) = &q.cube_by {
+        return translate_cube(q, cube);
+    }
     // ---- the outer FOR --------------------------------------------------
     let PathRoot::Document(_) = q.for_clause.source.root else {
         return Err(QueryError::Unsupported(
@@ -104,12 +107,19 @@ pub fn translate(q: &Flwr) -> Result<Plan> {
                 }
                 _ => return Err(QueryError::UnboundVariable(v.clone())),
             },
-            ReturnItem::Agg(func, v) => match &q.let_clause {
-                Some(l) if &l.var == v => {
-                    set_nested(&mut nested_part, NestedPart::Let { agg: Some(*func) })?
+            ReturnItem::Agg(func, v, path) => {
+                if !path.is_empty() {
+                    return Err(QueryError::Unsupported(
+                        "aggregates over a path are only supported with CUBE BY".into(),
+                    ));
                 }
-                _ => return Err(QueryError::UnboundVariable(v.clone())),
-            },
+                match &q.let_clause {
+                    Some(l) if &l.var == v => {
+                        set_nested(&mut nested_part, NestedPart::Let { agg: Some(*func) })?
+                    }
+                    _ => return Err(QueryError::UnboundVariable(v.clone())),
+                }
+            }
             ReturnItem::Nested(flwr) => set_nested(&mut nested_part, NestedPart::Flwr(flwr))?,
             ReturnItem::VarPath(..) => {
                 return Err(QueryError::Unsupported(
@@ -214,6 +224,163 @@ pub fn translate(q: &Flwr) -> Result<Plan> {
         inner_extract: vec![(extract_in_stitch, true)],
         agg,
         order: order_in_stitch,
+        tag: constructor.tag.clone(),
+    })
+}
+
+/// Translate a `CUBE BY` query into its *composed* form: a `Union` with
+/// one canonical `Project ∘ Aggregate ∘ GroupBy` pipeline per lattice
+/// level, every branch sharing the same full grouping pattern (so the
+/// witness streams are identical) and grouping on the basis prefix
+/// `basis[..k]`. The `cube-fuse` optimizer rule collapses the union
+/// into one [`Plan::Cube`] scan; without it (the materializing
+/// optimizer) the union *is* the byte-identity reference plan.
+fn translate_cube(q: &Flwr, cube: &CubeClause) -> Result<Plan> {
+    let PathRoot::Document(_) = q.for_clause.source.root else {
+        return Err(QueryError::Unsupported(
+            "the outer FOR must range over document(…)".into(),
+        ));
+    };
+    if q.for_clause.source.steps.is_empty() {
+        return Err(QueryError::Unsupported(
+            "the outer FOR path needs at least one step".into(),
+        ));
+    }
+    if q.for_clause
+        .source
+        .steps
+        .iter()
+        .any(|s| s.predicate.is_some())
+    {
+        return Err(QueryError::Unsupported(
+            "predicates in the outer FOR path are not supported".into(),
+        ));
+    }
+    if q.for_clause.distinct {
+        return Err(QueryError::Unsupported(
+            "distinct-values with CUBE BY is not supported".into(),
+        ));
+    }
+    if q.let_clause.is_some() || !q.where_clause.is_empty() || q.order_by.is_some() {
+        return Err(QueryError::Unsupported(
+            "CUBE BY supports no LET, WHERE, or ORDER BY".into(),
+        ));
+    }
+    if cube.var != q.for_clause.var {
+        return Err(QueryError::UnboundVariable(cube.var.clone()));
+    }
+
+    // RETURN: an element constructor holding exactly one aggregate over
+    // a path on the FOR variable, e.g. `<pubs>{count($b/title)}</pubs>`.
+    let ReturnExpr::Element(constructor) = &q.return_clause else {
+        return Err(QueryError::Unsupported(
+            "the CUBE BY RETURN must be an element constructor".into(),
+        ));
+    };
+    let [ReturnItem::Agg(func, v, agg_path)] = &constructor.items[..] else {
+        return Err(QueryError::Unsupported(
+            "the CUBE BY RETURN must hold exactly one aggregate item".into(),
+        ));
+    };
+    if v != &q.for_clause.var {
+        return Err(QueryError::UnboundVariable(v.clone()));
+    }
+    if agg_path.is_empty() {
+        return Err(QueryError::Unsupported(
+            "the CUBE BY aggregate needs a path, e.g. count($b/title)".into(),
+        ));
+    }
+
+    // Distinct dimension leaf tags keep the per-level key projection
+    // unambiguous (each wrapper child binds exactly one pattern node).
+    let dim_tags: Vec<&String> = cube
+        .dims
+        .iter()
+        .map(|d| d.last().expect("parser requires non-empty dims"))
+        .collect();
+    for (i, t) in dim_tags.iter().enumerate() {
+        if dim_tags[..i].contains(t) {
+            return Err(QueryError::Unsupported(format!(
+                "CUBE BY dimensions must end in distinct tags (<{t}> repeats)"
+            )));
+        }
+    }
+
+    // The shared input scan: one deep subject tree per match of the FOR
+    // path (exactly the grouping rewrite's input shape).
+    let (subject_path, subject_in_path) = chain_pattern(&q.for_clause.source.steps);
+    let input_plan = Plan::Project {
+        input: Box::new(Plan::SelectDb {
+            pattern: subject_path.clone(),
+            sl: vec![subject_in_path],
+        }),
+        pattern: subject_path,
+        pl: vec![ProjectItem::deep(subject_in_path)],
+        anchor_root: true,
+    };
+    let subject_tag = &q.for_clause.source.steps.last().expect("non-empty").name;
+
+    // The full grouping pattern: subject with every dimension grafted.
+    // Every level matches this same pattern, so a tree participates only
+    // when all dimensions are present (cube semantics) and the witness
+    // streams of all levels coincide.
+    let mut gb_pattern = PatternTree::with_root(Pred::tag(subject_tag.clone()));
+    let gb_root = gb_pattern.root();
+    let basis_full: Vec<tax::ops::groupby::BasisItem> = cube
+        .dims
+        .iter()
+        .map(|dim| {
+            tax::ops::groupby::BasisItem::content(add_child_chain(&mut gb_pattern, gb_root, dim))
+        })
+        .collect();
+
+    // The canonical member walk for the aggregate.
+    let mut agg_pattern = PatternTree::with_root(Pred::tag(tax::tags::GROUP_ROOT));
+    let subroot = agg_pattern.add_child(
+        agg_pattern.root(),
+        Axis::Child,
+        Pred::tag(tax::tags::GROUP_SUBROOT),
+    );
+    let member = agg_pattern.add_child(subroot, Axis::Child, Pred::tag(subject_tag.clone()));
+    let of_in_agg = add_child_chain(&mut agg_pattern, member, agg_path);
+
+    let func_tax = agg_func_of(*func);
+    let new_tag = func.name().to_owned();
+    let mut branches = Vec::with_capacity(basis_full.len());
+    for k in 1..=basis_full.len() {
+        let gb = Plan::GroupBy {
+            input: Box::new(input_plan.clone()),
+            pattern: gb_pattern.clone(),
+            basis: basis_full[..k].to_vec(),
+            ordering: vec![],
+        };
+        let agg = Plan::Aggregate {
+            input: Box::new(gb),
+            pattern: agg_pattern.clone(),
+            func: func_tax,
+            of: of_in_agg,
+            new_tag: new_tag.clone(),
+            spec: tax::ops::aggregate::UpdateSpec::AfterLastChild(0),
+        };
+        // The canonical flat reshape: `root { key_1 … key_k, value }`.
+        let mut fp = PatternTree::with_root(Pred::tag(tax::tags::GROUP_ROOT));
+        let wrapper = fp.add_child(fp.root(), Axis::Child, Pred::tag(tax::tags::GROUPING_BASIS));
+        let mut pl = vec![ProjectItem::shallow(fp.root())];
+        for tag in &dim_tags[..k] {
+            let key = fp.add_child(wrapper, Axis::Child, Pred::tag((*tag).clone()));
+            pl.push(ProjectItem::deep(key));
+        }
+        let agg_node = fp.add_child(fp.root(), Axis::Child, Pred::tag(new_tag.clone()));
+        pl.push(ProjectItem::deep(agg_node));
+        branches.push(Plan::Project {
+            input: Box::new(agg),
+            pattern: fp,
+            pl,
+            anchor_root: true,
+        });
+    }
+    Ok(Plan::Rename {
+        input: Box::new(Plan::Union { inputs: branches }),
         tag: constructor.tag.clone(),
     })
 }
@@ -641,5 +808,101 @@ mod tests {
             &parse_query(r#"FOR $a IN document("b")//x RETURN <t>{$a}{$z}</t>"#).unwrap(),
         );
         assert!(matches!(e, Err(QueryError::UnboundVariable(_))));
+    }
+
+    const QUERY_CUBE: &str = r#"
+        FOR $b IN document("bib.xml")//article
+        CUBE BY $b/journal, $b/year, $b/author
+        RETURN <pubs> {count($b/title)} </pubs>
+    "#;
+
+    #[test]
+    fn cube_translates_to_a_prefix_union() {
+        let plan = translate(&parse_query(QUERY_CUBE).unwrap()).unwrap();
+        let Plan::Rename { input, tag } = &plan else {
+            panic!("outer node must rename to the constructor tag")
+        };
+        assert_eq!(tag, "pubs");
+        let Plan::Union { inputs } = input.as_ref() else {
+            panic!("cube translation is a union of lattice levels")
+        };
+        assert_eq!(inputs.len(), 3, "one branch per dimension prefix");
+        let mut shared_pattern = None;
+        let mut shared_input = None;
+        for (i, branch) in inputs.iter().enumerate() {
+            let Plan::Project { input, .. } = branch else {
+                panic!("branch {i} is not the flat reshape")
+            };
+            let Plan::Aggregate { input, .. } = input.as_ref() else {
+                panic!("branch {i} lacks the aggregate")
+            };
+            let Plan::GroupBy {
+                input,
+                pattern,
+                basis,
+                ordering,
+            } = input.as_ref()
+            else {
+                panic!("branch {i} lacks the grouping")
+            };
+            assert_eq!(basis.len(), i + 1, "branch {i} groups on the prefix");
+            assert!(ordering.is_empty());
+            // Every level shares the full pattern and the same scan, so
+            // the witness streams coincide (and cube-fuse can fire).
+            let text = crate::plan::pattern_summary(pattern);
+            assert_eq!(*shared_pattern.get_or_insert_with(|| text.clone()), text);
+            let scan = input.explain();
+            assert_eq!(*shared_input.get_or_insert_with(|| scan.clone()), scan);
+        }
+        assert_eq!(
+            shared_pattern.unwrap(),
+            "[$1:article, $1-pc->$2:journal, $1-pc->$3:year, $1-pc->$4:author]"
+        );
+    }
+
+    #[test]
+    fn cube_rejects_unsupported_shapes() {
+        for (q, needle) in [
+            (
+                r#"FOR $b IN distinct-values(document("bib.xml")//article)
+                   CUBE BY $b/journal RETURN <p>{count($b/title)}</p>"#,
+                "distinct-values",
+            ),
+            (
+                r#"FOR $b IN document("bib.xml")//article CUBE BY $b/journal
+                   WHERE $b = "x" RETURN <p>{count($b/title)}</p>"#,
+                "LET, WHERE, or ORDER BY",
+            ),
+            (
+                r#"FOR $b IN document("bib.xml")//article
+                   CUBE BY $b/year, $b/old/year RETURN <p>{count($b/title)}</p>"#,
+                "distinct tags",
+            ),
+            (
+                r#"FOR $b IN document("bib.xml")//article
+                   CUBE BY $b/journal RETURN <p>{count($b)}</p>"#,
+                "needs a path",
+            ),
+            (
+                r#"FOR $b IN document("bib.xml")//article
+                   CUBE BY $b/journal RETURN <p>{$b}{count($b/title)}</p>"#,
+                "exactly one aggregate",
+            ),
+        ] {
+            let err = translate(&parse_query(q).unwrap()).unwrap_err();
+            assert!(err.to_string().contains(needle), "{q}: {err}");
+        }
+    }
+
+    #[test]
+    fn aggregate_paths_without_cube_by_are_rejected() {
+        let q = parse_query(
+            r#"FOR $a IN distinct-values(document("b")//author)
+               LET $t := document("b")//article[author = $a]/title
+               RETURN <r> {$a} {count($t/x)} </r>"#,
+        )
+        .unwrap();
+        let err = translate(&q).unwrap_err();
+        assert!(err.to_string().contains("CUBE BY"), "{err}");
     }
 }

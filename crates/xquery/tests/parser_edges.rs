@@ -73,7 +73,11 @@ fn all_aggregate_functions_parse() {
         let ReturnExpr::Element(c) = &q.return_clause else {
             panic!()
         };
-        assert_eq!(c.items[1], ReturnItem::Agg(func, "t".into()), "{name}");
+        assert_eq!(
+            c.items[1],
+            ReturnItem::Agg(func, "t".into(), vec![]),
+            "{name}"
+        );
     }
 }
 
