@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [e1] [e2] [scale] [pool] [matching] [groupby-impl] [value-index]
-//!           [threads] [rollup] [cube] [faults] [bench-smoke] [all]
+//!           [threads] [rollup] [cube] [faults] [recovery] [wal-overhead]
+//!           [bench-smoke] [all]
 //!           [--articles N] [--mem] [--threads N] [--faults SPEC] [--analyze]
 //!           [--json PATH] [--baseline PATH] [--bench-threshold PCT]
 //! ```
@@ -32,6 +33,21 @@
 //! the same spec syntax the `crash_recovery` suite uses, so any CI
 //! failure is replayable from the command line. Passing `--faults`
 //! without an experiment list implies `faults`.
+//!
+//! The `recovery` experiment (X16) drives the durable write path: a
+//! scripted mutation workload against a WAL-backed store is killed by a
+//! seeded `crash=N` schedule (`--faults seed=S,crash=N` to pick the
+//! point), the page file is reopened through ARIES-style recovery, and
+//! the recovered store's grouped query output is byte-diffed against a
+//! never-crashed oracle holding exactly the committed documents.
+//!
+//! The `wal-overhead` experiment (X15) prices durability: the same bulk
+//! insert runs into a fresh on-disk page file plain and through the
+//! write-ahead log, over a sweep of document sizes up to `--articles`.
+//! Fresh-extent commits keep the log tiny (direct page writes, one page
+//! file sync, one group log flush), so the overhead is two fdatasyncs
+//! plus the page-file flush — fixed costs that dominate tiny loads and
+//! amortize below the 10 % target at bulk scale.
 //!
 //! `bench-smoke` is the CI perf gate (never part of `all`): it times the
 //! tier-1 workload — E1/E2 under both plans, serial and with sharded
@@ -166,6 +182,12 @@ fn main() {
     if wants("faults") {
         run_faults(threads, fault_spec.as_deref());
     }
+    if wants("recovery") {
+        run_recovery(threads, fault_spec.as_deref());
+    }
+    if wants("wal-overhead") {
+        run_wal_overhead(articles);
+    }
     if wants_smoke {
         let ok = run_bench_smoke(
             articles,
@@ -271,6 +293,34 @@ fn run_bench_smoke(
         run_analyze(&db, "bench-smoke E1 titles (threads=4)", QUERY_TITLES);
     }
 
+    // X15: durable-load overhead. The same bulk insert lands in the same
+    // on-disk page file twice — once plain, once through the write-ahead
+    // log (fresh-extent commits: direct page writes, one sync, one group
+    // log flush). `load_wal` is gated against the baseline like every
+    // other key; the plain twin is measured in the same run so the
+    // overhead ratio is also visible without calibration.
+    let load_articles = (articles / 4).max(1_000);
+    let load_xml =
+        datagen::DblpGenerator::new(datagen::DblpConfig::sized(load_articles)).generate_xml();
+    let mut best_plain = f64::INFINITY;
+    let mut best_wal = f64::INFINITY;
+    for _ in 0..3 {
+        best_plain = best_plain.min(timed_durable_load(&load_xml, false));
+        best_wal = best_wal.min(timed_durable_load(&load_xml, true));
+    }
+    for (key, best) in [("load_plain", best_plain), ("load_wal", best_wal)] {
+        let u = units(best, calibration_secs);
+        println!("{key:<22} {best:>9.4}s = {u:>9.3} units");
+        entries.push((key.to_owned(), u));
+    }
+    // At smoke scale the fixed fsync costs dominate a millisecond-range
+    // load, so the ratio is informational only — the ≤10 % durability
+    // target is measured at bulk scale by `reproduce wal-overhead` (X15).
+    println!(
+        "wal overhead at smoke scale: {:+.1}% (fixed-cost dominated; X15 gates at bulk scale)",
+        (best_wal / best_plain - 1.0) * 100.0
+    );
+
     let report = BenchReport {
         calibration_secs,
         articles,
@@ -321,6 +371,64 @@ fn run_bench_smoke(
                 }
             }
         }
+}
+
+/// X15: the price of durability on bulk load. The same synthetic DBLP
+/// document is inserted into a fresh on-disk page file plain and through
+/// the write-ahead log, best-of-three each, over a sweep of sizes — the
+/// WAL's costs on a fresh-extent commit are fixed (two fdatasyncs plus
+/// the page-file flush), so the percentage falls as the load grows. The
+/// ≤10 % acceptance target applies at the full `--articles` scale.
+fn run_wal_overhead(articles: usize) {
+    println!("-- X15: WAL overhead on bulk load (fresh-extent commit path) --");
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>9}",
+        "articles", "plain", "wal", "overhead"
+    );
+    let mut last_overhead = 0.0;
+    for scale in [articles / 16, articles / 4, articles] {
+        let scale = scale.max(100);
+        let xml = datagen::DblpGenerator::new(datagen::DblpConfig::sized(scale)).generate_xml();
+        let mut plain = f64::INFINITY;
+        let mut wal = f64::INFINITY;
+        for _ in 0..3 {
+            plain = plain.min(timed_durable_load(&xml, false));
+            wal = wal.min(timed_durable_load(&xml, true));
+        }
+        last_overhead = (wal / plain - 1.0) * 100.0;
+        println!("{scale:>10}  {plain:>9.4}s  {wal:>9.4}s  {last_overhead:>+8.1}%");
+    }
+    println!("overhead at {articles} articles: {last_overhead:+.1}% (target <= +10%)\n");
+}
+
+/// One timed bulk insert into a fresh on-disk page file, with or
+/// without the write-ahead log. Returns wall seconds.
+fn timed_durable_load(xml: &str, durable: bool) -> f64 {
+    use xmlstore::{wal_path_for, StoreOptions};
+    let page = std::env::temp_dir().join(format!(
+        "timber_bench_load_{}_{}.pages",
+        std::process::id(),
+        durable
+    ));
+    let wal_p = wal_path_for(&page);
+    let _ = std::fs::remove_file(&page);
+    let _ = std::fs::remove_file(&wal_p);
+    let mut opts = StoreOptions {
+        pool_pages: 4096,
+        ..StoreOptions::in_memory()
+    }
+    .with_path(&page);
+    if durable {
+        opts = opts.with_durable();
+    }
+    let t0 = std::time::Instant::now();
+    let mut db = timber::TimberDb::create(&opts).expect("create load store");
+    db.insert_xml(xml).expect("bulk insert");
+    let dt = t0.elapsed().as_secs_f64();
+    drop(db);
+    let _ = std::fs::remove_file(&page);
+    let _ = std::fs::remove_file(&wal_p);
+    dt
 }
 
 fn run_analyze(db: &timber::TimberDb, label: &str, query: &str) {
@@ -388,6 +496,143 @@ fn run_faults(threads: usize, spec: Option<&str>) {
         stats.write_flips,
         stats.torn_writes,
     );
+}
+
+/// X16: the durable write path under a seeded kill. A scripted mutation
+/// workload (inserts, a delete, a replace, a checkpoint) runs against a
+/// WAL-backed store with a `crash=N` schedule armed; the page file is
+/// then reopened through ARIES recovery and checked — document by
+/// document and byte-by-byte on the grouped query output — against a
+/// never-crashed oracle holding exactly the committed documents.
+fn run_recovery(threads: usize, spec: Option<&str>) {
+    use datagen::{DblpConfig, DblpGenerator};
+    use timber::TimberDb;
+    use xmlstore::{wal_path_for, FaultConfig, StoreOptions};
+
+    let schedule: FaultConfig = spec
+        .unwrap_or("seed=1,crash=12")
+        .parse()
+        .expect("--faults SPEC (e.g. seed=3,crash=25)");
+    println!("-- X16: WAL + ARIES crash recovery replay --");
+    println!("schedule: {schedule}");
+
+    let page =
+        std::env::temp_dir().join(format!("timber_recovery_x16_{}.pages", std::process::id()));
+    let wal_p = wal_path_for(&page);
+    let _ = std::fs::remove_file(&page);
+    let _ = std::fs::remove_file(&wal_p);
+    let opts = StoreOptions {
+        pool_pages: 256,
+        ..StoreOptions::in_memory()
+    }
+    .with_path(&page)
+    .with_durable();
+
+    let mut db = TimberDb::create(&opts).expect("create durable store");
+    db.set_threads(threads);
+    db.set_faults(Some(schedule)).expect("arm crash schedule");
+
+    // The committed model: XML of every live document, insertion order.
+    let mut alive: Vec<String> = Vec::new();
+    let doc = |n: usize| DblpGenerator::new(DblpConfig::sized(n)).generate_xml();
+    type ScriptStep = Box<dyn Fn(&mut TimberDb, &mut Vec<String>) -> timber::Result<()>>;
+    let script: [(&str, ScriptStep); 6] = [
+        (
+            "insert 200",
+            Box::new(move |db, alive| {
+                let xml = doc(200);
+                db.insert_xml(&xml).map(|_| alive.push(xml))
+            }),
+        ),
+        (
+            "insert 120",
+            Box::new(move |db, alive| {
+                let xml = doc(120);
+                db.insert_xml(&xml).map(|_| alive.push(xml))
+            }),
+        ),
+        ("checkpoint", Box::new(|db, _| db.checkpoint())),
+        (
+            "delete first",
+            Box::new(|db, alive| {
+                let id = db.documents()[0].0;
+                db.delete_document(id).map(|()| {
+                    alive.remove(0);
+                })
+            }),
+        ),
+        (
+            "replace first",
+            Box::new(move |db, alive| {
+                let id = db.documents()[0].0;
+                let xml = doc(80);
+                db.replace_xml(id, &xml).map(|_| {
+                    alive.remove(0);
+                    alive.push(xml);
+                })
+            }),
+        ),
+        (
+            "insert 150",
+            Box::new(move |db, alive| {
+                let xml = doc(150);
+                db.insert_xml(&xml).map(|_| alive.push(xml))
+            }),
+        ),
+    ];
+    for (label, step) in &script {
+        match step(&mut db, &mut alive) {
+            Ok(()) => println!("{label:<15} committed"),
+            Err(e) => {
+                println!("{label:<15} CRASHED mid-write ({e})");
+                break;
+            }
+        }
+    }
+    let write_ops = db.fault_stats().map(|s| s.write_ops).unwrap_or(0);
+    drop(db);
+
+    let t0 = std::time::Instant::now();
+    let recovered = TimberDb::open(&opts).expect("reopen through recovery");
+    let dt = t0.elapsed();
+    let info = recovered.recovery_info().expect("recovery ran");
+    println!(
+        "reopened in {:.3}s after {write_ops} write ops: {} committed txns, {} losers rolled back, {} images redone, {} undone",
+        dt.as_secs_f64(),
+        info.committed,
+        info.losers,
+        info.redone,
+        info.undone
+    );
+    assert_eq!(
+        recovered.documents().len(),
+        alive.len(),
+        "recovered store must hold exactly the committed documents"
+    );
+
+    let mut oracle = TimberDb::create(&StoreOptions::in_memory()).expect("oracle store");
+    for xml in &alive {
+        oracle.insert_xml(xml).expect("oracle insert");
+    }
+    for (label, query) in [("E1 titles", QUERY_TITLES), ("E2 count", QUERY_COUNT)] {
+        let got = recovered
+            .query(query, PlanMode::GroupByRewrite)
+            .and_then(|r| r.to_xml_on(recovered.store()))
+            .expect("recovered query");
+        let want = oracle
+            .query(query, PlanMode::GroupByRewrite)
+            .and_then(|r| r.to_xml_on(oracle.store()))
+            .expect("oracle query");
+        assert_eq!(got, want, "{label}: recovered output diverges from oracle");
+        println!(
+            "{label:<15} grouped output matches the never-crashed oracle ({} bytes)",
+            got.len()
+        );
+    }
+    drop(recovered);
+    let _ = std::fs::remove_file(&page);
+    let _ = std::fs::remove_file(&wal_p);
+    println!();
 }
 
 fn run_e1(db: &timber::TimberDb) {

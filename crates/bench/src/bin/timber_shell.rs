@@ -9,6 +9,11 @@
 //! ```text
 //! .load <file.xml>     load an XML document
 //! .gen <articles>      load a synthetic DBLP of the given size
+//! .insert <file.xml>   insert a document into the current database
+//!                      (creates an empty one first if none is loaded)
+//! .delete <doc>        delete a document by id (see .stats for ids)
+//! .checkpoint          flush dirty pages and truncate the write-ahead
+//!                      log (durable databases)
 //! .mode direct|groupby|materialized|auto|both
 //! .exec physical|legacy
 //! .cube                run the X14 lattice query (journal → year →
@@ -171,6 +176,7 @@ impl Shell {
             ".help" => {
                 println!(
                     ".load <file.xml> | .gen <articles> | .mode {MODE_VALUES}\n\
+                     .insert <file.xml> | .delete <doc> | .checkpoint\n\
                      .exec {EXEC_VALUES} | .batch <n> | .threads <n>\n\
                      .cube (run the X14 lattice query) | .explain (toggle) | .explain analyze | .explain off\n\
                      .faults <spec|off> | .stats | .quit\n\
@@ -178,6 +184,28 @@ impl Shell {
                 );
             }
             ".load" => self.load(arg),
+            ".insert" => self.insert(arg),
+            ".delete" => match (arg.parse::<u64>(), &mut self.db) {
+                (_, None) => eprintln!("no database loaded (.load or .gen first)"),
+                (Err(_), _) => eprintln!(".delete needs a document id (see .stats)"),
+                (Ok(id), Some(db)) => match db.delete_document(id) {
+                    Ok(()) => println!("deleted document {id}; {} remain", db.documents().len()),
+                    Err(e) => eprintln!("delete failed: {e}"),
+                },
+            },
+            ".checkpoint" => match &mut self.db {
+                None => eprintln!("no database loaded (.load or .gen first)"),
+                Some(db) => match db.checkpoint() {
+                    Ok(()) => match db.wal_stats() {
+                        Some(s) => println!(
+                            "checkpoint done ({} so far, {} log records written)",
+                            s.checkpoints, s.records
+                        ),
+                        None => println!("checkpoint done (non-durable database: pages flushed)"),
+                    },
+                    Err(e) => eprintln!("checkpoint failed: {e}"),
+                },
+            },
             ".gen" => match arg.parse::<usize>() {
                 Ok(n) => {
                     let xml =
@@ -319,6 +347,20 @@ impl Shell {
                         io.page_requests(),
                         io.disk.reads,
                     );
+                    let docs = db.documents();
+                    if !docs.is_empty() {
+                        let list: Vec<String> = docs
+                            .iter()
+                            .map(|&(id, n)| format!("{id} ({n} nodes)"))
+                            .collect();
+                        println!("documents: {}", list.join(", "));
+                    }
+                    if let Some(w) = db.wal_stats() {
+                        println!(
+                            "wal: {} records, {} flushes, {} checkpoints",
+                            w.records, w.flushes, w.checkpoints
+                        );
+                    }
                 }
             },
             other => eprintln!("unknown command {other}; try .help"),
@@ -345,6 +387,39 @@ impl Shell {
                     self.db = Some(db);
                 }
                 Err(e) => eprintln!("load failed: {e}"),
+            },
+        }
+    }
+
+    fn insert(&mut self, path: &str) {
+        if path.is_empty() {
+            eprintln!(".insert needs a file path");
+            return;
+        }
+        if self.db.is_none() {
+            match TimberDb::create(&StoreOptions::default()) {
+                Ok(mut db) => {
+                    db.set_threads(self.threads);
+                    db.set_exec_mode(self.exec);
+                    self.db = Some(db);
+                    println!("created an empty database");
+                }
+                Err(e) => {
+                    eprintln!("create failed: {e}");
+                    return;
+                }
+            }
+        }
+        let Some(db) = &mut self.db else { return };
+        match std::fs::read_to_string(path) {
+            Err(e) => eprintln!("cannot read {path}: {e}"),
+            Ok(xml) => match db.insert_xml(&xml) {
+                Ok(id) => println!(
+                    "inserted {path} as document {id}: {} documents, {} nodes total",
+                    db.documents().len(),
+                    db.store().node_count()
+                ),
+                Err(e) => eprintln!("insert failed: {e}"),
             },
         }
     }

@@ -45,7 +45,9 @@ pub use metrics::PlanMetrics;
 pub use result::QueryResult;
 
 use std::fmt::Write as _;
-use xmlstore::{DocumentStore, FaultConfig, FaultStats, IoStats, StoreOptions};
+use xmlstore::{
+    DocId, DocumentStore, FaultConfig, FaultStats, IoStats, RecoveryInfo, StoreOptions, WalStats,
+};
 use xquery::opt::OptTrace;
 use xquery::Plan;
 
@@ -125,6 +127,77 @@ impl TimberDb {
             exec_mode: ExecMode::default(),
             batch_size: physical::DEFAULT_BATCH_SIZE,
         })
+    }
+
+    /// Create an empty database. With [`StoreOptions::with_durable`] and
+    /// a path, every mutation is logged to a write-ahead log next to the
+    /// page file and survives crashes.
+    pub fn create(opts: &StoreOptions) -> Result<Self> {
+        Ok(TimberDb {
+            store: DocumentStore::create(opts)?,
+            exec: tax::ExecOptions::default(),
+            exec_mode: ExecMode::default(),
+            batch_size: physical::DEFAULT_BATCH_SIZE,
+        })
+    }
+
+    /// Reopen a durable database from its page file, running ARIES-style
+    /// crash recovery over the log tail first. Only documents whose
+    /// commit record reached the log survive; everything else is rolled
+    /// back. [`TimberDb::recovery_info`] reports what recovery did.
+    pub fn open(opts: &StoreOptions) -> Result<Self> {
+        Ok(TimberDb {
+            store: DocumentStore::open(opts)?,
+            exec: tax::ExecOptions::default(),
+            exec_mode: ExecMode::default(),
+            batch_size: physical::DEFAULT_BATCH_SIZE,
+        })
+    }
+
+    /// Parse and insert a document under the shared `doc_root`, as one
+    /// logged transaction. Returns the new document's id.
+    pub fn insert_xml(&mut self, xml: &str) -> Result<DocId> {
+        Ok(self.store.insert_xml(xml)?)
+    }
+
+    /// Insert an already parsed document.
+    pub fn insert_document(&mut self, doc: &xmlparse::Document) -> Result<DocId> {
+        Ok(self.store.insert_document(doc)?)
+    }
+
+    /// Delete a document and reclaim its pages.
+    pub fn delete_document(&mut self, doc: DocId) -> Result<()> {
+        Ok(self.store.delete_document(doc)?)
+    }
+
+    /// Replace a document's content: delete + insert as two logged
+    /// transactions. Returns the replacement's id.
+    pub fn replace_xml(&mut self, doc: DocId, xml: &str) -> Result<DocId> {
+        let parsed = xmlparse::parse_document(xml).map_err(xmlstore::StoreError::from)?;
+        Ok(self.store.replace_document(doc, &parsed)?)
+    }
+
+    /// Flush all dirty pages, fsync the page file, and truncate the log
+    /// to a fresh checkpoint record.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        Ok(self.store.checkpoint()?)
+    }
+
+    /// The stored documents as `(doc_id, node_count)`, in insertion
+    /// order.
+    pub fn documents(&self) -> Vec<(DocId, u32)> {
+        self.store.documents()
+    }
+
+    /// Write-ahead-log counters, when the store is durable.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.store.wal_stats()
+    }
+
+    /// What crash recovery did when this database was opened; `None`
+    /// for freshly created or bulk-loaded databases.
+    pub fn recovery_info(&self) -> Option<RecoveryInfo> {
+        self.store.recovery_info()
     }
 
     /// The underlying store (statistics, direct access).
@@ -769,6 +842,44 @@ mod tests {
             let r = db.query(QUERY1, PlanMode::Direct).unwrap();
             assert_eq!(r.to_xml_on(db.store()).unwrap(), expected, "batch={batch}");
         }
+    }
+
+    #[test]
+    fn durable_db_mutates_queries_and_recovers() {
+        let page =
+            std::env::temp_dir().join(format!("timber_durable_test_{}.pages", std::process::id()));
+        let wal = xmlstore::wal_path_for(&page);
+        let _ = std::fs::remove_file(&page);
+        let _ = std::fs::remove_file(&wal);
+        let opts = StoreOptions::in_memory().with_path(&page).with_durable();
+        let expected = {
+            let mut db = TimberDb::create(&opts).unwrap();
+            let d1 = db.insert_xml(SAMPLE).unwrap();
+            let extra = db
+                .insert_xml(
+                    "<bib><article><title>Gone</title><author>Nobody</author></article></bib>",
+                )
+                .unwrap();
+            db.delete_document(extra).unwrap();
+            let d2 = db
+                .replace_xml(d1, SAMPLE.replace("Hack HTML", "Fix HTML").as_str())
+                .unwrap();
+            assert_ne!(d1, d2);
+            db.checkpoint().unwrap();
+            assert_eq!(db.documents().len(), 1);
+            assert!(db.wal_stats().unwrap().flushes >= 3);
+            let r = db.query(QUERY1, PlanMode::GroupByRewrite).unwrap();
+            r.to_xml_on(db.store()).unwrap()
+        };
+        assert!(expected.contains("Fix HTML"), "{expected}");
+        // Reopen: recovery replays the log, queries answer identically.
+        let db = TimberDb::open(&opts).unwrap();
+        assert!(db.recovery_info().is_some());
+        assert_eq!(db.documents().len(), 1);
+        let r = db.query(QUERY1, PlanMode::GroupByRewrite).unwrap();
+        assert_eq!(r.to_xml_on(db.store()).unwrap(), expected);
+        let _ = std::fs::remove_file(&page);
+        let _ = std::fs::remove_file(&wal);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use crate::error::{Result, StoreError};
 use crate::page::{self, PageId, PAGE_DATA_SIZE, PAGE_SIZE};
 use crate::storage::{DiskManager, DiskStats, SharedDisk};
+use crate::wal::WalHandle;
 use std::collections::HashMap;
 use std::sync::MutexGuard;
 use std::time::Duration;
@@ -66,6 +67,9 @@ struct Frame {
     dirty: bool,
     refbit: bool,
     valid: bool,
+    /// LSN of the log record that justifies this frame's dirty state.
+    /// Zero for pages dirtied outside a logged transaction.
+    lsn: u64,
 }
 
 impl Frame {
@@ -76,6 +80,7 @@ impl Frame {
             dirty: false,
             refbit: false,
             valid: false,
+            lsn: 0,
         }
     }
 }
@@ -87,10 +92,32 @@ impl Frame {
 /// one [`SharedDisk`].
 pub struct BufferPool {
     disk: SharedDisk,
+    wal: Option<WalHandle>,
     frames: Vec<Frame>,
     table: HashMap<PageId, usize>,
     hand: usize,
     stats: BufferStats,
+}
+
+/// Write one frame back to disk, honouring the WAL-before-data rule: if
+/// the frame was dirtied by a logged transaction, its page images must
+/// be durable before the page itself may be (steal policy).
+fn write_back(
+    disk: &SharedDisk,
+    wal: &Option<WalHandle>,
+    retries: &mut u64,
+    pid: PageId,
+    lsn: u64,
+    data: &[u8; PAGE_SIZE],
+) -> Result<()> {
+    with_retry(retries, || {
+        if lsn > 0 {
+            if let Some(w) = wal {
+                w.lock().flush_to(lsn)?;
+            }
+        }
+        disk.lock().write_page(pid, data)
+    })
 }
 
 impl BufferPool {
@@ -106,11 +133,18 @@ impl BufferPool {
         }
         Ok(BufferPool {
             disk,
+            wal: None,
             frames: (0..capacity_pages).map(|_| Frame::empty()).collect(),
             table: HashMap::with_capacity(capacity_pages),
             hand: 0,
             stats: BufferStats::default(),
         })
+    }
+
+    /// Attach (or detach) the write-ahead log this pool must flush
+    /// before writing back frames dirtied by logged transactions.
+    pub fn set_wal(&mut self, wal: Option<WalHandle>) {
+        self.wal = wal;
     }
 
     /// Pool capacity in pages.
@@ -167,18 +201,47 @@ impl BufferPool {
         Ok(f(page::data_mut(&mut self.frames[idx].data)))
     }
 
+    /// Install a full page image into the pool without reading the old
+    /// contents from disk, marking the frame dirty. This is the logged
+    /// write path: the caller has already appended the matching
+    /// `PageImage` record at `lsn`, and the frame remembers that LSN so
+    /// eviction flushes the log first (steal). The image's header LSN
+    /// bytes are stamped here.
+    pub fn write_page_image(
+        &mut self,
+        pid: PageId,
+        lsn: u64,
+        data: &[u8; PAGE_SIZE],
+    ) -> Result<()> {
+        let idx = match self.table.get(&pid) {
+            Some(&idx) => idx,
+            None => {
+                let idx = self.evict_for(pid)?;
+                self.frames[idx].pid = pid;
+                self.frames[idx].valid = true;
+                self.table.insert(pid, idx);
+                idx
+            }
+        };
+        *self.frames[idx].data = *data;
+        page::set_lsn(&mut self.frames[idx].data, lsn);
+        self.frames[idx].dirty = true;
+        self.frames[idx].refbit = true;
+        self.frames[idx].lsn = lsn;
+        Ok(())
+    }
+
     /// Write all dirty frames back to disk.
     pub fn flush_all(&mut self) -> Result<()> {
         let mut retries = 0;
         for i in 0..self.frames.len() {
             if self.frames[i].valid && self.frames[i].dirty {
-                let pid = self.frames[i].pid;
-                let res = with_retry(&mut retries, || {
-                    self.disk.lock().write_page(pid, &self.frames[i].data)
-                });
+                let f = &self.frames[i];
+                let res = write_back(&self.disk, &self.wal, &mut retries, f.pid, f.lsn, &f.data);
                 self.stats.retries += std::mem::take(&mut retries);
                 res?;
                 self.frames[i].dirty = false;
+                self.frames[i].lsn = 0;
                 self.stats.writebacks += 1;
             }
         }
@@ -204,26 +267,8 @@ impl BufferPool {
             return Ok(idx);
         }
         self.stats.misses += 1;
-        let idx = self.victim()?;
+        let idx = self.evict_for(pid)?;
         let mut retries = 0;
-        if self.frames[idx].valid {
-            if self.frames[idx].dirty {
-                let old = self.frames[idx].pid;
-                let res = with_retry(&mut retries, || {
-                    self.disk.lock().write_page(old, &self.frames[idx].data)
-                });
-                self.stats.retries += std::mem::take(&mut retries);
-                // On failure the frame still holds its (dirty) page and
-                // the table still maps it: nothing was lost.
-                res?;
-                self.frames[idx].dirty = false;
-                self.stats.writebacks += 1;
-            }
-            // Unmap only once the old contents are safe on disk.
-            self.table.remove(&self.frames[idx].pid);
-            self.frames[idx].valid = false;
-            self.stats.evictions += 1;
-        }
         let res = with_retry(&mut retries, || {
             self.disk.lock().read_page(pid, &mut self.frames[idx].data)
         });
@@ -234,7 +279,33 @@ impl BufferPool {
         self.frames[idx].valid = true;
         self.frames[idx].dirty = false;
         self.frames[idx].refbit = true;
+        self.frames[idx].lsn = 0;
         self.table.insert(pid, idx);
+        Ok(idx)
+    }
+
+    /// Pick a victim frame and make it free (writing back its dirty
+    /// contents first). On return the frame is invalid and unmapped.
+    fn evict_for(&mut self, _incoming: PageId) -> Result<usize> {
+        let idx = self.victim()?;
+        let mut retries = 0;
+        if self.frames[idx].valid {
+            if self.frames[idx].dirty {
+                let f = &self.frames[idx];
+                let res = write_back(&self.disk, &self.wal, &mut retries, f.pid, f.lsn, &f.data);
+                self.stats.retries += std::mem::take(&mut retries);
+                // On failure the frame still holds its (dirty) page and
+                // the table still maps it: nothing was lost.
+                res?;
+                self.frames[idx].dirty = false;
+                self.frames[idx].lsn = 0;
+                self.stats.writebacks += 1;
+            }
+            // Unmap only once the old contents are safe on disk.
+            self.table.remove(&self.frames[idx].pid);
+            self.frames[idx].valid = false;
+            self.stats.evictions += 1;
+        }
         Ok(idx)
     }
 

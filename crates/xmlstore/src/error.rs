@@ -35,6 +35,26 @@ pub enum StoreError {
         /// The heap page the content was read from.
         page: u32,
     },
+    /// The fault injector's `crash=N` schedule fired: the simulated
+    /// machine is dead and every subsequent I/O fails with this error
+    /// until the store is reopened (which runs recovery). Deliberately
+    /// *not* transient — a retry loop must not absorb a crash.
+    SimulatedCrash,
+    /// A write-ahead-log operation found the log structurally invalid in
+    /// a way torn-tail truncation cannot explain (e.g. a missing
+    /// checkpoint record at the head).
+    WalCorrupt {
+        /// Byte offset of the damage within the log file.
+        offset: u64,
+        /// What was wrong there.
+        reason: &'static str,
+    },
+    /// A mutation was attempted on a store in a state that cannot accept
+    /// it (e.g. deleting a document id that does not exist).
+    NoSuchDocument {
+        /// The offending document id.
+        doc: u64,
+    },
 }
 
 impl StoreError {
@@ -83,6 +103,15 @@ impl fmt::Display for StoreError {
             ),
             StoreError::CorruptContent { page } => {
                 write!(f, "content on page {page} is not valid UTF-8")
+            }
+            StoreError::SimulatedCrash => {
+                write!(f, "simulated crash: the injected kill point was reached")
+            }
+            StoreError::WalCorrupt { offset, reason } => {
+                write!(f, "write-ahead log corrupt at offset {offset}: {reason}")
+            }
+            StoreError::NoSuchDocument { doc } => {
+                write!(f, "no document with id {doc}")
             }
         }
     }

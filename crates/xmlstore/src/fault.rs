@@ -14,7 +14,13 @@
 //! * **write-path bit flips** — the persisted image is corrupted:
 //!   permanent damage a later read must *detect* via checksum;
 //! * **torn writes** — only a prefix of the sealed page is persisted,
-//!   modelling a crash mid-write.
+//!   modelling a crash mid-write;
+//! * **crash points** (`crash=N`) — a hard stop after N write-class
+//!   operations (page writes *and* write-ahead-log flushes): the Nth
+//!   write persists only a prefix, and every operation after it fails
+//!   with [`StoreError::SimulatedCrash`](crate::StoreError::SimulatedCrash)
+//!   until the store is reopened. This is the kill switch the
+//!   crash-recovery harness drives.
 //!
 //! Every decision comes from a seeded in-tree
 //! [`smallrand::StdRng`], so a fault schedule is identified completely by
@@ -37,6 +43,9 @@ pub enum ReadFault {
         /// Bit index within the page (`0..PAGE_SIZE * 8`).
         bit: usize,
     },
+    /// The machine already crashed (`crash=N` fired earlier): the read
+    /// fails with `StoreError::SimulatedCrash` and touches nothing.
+    Crash,
 }
 
 /// What a write operation should suffer.
@@ -56,6 +65,30 @@ pub enum WriteFault {
     Torn {
         /// Persisted prefix length (`1..PAGE_SIZE`).
         len: usize,
+    },
+    /// The `crash=N` kill point fired on (or before) this write: the
+    /// first `len` bytes are persisted (0 for writes after the crash),
+    /// and the operation fails with `StoreError::SimulatedCrash`.
+    Crash {
+        /// Persisted prefix length (`0..PAGE_SIZE`).
+        len: usize,
+    },
+}
+
+/// What a write-ahead-log flush should suffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFault {
+    /// No fault: the whole pending buffer is persisted and synced.
+    None,
+    /// The flush fails with a transient I/O error (nothing persisted).
+    Error,
+    /// The `crash=N` kill point fired: only the first `persist` bytes of
+    /// the pending buffer reach the log (a *strict* prefix, so a commit
+    /// record pending in this flush can never become durable), and the
+    /// flush fails with `StoreError::SimulatedCrash`.
+    Crash {
+        /// Persisted prefix length (`0..pending`).
+        persist: usize,
     },
 }
 
@@ -79,6 +112,11 @@ pub struct FaultConfig {
     pub after_ops: u64,
     /// Restrict injection to page ids in `lo..=hi` when set.
     pub pages: Option<(u32, u32)>,
+    /// Hard-stop after this many write-class operations (page writes and
+    /// log flushes): the Nth write is torn and everything after it fails
+    /// with `SimulatedCrash`. The op-count and page predicates do not
+    /// apply — a crash point is absolute.
+    pub crash: Option<u64>,
 }
 
 impl Default for FaultConfig {
@@ -92,6 +130,7 @@ impl Default for FaultConfig {
             torn_write: 0.0,
             after_ops: 0,
             pages: None,
+            crash: None,
         }
     }
 }
@@ -146,6 +185,12 @@ impl FaultConfig {
         self.pages = Some((lo, hi));
         self
     }
+
+    /// Hard-stop (simulated crash) after `n` write-class operations.
+    pub fn with_crash_after(mut self, n: u64) -> Self {
+        self.crash = Some(n);
+        self
+    }
 }
 
 /// Error parsing a fault-schedule spec string.
@@ -161,10 +206,12 @@ impl fmt::Display for FaultSpecError {
 impl std::error::Error for FaultSpecError {}
 
 /// Parse a `key=value,…` schedule spec, e.g.
-/// `seed=3,read_err=0.01,flip=0.005,torn=0.02,after=100,pages=0-499`.
+/// `seed=3,read_err=0.01,flip=0.005,torn=0.02,after=100,pages=0-499`
+/// or `seed=7,crash=25`.
 ///
 /// Keys: `seed`, `read_err`, `write_err`, `flip` (read-path bit flips),
-/// `write_flip`, `torn`, `after`, `pages=LO-HI`.
+/// `write_flip`, `torn`, `after`, `pages=LO-HI`, `crash` (kill after N
+/// write-class operations).
 impl std::str::FromStr for FaultConfig {
     type Err = FaultSpecError;
 
@@ -183,6 +230,16 @@ impl std::str::FromStr for FaultConfig {
                 "write_flip" => cfg.write_flip = parse_prob(value)?,
                 "torn" => cfg.torn_write = parse_prob(value)?,
                 "after" => cfg.after_ops = value.parse().map_err(|_| bad("op count"))?,
+                "crash" => {
+                    let n: u64 = value.parse().map_err(|_| bad("crash point"))?;
+                    if n == 0 {
+                        return Err(FaultSpecError(
+                            "crash point must be at least 1 (crash=0 would forbid all writes)"
+                                .to_owned(),
+                        ));
+                    }
+                    cfg.crash = Some(n);
+                }
                 "pages" => {
                     let (lo, hi) = value
                         .split_once('-')
@@ -232,6 +289,9 @@ impl fmt::Display for FaultConfig {
         if let Some((lo, hi)) = self.pages {
             write!(f, ",pages={lo}-{hi}")?;
         }
+        if let Some(n) = self.crash {
+            write!(f, ",crash={n}")?;
+        }
         Ok(())
     }
 }
@@ -251,12 +311,23 @@ pub struct FaultStats {
     pub write_flips: u64,
     /// Injected torn writes.
     pub torn_writes: u64,
+    /// Write-class operations seen (page writes + log flushes), counted
+    /// regardless of predicates. The crash harness sizes `crash=N`
+    /// schedules from this.
+    pub write_ops: u64,
+    /// Simulated crashes fired (0 or 1 per injector).
+    pub crashes: u64,
 }
 
 impl FaultStats {
     /// Total injected faults of any kind.
     pub fn total(&self) -> u64 {
-        self.read_errors + self.write_errors + self.read_flips + self.write_flips + self.torn_writes
+        self.read_errors
+            + self.write_errors
+            + self.read_flips
+            + self.write_flips
+            + self.torn_writes
+            + self.crashes
     }
 }
 
@@ -267,6 +338,7 @@ pub struct FaultInjector {
     cfg: FaultConfig,
     rng: StdRng,
     stats: FaultStats,
+    crashed: bool,
 }
 
 impl FaultInjector {
@@ -276,6 +348,7 @@ impl FaultInjector {
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             stats: FaultStats::default(),
+            crashed: false,
         }
     }
 
@@ -287,6 +360,25 @@ impl FaultInjector {
     /// What the injector has done so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
+    }
+
+    /// Has the `crash=N` kill point fired?
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Count a write-class operation against the crash schedule.
+    /// Returns `true` when this very operation is the kill point.
+    fn crash_due(&mut self) -> bool {
+        self.stats.write_ops += 1;
+        match self.cfg.crash {
+            Some(n) if !self.crashed && self.stats.write_ops >= n => {
+                self.crashed = true;
+                self.stats.crashes += 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Is this operation past the op-count and page predicates?
@@ -310,6 +402,9 @@ impl FaultInjector {
 
     /// Decide the fate of a read of `pid`.
     pub fn on_read(&mut self, pid: PageId) -> ReadFault {
+        if self.crashed {
+            return ReadFault::Crash;
+        }
         if !self.eligible(pid) {
             return ReadFault::None;
         }
@@ -326,6 +421,16 @@ impl FaultInjector {
 
     /// Decide the fate of a write of `pid`.
     pub fn on_write(&mut self, pid: PageId) -> WriteFault {
+        if self.crashed {
+            return WriteFault::Crash { len: 0 };
+        }
+        if self.crash_due() {
+            // The kill point itself: persist a (possibly empty) strict
+            // prefix of the page, like a power cut mid-write.
+            return WriteFault::Crash {
+                len: self.rng.random_range(0..PAGE_SIZE),
+            };
+        }
         if !self.eligible(pid) {
             return WriteFault::None;
         }
@@ -346,6 +451,35 @@ impl FaultInjector {
             };
         }
         WriteFault::None
+    }
+
+    /// Decide the fate of a write-ahead-log flush of `pending` bytes.
+    /// The page predicate does not apply (the log is not a page), but log
+    /// flushes count as write-class operations for the crash schedule,
+    /// and transient write errors fire with the configured probability.
+    pub fn on_log_write(&mut self, pending: usize) -> LogFault {
+        if self.crashed {
+            return LogFault::Crash { persist: 0 };
+        }
+        if self.crash_due() {
+            // Strict prefix: whatever record is last in the pending
+            // buffer (a commit, in every caller) can never fully land.
+            let persist = if pending == 0 {
+                0
+            } else {
+                self.rng.random_range(0..pending)
+            };
+            return LogFault::Crash { persist };
+        }
+        self.stats.ops += 1;
+        if self.stats.ops <= self.cfg.after_ops {
+            return LogFault::None;
+        }
+        if self.hit(self.cfg.write_error) {
+            self.stats.write_errors += 1;
+            return LogFault::Error;
+        }
+        LogFault::None
     }
 }
 
@@ -371,6 +505,62 @@ mod tests {
         assert!("read_err".parse::<FaultConfig>().is_err());
         assert!("pages=9-3".parse::<FaultConfig>().is_err());
         assert!("seed=notanumber".parse::<FaultConfig>().is_err());
+        assert!("crash=0".parse::<FaultConfig>().is_err());
+        assert!("crash=soon".parse::<FaultConfig>().is_err());
+    }
+
+    #[test]
+    fn crash_spec_round_trips() {
+        let cfg = FaultConfig::seeded(7).with_crash_after(25);
+        assert_eq!(cfg.to_string(), "seed=7,crash=25");
+        let parsed: FaultConfig = cfg.to_string().parse().unwrap();
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn crash_fires_on_nth_write_and_sticks() {
+        let mut inj = FaultInjector::new(FaultConfig::seeded(9).with_crash_after(3));
+        // Reads never advance the crash schedule.
+        for _ in 0..10 {
+            assert_eq!(inj.on_read(PageId(0)), ReadFault::None);
+        }
+        assert_eq!(inj.on_write(PageId(0)), WriteFault::None);
+        assert_eq!(inj.on_write(PageId(1)), WriteFault::None);
+        match inj.on_write(PageId(2)) {
+            WriteFault::Crash { len } => assert!(len < PAGE_SIZE),
+            other => panic!("expected crash on write 3, got {other:?}"),
+        }
+        assert!(inj.crashed());
+        assert_eq!(inj.stats().crashes, 1);
+        // Everything after the kill point is dead, reads included.
+        assert_eq!(inj.on_write(PageId(0)), WriteFault::Crash { len: 0 });
+        assert_eq!(inj.on_read(PageId(0)), ReadFault::Crash);
+        assert_eq!(inj.on_log_write(128), LogFault::Crash { persist: 0 });
+        assert_eq!(inj.stats().crashes, 1, "the crash fires exactly once");
+    }
+
+    #[test]
+    fn log_flush_counts_toward_crash_and_tears_strictly() {
+        let mut inj = FaultInjector::new(FaultConfig::seeded(4).with_crash_after(2));
+        assert_eq!(inj.on_log_write(64), LogFault::None);
+        match inj.on_log_write(64) {
+            LogFault::Crash { persist } => assert!(persist < 64, "must be a strict prefix"),
+            other => panic!("expected crash on flush 2, got {other:?}"),
+        }
+        assert_eq!(inj.stats().write_ops, 2);
+    }
+
+    #[test]
+    fn crash_ignores_page_predicate() {
+        let mut inj = FaultInjector::new(
+            FaultConfig::seeded(1)
+                .with_pages(100, 200)
+                .with_crash_after(1),
+        );
+        match inj.on_write(PageId(0)) {
+            WriteFault::Crash { .. } => {}
+            other => panic!("crash must bypass the page predicate, got {other:?}"),
+        }
     }
 
     #[test]

@@ -58,11 +58,16 @@ pub mod index;
 pub mod node;
 pub mod page;
 pub mod storage;
+pub mod wal;
 
 pub use catalog::{TagDict, TagId};
-pub use document::{CacheStats, DocumentStore, IoStats, StoreOptions};
+pub use document::{
+    wal_path_for, CacheStats, DocId, DocumentStore, IoStats, RecoveryInfo, StoreOptions,
+    DOC_ROOT_TAG,
+};
 pub use error::{Result, StoreError};
-pub use fault::{FaultConfig, FaultInjector, FaultStats};
+pub use fault::{FaultConfig, FaultInjector, FaultStats, LogFault};
 pub use index::NodeEntry;
 pub use node::{NodeId, NodeKind, NodeRecord};
 pub use page::{PageId, PAGE_DATA_SIZE, PAGE_HEADER_SIZE, PAGE_SIZE};
+pub use wal::{Lsn, TxnId, Wal, WalHandle, WalRecord, WalStats};

@@ -3,8 +3,9 @@
 //! Every page carries a small header owned by the storage layer:
 //!
 //! ```text
-//! byte 0..4   CRC32 over (page id ‖ data region), little-endian
-//! byte 4..8   page id echo, little-endian (misdirected-write detection)
+//! byte 0..4   CRC32 over (page id ‖ bytes 4..8 ‖ data region), LE
+//! byte 4..8   page LSN (low 32 bits of the WAL offset that last wrote
+//!             this page), little-endian
 //! byte 8..    data region (PAGE_DATA_SIZE bytes), owned by callers
 //! ```
 //!
@@ -12,6 +13,13 @@
 //! write and verifies it on every read; layers above the buffer pool only
 //! ever see the data region, so slot/offset arithmetic in the node and
 //! heap layers stays zero-based.
+//!
+//! The expected page id participates in the checksum (it used to be
+//! echoed in bytes 4..8), so a page sealed for slot A still fails
+//! verification at slot B — misdirected writes stay detectable — while
+//! bytes 4..8 are free to carry the page LSN the recovery protocol
+//! needs. `seal` preserves whatever the caller put in bytes 4..8;
+//! writers that don't log (the bulk-load path) leave an LSN of zero.
 
 use crate::checksum::page_checksum;
 
@@ -52,25 +60,35 @@ pub fn data_mut(page: &mut [u8; PAGE_SIZE]) -> &mut [u8; PAGE_DATA_SIZE] {
     }
 }
 
-/// Write a fresh header (checksum + id echo) into `page`.
+/// Write a fresh header checksum into `page`, preserving the caller's
+/// LSN bytes (4..8). The page id is folded into the checksum rather than
+/// stored.
 pub fn seal(pid: PageId, page: &mut [u8; PAGE_SIZE]) {
-    let crc = page_checksum(pid.0, &page[PAGE_HEADER_SIZE..]);
+    let crc = page_checksum(pid.0, &page[4..]);
     page[0..4].copy_from_slice(&crc.to_le_bytes());
-    page[4..8].copy_from_slice(&pid.0.to_le_bytes());
+}
+
+/// Stamp an LSN into the header of `page` (bytes 4..8, low 32 bits).
+/// The page must be re-`seal`ed afterwards for the checksum to hold.
+pub fn set_lsn(page: &mut [u8; PAGE_SIZE], lsn: u64) {
+    page[4..8].copy_from_slice(&(lsn as u32).to_le_bytes());
+}
+
+/// The LSN stored in the header of `page` (low 32 bits of the full LSN).
+pub fn lsn(page: &[u8; PAGE_SIZE]) -> u32 {
+    u32::from_le_bytes([page[4], page[5], page[6], page[7]])
 }
 
 /// Check the header of `page` against its contents.
 ///
 /// Returns `Err((expected, actual))` when the stored checksum does not
-/// match the recomputed one — which also catches a wrong page-id echo,
-/// since the id participates in the checksum.
+/// match the recomputed one — which also catches a misdirected write,
+/// since the expected page id participates in the checksum.
 pub fn verify(pid: PageId, page: &[u8; PAGE_SIZE]) -> Result<(), (u32, u32)> {
     let stored = u32::from_le_bytes([page[0], page[1], page[2], page[3]]);
-    let echoed = u32::from_le_bytes([page[4], page[5], page[6], page[7]]);
-    let computed = page_checksum(echoed, &page[PAGE_HEADER_SIZE..]);
-    if stored != computed || echoed != pid.0 {
-        let expected = page_checksum(pid.0, &page[PAGE_HEADER_SIZE..]);
-        return Err((expected, stored));
+    let computed = page_checksum(pid.0, &page[4..]);
+    if stored != computed {
+        return Err((computed, stored));
     }
     Ok(())
 }
@@ -178,5 +196,24 @@ mod tests {
         seal(PageId(4), p.bytes_mut());
         assert!(verify(PageId(5), p.bytes()).is_err());
         assert_eq!(verify(PageId(4), p.bytes()), Ok(()));
+    }
+
+    #[test]
+    fn seal_preserves_lsn_bytes() {
+        let mut p = Page::zeroed();
+        set_lsn(p.bytes_mut(), 0xDEAD_BEEF_0042);
+        seal(PageId(7), p.bytes_mut());
+        assert_eq!(lsn(p.bytes()), 0xBEEF_0042);
+        assert_eq!(verify(PageId(7), p.bytes()), Ok(()));
+    }
+
+    #[test]
+    fn verify_catches_lsn_corruption() {
+        // The LSN is covered by the checksum like everything else.
+        let mut p = Page::zeroed();
+        set_lsn(p.bytes_mut(), 99);
+        seal(PageId(4), p.bytes_mut());
+        p.bytes_mut()[5] ^= 0x10;
+        assert!(verify(PageId(4), p.bytes()).is_err());
     }
 }

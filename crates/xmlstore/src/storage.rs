@@ -11,7 +11,7 @@
 //! suites.
 
 use crate::error::{Result, StoreError};
-use crate::fault::{FaultInjector, FaultStats, ReadFault, WriteFault};
+use crate::fault::{FaultInjector, FaultStats, LogFault, ReadFault, WriteFault};
 use crate::page::{self, PageId, PAGE_SIZE};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -97,6 +97,25 @@ impl DiskManager {
         Self::open(path, false)
     }
 
+    /// Reopen an existing page file without truncating it; the page count
+    /// comes from the file length (a torn final page — a crash mid-extend
+    /// — is rounded down and will be re-extended by recovery).
+    pub fn open_existing(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let num_pages = (file.metadata()?.len() / PAGE_SIZE as u64) as u32;
+        Ok(DiskManager {
+            backend: Backend::File {
+                file,
+                path: path.to_owned(),
+                temp: false,
+            },
+            num_pages,
+            reads: 0,
+            writes: 0,
+            fault: None,
+        })
+    }
+
     fn open(path: &Path, temp: bool) -> Result<Self> {
         let file = OpenOptions::new()
             .read(true)
@@ -148,8 +167,42 @@ impl DiskManager {
         self.fault.as_ref().map(FaultInjector::stats)
     }
 
+    /// Has the installed injector's `crash=N` kill point fired?
+    pub fn crashed(&self) -> bool {
+        self.fault.as_ref().is_some_and(FaultInjector::crashed)
+    }
+
+    /// Consult the injector about a write-ahead-log flush of `pending`
+    /// bytes. The WAL shares the disk's injector so that `crash=N`
+    /// schedules count page writes and log flushes on one clock.
+    pub fn on_log_write(&mut self, pending: usize) -> LogFault {
+        match &mut self.fault {
+            Some(inj) => inj.on_log_write(pending),
+            None => LogFault::None,
+        }
+    }
+
+    /// Flush the backing file's buffers to stable storage (no-op for the
+    /// in-memory backend). Fails once the simulated machine has crashed.
+    pub fn sync(&mut self) -> Result<()> {
+        if self.crashed() {
+            return Err(StoreError::SimulatedCrash);
+        }
+        if let Backend::File { file, .. } = &mut self.backend {
+            // `sync_data` (fdatasync) persists the page bytes and the
+            // file size needed to read them back, skipping the metadata
+            // journal flush `sync_all` pays — reads depend on nothing
+            // else, and the difference is measurable on bulk loads.
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
     /// Allocate a new sealed, zero-data page at the end of the file.
     pub fn allocate(&mut self) -> Result<PageId> {
+        if self.crashed() {
+            return Err(StoreError::SimulatedCrash);
+        }
         let pid = PageId(self.num_pages);
         let mut image = [0u8; PAGE_SIZE];
         page::seal(pid, &mut image);
@@ -174,6 +227,9 @@ impl DiskManager {
         };
         if fault == ReadFault::Error {
             return Err(transient_io("read", pid));
+        }
+        if fault == ReadFault::Crash {
+            return Err(StoreError::SimulatedCrash);
         }
         self.reads += 1;
         match &mut self.backend {
@@ -213,6 +269,13 @@ impl DiskManager {
                 PAGE_SIZE
             }
             WriteFault::Torn { len } => len,
+            WriteFault::Crash { len } => {
+                // The kill point: persist the torn prefix, then die.
+                if len > 0 {
+                    self.backend.write_prefix(pid, &sealed, len)?;
+                }
+                return Err(StoreError::SimulatedCrash);
+            }
             WriteFault::None => PAGE_SIZE,
         };
         self.writes += 1;
@@ -297,6 +360,11 @@ impl SharedDisk {
     /// Counters from the installed injector, if any.
     pub fn fault_stats(&self) -> Option<FaultStats> {
         self.lock().fault_stats()
+    }
+
+    /// Has the installed injector's `crash=N` kill point fired?
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed()
     }
 }
 
