@@ -57,7 +57,7 @@
 //! than `--bench-threshold` percent (default 25) against the committed
 //! `--baseline PATH`.
 
-use timber::PlanMode;
+use timber::{PlanMode, TimberDb};
 use timber_bench::*;
 
 fn main() {
@@ -321,6 +321,40 @@ fn run_bench_smoke(
         (best_wal / best_plain - 1.0) * 100.0
     );
 
+    // 10× scale — the symbol-path acceptance gate. The fused count
+    // rollup extracts grouping keys as dictionary symbols straight from
+    // the columnar label region; the replicated grouping kernel is the
+    // pre-refactor data path (every witness's values materialized
+    // through the buffer pool — Sec. 5.3's strawman, and what string
+    // keys forced on every fold). Both sides run here, seconds apart at
+    // 10× the smoke article count, so the ≥2× requirement gates the
+    // refactor win itself without a baseline.
+    let articles_10x = articles * 10;
+    let mut db10 = build_db(articles_10x, None, on_disk);
+    for (key, threads) in [("e2_count_rollup_10x", 1usize), ("e2_count_rollup_10x_t4", 4)] {
+        db10.set_threads(threads);
+        measure(&db10, QUERY_COUNT, PlanMode::GroupByRewrite);
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            best = best.min(
+                measure(&db10, QUERY_COUNT, PlanMode::GroupByRewrite)
+                    .elapsed
+                    .as_secs_f64(),
+            );
+        }
+        let u = units(best, calibration_secs);
+        println!("{key:<22} {best:>9.4}s = {u:>9.3} units");
+        entries.push((key.to_owned(), u));
+    }
+    db10.set_threads(1);
+    let replicated_secs = timed_replicated_grouping(&db10);
+    {
+        let key = "e2_count_replicated_10x";
+        let u = units(replicated_secs, calibration_secs);
+        println!("{key:<22} {replicated_secs:>9.4}s = {u:>9.3} units");
+        entries.push((key.to_owned(), u));
+    }
+
     let report = BenchReport {
         calibration_secs,
         articles,
@@ -347,7 +381,26 @@ fn run_bench_smoke(
         }
     }
 
+    // Symbol-path acceptance gate: the fused rollup over dictionary
+    // symbols must beat the replicated (value-materializing) grouping
+    // by ≥2× at 10× scale, measured in this same run.
+    let mut symbols_ok = true;
+    if let (Some(fused), Some(replicated)) = (
+        report.get("e2_count_rollup_10x"),
+        report.get("e2_count_replicated_10x"),
+    ) {
+        let ratio = replicated / fused;
+        println!("symbol rollup vs replicated grouping at 10x: {ratio:.2}x (gate: >= 2.00x)");
+        if ratio < 2.0 {
+            println!(
+                "SYMBOL GATE FAILED: columnar rollup no longer 2x faster than the replicated path"
+            );
+            symbols_ok = false;
+        }
+    }
+
     cube_ok
+        && symbols_ok
         && match baseline_path {
             None => {
                 println!("no --baseline given; measuring only, not gating");
@@ -858,6 +911,42 @@ fn run_cube(articles: usize, on_disk: bool) {
         );
     }
     println!("(all prefix levels share one scan and one accumulator pass; see DESIGN.md)\n");
+}
+
+/// Time the pre-refactor grouping data path at the given database's
+/// scale: `groupby_replicated` materializes every witness's grouping
+/// values (and member subtrees) through the buffer pool, which is what
+/// string keys forced on the grouping kernel before values were
+/// dictionary-interned. The select+project input build is untimed and
+/// shared in shape with the fused plan's scan, so the timing isolates
+/// the grouping work the symbol path replaces. Best-of-three seconds,
+/// cold buffer pool each run — the same protocol `measure` uses.
+fn timed_replicated_grouping(db: &TimberDb) -> f64 {
+    use tax::ops::groupby::{groupby_replicated, BasisItem};
+    use tax::ops::project::ProjectItem;
+    use tax::ops::{project, select_db};
+    use tax::pattern::{Axis, PatternTree, Pred};
+
+    let store = db.store();
+    let mut sp = PatternTree::with_root(Pred::tag("doc_root"));
+    let art = sp.add_child(sp.root(), Axis::Descendant, Pred::tag("article"));
+    let sel = select_db(store, &sp, &[art]).unwrap();
+    let input = project(store, &sel, &sp, &[ProjectItem::deep(art)], true).unwrap();
+
+    let mut gp = PatternTree::with_root(Pred::tag("article"));
+    let author = gp.add_child(gp.root(), Axis::Child, Pred::tag("author"));
+    let basis = [BasisItem::content(author)];
+
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        db.clear_buffer_pool().unwrap();
+        db.reset_io_stats();
+        let t0 = std::time::Instant::now();
+        let groups = groupby_replicated(store, &input, &gp, &basis, &[]).unwrap();
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert!(!groups.is_empty(), "replicated grouping produced no groups");
+    }
+    best
 }
 
 fn run_groupby_impl() {

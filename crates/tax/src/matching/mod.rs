@@ -86,23 +86,21 @@ pub fn match_db_scoped(
                 }
             }
             None => {
-                // No tag pinned: merge the scoped slices of every list.
-                for (tag, _) in store.tags().iter() {
-                    let full = store.nodes_with_tag(tag);
-                    let scoped = match scope {
-                        Some(s) => structural::contained_in_or_self(full, &s),
-                        None => full,
-                    };
-                    for e in scoped {
-                        if pnode.pred.needs_data()
-                            && !eval_stored_local(store, &pnode.pred, *e, &mut content_cache)?
-                        {
-                            continue;
-                        }
-                        kept.push(*e);
+                // No tag pinned: every node in scope. Node ids are
+                // preorder ordinals, so the scoped set is one dense id
+                // range of the columnar label region — walked directly,
+                // already in document order, with no per-tag merge or
+                // sort.
+                let cols = store.columns();
+                for i in structural::scoped_ids(&cols, scope.as_ref()) {
+                    let e = cols.entry(NodeId(i));
+                    if pnode.pred.needs_data()
+                        && !eval_stored_local(store, &pnode.pred, e, &mut content_cache)?
+                    {
+                        continue;
                     }
+                    kept.push(e);
                 }
-                kept.sort_by_key(|e| e.start);
             }
         }
         candidates[pid] = kept;
@@ -223,10 +221,10 @@ fn eval_stored_local(
     cache: &mut HashMap<NodeId, Option<String>>,
 ) -> Result<bool> {
     let content = cached_content(store, e.id, cache)?;
-    let tag = {
-        let rec = store.record(e.id)?;
-        store.tag_name(rec.tag).to_owned()
-    };
+    // Tag comes from the columnar label region: no page access.
+    let tag = store
+        .tag_name(xmlstore::TagId(store.columns().tag[e.id.0 as usize]))
+        .to_string();
     let attr_lookup = |name: &str| -> Option<String> {
         let attr_tag = store.attr_tag_id(name)?;
         // Attributes of e are index entries of @name contained in e with
@@ -420,9 +418,9 @@ mod tests {
     #[test]
     fn anchor_root_restricts_embeddings() {
         let s = store();
-        let mut t = Tree::new_elem("wrapper");
-        let inner = t.add_elem(t.root(), "wrapper");
-        t.add_elem_with_content(inner, "x", "1");
+        let mut t = Tree::new_elem(s.dict(), "wrapper");
+        let inner = t.add_elem(s.dict(), t.root(), "wrapper");
+        t.add_elem_with_content(s.dict(), inner, "x", "1");
         let p = PatternTree::with_root(Pred::tag("wrapper"));
         assert_eq!(match_tree(&s, &t, &p, false).unwrap().len(), 2);
         assert_eq!(match_tree(&s, &t, &p, true).unwrap().len(), 1);

@@ -93,15 +93,11 @@ fn assign(
     Ok(())
 }
 
-/// Does the stored node `id` carry tag `t`? Answered from the index: the
-/// per-tag entry lists are in document order, and ids are pre-order
-/// ordinals, so they are sorted by id too.
+/// Does the stored node `id` carry tag `t`? Answered from the columnar
+/// label region in O(1), with no page access.
 fn stored_has_tag(store: &DocumentStore, id: NodeId, t: &str) -> bool {
     match store.tag_id(t) {
-        Some(tid) => store
-            .nodes_with_tag(tid)
-            .binary_search_by_key(&id, |e| e.id)
-            .is_ok(),
+        Some(tid) => store.columns().tag[id.0 as usize] == tid.0,
         None => false,
     }
 }
@@ -336,6 +332,12 @@ fn assign_scan(
 
 /// Predicate evaluation that always reads the record (the scan baseline).
 fn eval_by_navigation(vt: &VTree<'_>, v: VNode, pred: &Pred) -> Result<bool> {
+    // Pay the record read the scan baseline models, even though the tag
+    // is now answered from the columnar label region — this is exactly
+    // the per-node cost the index-driven matcher avoids (Sec. 5.3).
+    if let VNode::Stored(e) = v {
+        vt.store().record(e.id)?;
+    }
     let tag = vt.tag(v)?;
     let content = if pred.needs_data() {
         vt.content(v)?
@@ -451,8 +453,8 @@ mod tests {
         // A tag-only pattern over a group-like synthetic tree whose
         // members are deep references: candidate work must be index-only.
         let article = s.tag_id("article").unwrap();
-        let mut t = Tree::new_elem("TAX_group_root");
-        let sub = t.add_elem(t.root(), "TAX_group_subroot");
+        let mut t = Tree::new_elem(s.dict(), "TAX_group_root");
+        let sub = t.add_elem(s.dict(), t.root(), "TAX_group_subroot");
         for e in s.nodes_with_tag(article) {
             t.add_ref(sub, *e, true);
         }
@@ -475,7 +477,7 @@ mod tests {
     fn mixed_arena_stored_descendant_search() {
         let s = store();
         let article = s.tag_id("article").unwrap();
-        let mut t = Tree::new_elem("wrap");
+        let mut t = Tree::new_elem(s.dict(), "wrap");
         t.add_ref(t.root(), s.nodes_with_tag(article)[1], true);
         let mut p = PatternTree::with_root(Pred::tag("wrap"));
         p.add_child(p.root(), Axis::Descendant, Pred::tag("author"));

@@ -13,7 +13,8 @@
 //!   Used when both sides are full candidate lists, and benchmarked
 //!   against the naive nested-loop join (ablation X3).
 
-use xmlstore::NodeEntry;
+use std::ops::Range;
+use xmlstore::{NodeColumns, NodeEntry, NodeId};
 
 /// All entries of `list` strictly contained in `scope`
 /// (`scope.start < e.start && e.end < scope.end`). `list` must be sorted
@@ -90,6 +91,76 @@ pub fn stack_tree_join(
                     JoinAxis::ParentChild => {
                         if d.level == a.level + 1 {
                             out.push((*a, *d));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The dense id range of the columnar label region covered by `scope`
+/// (scope included), or the whole store when `scope` is `None`.
+///
+/// Node ids are preorder ordinals, so a subtree is one contiguous id
+/// range: the scoped candidate set needs no per-tag merge, no sort, and
+/// no entry materialization — callers index straight into the parallel
+/// `start`/`end`/`level`/`tag` arrays.
+pub fn scoped_ids(cols: &NodeColumns, scope: Option<&NodeEntry>) -> Range<u32> {
+    match scope {
+        Some(s) => s.id.0..cols.descendant_ids(s.id).end,
+        None => 0..cols.len() as u32,
+    }
+}
+
+/// [`stack_tree_join`] run directly over the columnar label region: both
+/// sides are id lists (ascending ids ⇔ ascending `start`), and labels are
+/// read from the dense parallel arrays instead of materialized
+/// [`NodeEntry`] values. Returns `(ancestor, descendant)` id pairs,
+/// ordered by descendant.
+pub fn stack_tree_join_cols(
+    cols: &NodeColumns,
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+    axis: JoinAxis,
+) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    let mut ai = 0;
+
+    for &d in descendants {
+        let di = d.0 as usize;
+        let (d_start, d_end, d_level) = (cols.start[di], cols.end[di], cols.level[di]);
+        while let Some(&top) = stack.last() {
+            if cols.end[top as usize] < d_start {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        while ai < ancestors.len() && cols.start[ancestors[ai].0 as usize] < d_start {
+            let a = ancestors[ai].0;
+            ai += 1;
+            while let Some(&top) = stack.last() {
+                if cols.end[top as usize] < cols.start[a as usize] {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if cols.end[a as usize] > d_start {
+                stack.push(a);
+            }
+        }
+        for &a in stack.iter() {
+            let aj = a as usize;
+            if cols.start[aj] < d_start && d_end < cols.end[aj] {
+                match axis {
+                    JoinAxis::AncestorDescendant => out.push((NodeId(a), d)),
+                    JoinAxis::ParentChild => {
+                        if d_level == cols.level[aj] + 1 {
+                            out.push((NodeId(a), d));
                         }
                     }
                 }
@@ -229,6 +300,69 @@ mod tests {
         let d = vec![e(1, 6, 7, 2)];
         assert!(stack_tree_join(&a, &d, JoinAxis::AncestorDescendant).is_empty());
     }
+
+    /// The test forest as a columnar label region, under a spanning root:
+    /// root id0 (0,31,0); a id1 (1,20,1); b id2 (2,9,2); c id3 (3,4,3);
+    /// c id4 (5,6,3); b id5 (10,19,2); c id6 (11,12,3); a id7 (21,30,1);
+    /// c id8 (22,23,2).
+    fn columns() -> NodeColumns {
+        use xmlstore::{NodeKind, NO_SYM};
+        let rows: [(u32, u32, u16); 9] = [
+            (0, 31, 0),
+            (1, 20, 1),
+            (2, 9, 2),
+            (3, 4, 3),
+            (5, 6, 3),
+            (10, 19, 2),
+            (11, 12, 3),
+            (21, 30, 1),
+            (22, 23, 2),
+        ];
+        let mut cols = NodeColumns::with_capacity(rows.len());
+        for (start, end, level) in rows {
+            cols.push(start, end, level, 0, NodeKind::Element, NO_SYM);
+        }
+        cols
+    }
+
+    #[test]
+    fn scoped_ids_are_dense_subtree_ranges() {
+        let cols = columns();
+        assert_eq!(scoped_ids(&cols, None), 0..9);
+        // Whole store through the root scope.
+        assert_eq!(scoped_ids(&cols, Some(&cols.entry(NodeId(0)))), 0..9);
+        // First `a` subtree: ids 1..=6.
+        assert_eq!(scoped_ids(&cols, Some(&cols.entry(NodeId(1)))), 1..7);
+        // A leaf scopes to itself.
+        assert_eq!(scoped_ids(&cols, Some(&cols.entry(NodeId(3)))), 3..4);
+    }
+
+    #[test]
+    fn columnar_join_matches_entry_join() {
+        let cols = columns();
+        let anc_ids = [NodeId(1), NodeId(7)];
+        let desc_ids = [NodeId(3), NodeId(4), NodeId(6), NodeId(8)];
+        let anc: Vec<NodeEntry> = anc_ids.iter().map(|&i| cols.entry(i)).collect();
+        let desc: Vec<NodeEntry> = desc_ids.iter().map(|&i| cols.entry(i)).collect();
+        for axis in [JoinAxis::AncestorDescendant, JoinAxis::ParentChild] {
+            let by_cols = stack_tree_join_cols(&cols, &anc_ids, &desc_ids, axis);
+            let by_entries: Vec<(NodeId, NodeId)> = stack_tree_join(&anc, &desc, axis)
+                .into_iter()
+                .map(|(a, d)| (a.id, d.id))
+                .collect();
+            assert_eq!(by_cols, by_entries);
+        }
+        let ad = stack_tree_join_cols(&cols, &anc_ids, &desc_ids, JoinAxis::AncestorDescendant);
+        assert_eq!(
+            ad,
+            vec![
+                (NodeId(1), NodeId(3)),
+                (NodeId(1), NodeId(4)),
+                (NodeId(1), NodeId(6)),
+                (NodeId(7), NodeId(8)),
+            ]
+        );
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +436,43 @@ mod proptests {
                 fast.sort_by_key(key);
                 slow.sort_by_key(key);
                 assert_eq!(fast, slow);
+            }
+        });
+    }
+
+    #[test]
+    fn columnar_join_equals_entry_join_on_random_forests() {
+        use xmlstore::{NodeColumns, NodeKind, NO_SYM};
+        check("columnar_join_equals_entry_join_on_random_forests", 128, |g| {
+            let forest = random_forest(random_depth_seed(g));
+            // Ids are preorder ordinals, so start order == id order and
+            // row i of the columnar region is node id i.
+            let mut cols = NodeColumns::with_capacity(forest.len());
+            for (i, e) in forest.iter().enumerate() {
+                assert_eq!(e.id.0 as usize, i);
+                cols.push(e.start, e.end, e.level, 0, NodeKind::Element, NO_SYM);
+            }
+            let mask = g.rng().next_u64();
+            let mut anc = Vec::new();
+            let mut anc_ids = Vec::new();
+            let mut desc = Vec::new();
+            let mut desc_ids = Vec::new();
+            for (i, e) in forest.iter().enumerate() {
+                if (mask >> (i % 64)) & 1 == 0 {
+                    anc.push(*e);
+                    anc_ids.push(e.id);
+                } else {
+                    desc.push(*e);
+                    desc_ids.push(e.id);
+                }
+            }
+            for axis in [JoinAxis::AncestorDescendant, JoinAxis::ParentChild] {
+                let by_cols = stack_tree_join_cols(&cols, &anc_ids, &desc_ids, axis);
+                let by_entries: Vec<(NodeId, NodeId)> = stack_tree_join(&anc, &desc, axis)
+                    .into_iter()
+                    .map(|(a, d)| (a.id, d.id))
+                    .collect();
+                assert_eq!(by_cols, by_entries);
             }
         });
     }

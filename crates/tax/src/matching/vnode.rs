@@ -4,7 +4,7 @@
 
 use crate::error::Result;
 use crate::tree::{Tree, TreeNodeId, TreeNodeKind};
-use xmlstore::{DocumentStore, NodeEntry, NodeKind};
+use xmlstore::{DocumentStore, NodeEntry, NodeId, NodeKind, Sym};
 
 /// A node of the *virtual* data tree: either an arena node of the
 /// in-memory [`Tree`], or a stored node reached through a deep reference.
@@ -62,23 +62,26 @@ impl<'a> VTree<'a> {
         VNode::Arena(self.tree.root())
     }
 
+    /// Children of a stored node via the columnar label region: no page
+    /// access, attributes filtered out.
+    fn stored_children(&self, id: NodeId) -> Vec<VNode> {
+        let cols = self.store.columns();
+        cols.child_ids(id)
+            .into_iter()
+            .filter(|c| cols.kind[c.0 as usize] != NodeKind::Attribute)
+            .map(|c| VNode::Stored(cols.entry(c)))
+            .collect()
+    }
+
     /// Children of a virtual node, in document order. Attribute nodes of
     /// stored elements are not surfaced as children (they are reached via
     /// attribute predicates), matching how pattern trees address data.
+    /// Stored-node navigation runs over the columnar label region and
+    /// touches no pages.
     pub fn children(&self, v: VNode) -> Result<Vec<VNode>> {
         match v {
             VNode::Arena(i) => match &self.tree.node(i).kind {
-                TreeNodeKind::Ref { node, deep: true } => {
-                    let mut out = Vec::new();
-                    for c in self.store.children(node.id)? {
-                        let rec = self.store.record(c)?;
-                        if rec.kind == NodeKind::Attribute {
-                            continue;
-                        }
-                        out.push(VNode::Stored(self.store.entry(c)?));
-                    }
-                    Ok(out)
-                }
+                TreeNodeKind::Ref { node, deep: true } => Ok(self.stored_children(node.id)),
                 _ => Ok(self
                     .tree
                     .node(i)
@@ -87,17 +90,7 @@ impl<'a> VTree<'a> {
                     .map(|&c| VNode::Arena(c))
                     .collect()),
             },
-            VNode::Stored(e) => {
-                let mut out = Vec::new();
-                for c in self.store.children(e.id)? {
-                    let rec = self.store.record(c)?;
-                    if rec.kind == NodeKind::Attribute {
-                        continue;
-                    }
-                    out.push(VNode::Stored(self.store.entry(c)?));
-                }
-                Ok(out)
-            }
+            VNode::Stored(e) => Ok(self.stored_children(e.id)),
         }
     }
 
@@ -122,15 +115,18 @@ impl<'a> VTree<'a> {
         Ok(out)
     }
 
+    /// Tag symbol of a virtual node (columnar for stored nodes — no page
+    /// access).
+    pub fn tag_sym(&self, v: VNode) -> Sym {
+        match v {
+            VNode::Arena(i) => self.tree.tag_sym_of(self.store, i),
+            VNode::Stored(e) => Sym(self.store.columns().tag[e.id.0 as usize]),
+        }
+    }
+
     /// Tag of a virtual node.
     pub fn tag(&self, v: VNode) -> Result<String> {
-        match v {
-            VNode::Arena(i) => self.tree.tag_of(self.store, i),
-            VNode::Stored(e) => {
-                let rec = self.store.record(e.id)?;
-                Ok(self.store.tag_name(rec.tag).to_owned())
-            }
-        }
+        Ok(self.store.dict().resolve(self.tag_sym(v)).to_string())
     }
 
     /// Content of a virtual node (a data-value look-up for stored nodes).
@@ -141,24 +137,37 @@ impl<'a> VTree<'a> {
         }
     }
 
+    /// Content *symbol* of a virtual node, from the columnar region — no
+    /// page access. This is the grouping-key fast path: a key is a
+    /// fixed-width sequence of these symbols.
+    pub fn content_sym(&self, v: VNode) -> Option<Sym> {
+        match v {
+            VNode::Arena(i) => match &self.tree.node(i).kind {
+                TreeNodeKind::Elem { content, .. } => *content,
+                TreeNodeKind::Ref { node, .. } => self.store.content_sym(node.id),
+            },
+            VNode::Stored(e) => self.store.content_sym(e.id),
+        }
+    }
+
     /// Attribute value of a virtual node.
     pub fn attr(&self, v: VNode, name: &str) -> Result<Option<String>> {
-        let stored_attr = |id: xmlstore::NodeId| -> Result<Option<String>> {
-            let Some(attr_tag) = self.store.attr_tag_id(name) else {
-                return Ok(None);
-            };
-            for c in self.store.children(id)? {
-                let rec = self.store.record(c)?;
-                if rec.kind == NodeKind::Attribute && rec.tag == attr_tag {
-                    return Ok(self.store.content(c)?);
-                }
-            }
-            Ok(None)
+        Ok(self
+            .attr_sym(v, name)
+            .map(|s| self.store.dict().resolve(s).to_string()))
+    }
+
+    /// Attribute value of a virtual node as a content symbol, from the
+    /// columnar region — no page access.
+    pub fn attr_sym(&self, v: VNode, name: &str) -> Option<Sym> {
+        let stored_attr = |id: NodeId| -> Option<Sym> {
+            let attr_tag = self.store.attr_tag_id(name)?;
+            self.store.columns().attr_sym(id, attr_tag.0).map(Sym)
         };
         match v {
             VNode::Arena(i) => match &self.tree.node(i).kind {
                 TreeNodeKind::Ref { node, .. } => stored_attr(node.id),
-                TreeNodeKind::Elem { .. } => Ok(None),
+                TreeNodeKind::Elem { .. } => None,
             },
             VNode::Stored(e) => stored_attr(e.id),
         }
@@ -181,9 +190,9 @@ mod tests {
     #[test]
     fn arena_children_listed() {
         let s = store();
-        let mut t = Tree::new_elem("root");
-        t.add_elem_with_content(t.root(), "a", "1");
-        t.add_elem_with_content(t.root(), "b", "2");
+        let mut t = Tree::new_elem(s.dict(), "root");
+        t.add_elem_with_content(s.dict(), t.root(), "a", "1");
+        t.add_elem_with_content(s.dict(), t.root(), "b", "2");
         let vt = VTree::new(&s, &t);
         let kids = vt.children(vt.root()).unwrap();
         assert_eq!(kids.len(), 2);
@@ -219,7 +228,7 @@ mod tests {
         let s = store();
         let article = s.tag_id("article").unwrap();
         let art = s.nodes_with_tag(article)[0];
-        let mut t = Tree::new_elem("wrapper");
+        let mut t = Tree::new_elem(s.dict(), "wrapper");
         t.add_ref(t.root(), art, true);
         let vt = VTree::new(&s, &t);
         let all = vt.all_nodes().unwrap();
@@ -236,7 +245,7 @@ mod tests {
         let vt = VTree::new(&s, &t);
         assert_eq!(vt.attr(vt.root(), "year").unwrap().as_deref(), Some("1999"));
         assert_eq!(vt.attr(vt.root(), "month").unwrap(), None);
-        let mut t2 = Tree::new_elem("synthetic");
+        let mut t2 = Tree::new_elem(s.dict(), "synthetic");
         let vt2 = VTree::new(&s, &t2);
         assert_eq!(vt2.attr(vt2.root(), "year").unwrap(), None);
         let _ = &mut t2;
@@ -247,7 +256,7 @@ mod tests {
         let s = store();
         let author = s.tag_id("author").unwrap();
         let a = s.nodes_with_tag(author)[1];
-        let t = Tree::new_elem("x");
+        let t = Tree::new_elem(s.dict(), "x");
         let vt = VTree::new(&s, &t);
         let v = VNode::Stored(a);
         assert_eq!(vt.tag(v).unwrap(), "author");

@@ -139,8 +139,8 @@ pub fn aggregate_opts(
             ));
         };
         let kind = TreeNodeKind::Elem {
-            tag: new_tag.to_owned(),
-            content: Some(format_value(value)),
+            tag: store.dict().intern(new_tag),
+            content: Some(store.dict().intern(&format_value(value))),
         };
         match spec {
             UpdateSpec::AfterLastChild(_) => Ok(Some(Edit {
@@ -228,12 +228,12 @@ mod tests {
     }
 
     /// authorpubs tree with three title children and a price-ish value.
-    fn sample_tree() -> Tree {
-        let mut t = Tree::new_elem("authorpubs");
-        t.add_elem_with_content(t.root(), "author", "Jack");
-        t.add_elem_with_content(t.root(), "title", "A");
-        t.add_elem_with_content(t.root(), "title", "B");
-        t.add_elem_with_content(t.root(), "title", "C");
+    fn sample_tree(s: &DocumentStore) -> Tree {
+        let mut t = Tree::new_elem(s.dict(), "authorpubs");
+        t.add_elem_with_content(s.dict(), t.root(), "author", "Jack");
+        t.add_elem_with_content(s.dict(), t.root(), "title", "A");
+        t.add_elem_with_content(s.dict(), t.root(), "title", "B");
+        t.add_elem_with_content(s.dict(), t.root(), "title", "C");
         t
     }
 
@@ -249,7 +249,7 @@ mod tests {
         let (p, root, title) = title_pattern();
         let out = aggregate(
             &s,
-            vec![sample_tree()],
+            vec![sample_tree(&s)],
             &p,
             AggFunc::Count,
             title,
@@ -264,11 +264,11 @@ mod tests {
         assert_eq!(e.child("pubcount").unwrap().text(), "3");
     }
 
-    fn years_tree() -> Tree {
-        let mut t = Tree::new_elem("pubs");
-        t.add_elem_with_content(t.root(), "year", "1999");
-        t.add_elem_with_content(t.root(), "year", "2001");
-        t.add_elem_with_content(t.root(), "year", "2002");
+    fn years_tree(s: &DocumentStore) -> Tree {
+        let mut t = Tree::new_elem(s.dict(), "pubs");
+        t.add_elem_with_content(s.dict(), t.root(), "year", "1999");
+        t.add_elem_with_content(s.dict(), t.root(), "year", "2001");
+        t.add_elem_with_content(s.dict(), t.root(), "year", "2002");
         t
     }
 
@@ -289,7 +289,7 @@ mod tests {
         ] {
             let out = aggregate(
                 &s,
-                vec![years_tree()],
+                vec![years_tree(&s)],
                 &p,
                 func,
                 y,
@@ -308,7 +308,7 @@ mod tests {
         let (p, y) = year_pattern();
         let out = aggregate(
             &s,
-            vec![years_tree()],
+            vec![years_tree(&s)],
             &p,
             AggFunc::Avg,
             y,
@@ -327,7 +327,7 @@ mod tests {
         let (p, _root, title) = title_pattern();
         let before = aggregate(
             &s,
-            vec![sample_tree()],
+            vec![sample_tree(&s)],
             &p,
             AggFunc::Count,
             title,
@@ -342,7 +342,7 @@ mod tests {
 
         let after = aggregate(
             &s,
-            vec![sample_tree()],
+            vec![sample_tree(&s)],
             &p,
             AggFunc::Count,
             title,
@@ -359,8 +359,8 @@ mod tests {
     fn unmatched_trees_pass_through_unchanged() {
         let s = store();
         let (p, _root, title) = title_pattern();
-        let mut t = Tree::new_elem("other");
-        t.add_elem_with_content(t.root(), "x", "1");
+        let mut t = Tree::new_elem(s.dict(), "other");
+        t.add_elem_with_content(s.dict(), t.root(), "x", "1");
         let out = aggregate(
             &s,
             vec![t.clone()],
@@ -377,9 +377,9 @@ mod tests {
     #[test]
     fn non_numeric_values_ignored_for_sum() {
         let s = store();
-        let mut t = Tree::new_elem("pubs");
-        t.add_elem_with_content(t.root(), "year", "1999");
-        t.add_elem_with_content(t.root(), "year", "unknown");
+        let mut t = Tree::new_elem(s.dict(), "pubs");
+        t.add_elem_with_content(s.dict(), t.root(), "year", "1999");
+        t.add_elem_with_content(s.dict(), t.root(), "year", "unknown");
         let (p, y) = year_pattern();
         let out = aggregate(
             &s,
@@ -398,8 +398,8 @@ mod tests {
     #[test]
     fn min_of_no_numeric_values_passes_through() {
         let s = store();
-        let mut t = Tree::new_elem("pubs");
-        t.add_elem_with_content(t.root(), "year", "n/a");
+        let mut t = Tree::new_elem(s.dict(), "pubs");
+        t.add_elem_with_content(s.dict(), t.root(), "year", "n/a");
         let (p, y) = year_pattern();
         let out = aggregate(
             &s,
@@ -418,7 +418,7 @@ mod tests {
     fn sibling_of_root_rejected() {
         let s = store();
         let p = PatternTree::with_root(Pred::tag("pubs"));
-        let t = Tree::new_elem("pubs");
+        let t = Tree::new_elem(s.dict(), "pubs");
         let err = aggregate(
             &s,
             vec![t],

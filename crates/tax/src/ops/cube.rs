@@ -37,14 +37,15 @@
 use crate::error::{Error, Result};
 use crate::exec::{par_map, par_map_owned, ExecOptions, ShardStats};
 use crate::ops::aggregate::{format_value, AggFunc};
-use crate::ops::groupby::{add_basis_children, shard_of, validate, BasisItem, Key};
+use crate::ops::groupby::{add_basis_children, validate, BasisItem, Key};
+use crate::ops::keyenc;
 use crate::ops::rollup::{
     extract_batched, extract_tree, stored_scopes, Contribution, GroupAcc, StreamEntry,
 };
 use crate::pattern::{PatternNodeId, PatternTree};
 use crate::tree::{Collection, Tree};
 use std::collections::HashMap;
-use xmlstore::DocumentStore;
+use xmlstore::{Dictionary, DocumentStore};
 
 /// One-scan grouping lattice with default execution options.
 #[allow(clippy::too_many_arguments)]
@@ -168,20 +169,37 @@ pub fn cube_sharded(
     let partitions = partitions.max(1).min(stream.len().max(1));
     if partitions <= 1 {
         let n = stream.len();
-        let built =
-            accumulate_cube_shard(input, basis, &contributions, func, new_tag, levels, stream)?;
+        let built = accumulate_cube_shard(
+            store.dict(),
+            input,
+            basis,
+            &contributions,
+            func,
+            new_tag,
+            levels,
+            stream,
+        )?;
         return Ok((order_levels(built), ShardStats::serial(n)));
     }
 
     let mut shards: Vec<Vec<StreamEntry>> = (0..partitions).map(|_| Vec::new()).collect();
     for entry in stream {
         // Level-1 routing keeps every prefix group in one shard.
-        let shard = shard_of(&entry.2.key[..1], partitions);
+        let shard = keyenc::shard_of(&entry.2.key[..1], partitions);
         shards[shard].push(entry);
     }
     let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
     let built = par_map_owned(opts, shards, |_, shard| {
-        accumulate_cube_shard(input, basis, &contributions, func, new_tag, levels, shard)
+        accumulate_cube_shard(
+            store.dict(),
+            input,
+            basis,
+            &contributions,
+            func,
+            new_tag,
+            levels,
+            shard,
+        )
     })?;
     let all: Vec<(usize, usize, Tree)> = built.into_iter().flatten().collect();
     Ok((order_levels(all), ShardStats { partitions, sizes }))
@@ -227,6 +245,7 @@ fn order_levels(mut built: Vec<(usize, usize, Tree)>) -> Collection {
 /// `(level, global first_seq, tree)` triples.
 #[allow(clippy::too_many_arguments)]
 fn accumulate_cube_shard(
+    dict: &Dictionary,
     input: &Collection,
     basis: &[BasisItem],
     contributions: &[Contribution],
@@ -279,13 +298,14 @@ fn accumulate_cube_shard(
                 None
             };
             let Some(v) = value else { continue };
-            let mut tree = Tree::new_elem(crate::tags::GROUP_ROOT);
+            let mut tree = Tree::new_elem(dict, crate::tags::GROUP_ROOT);
             let root = tree.root();
-            tree.add_elem_with_content(root, crate::tags::CUBE_LEVEL, level.to_string());
+            tree.add_elem_with_content(dict, root, crate::tags::CUBE_LEVEL, level.to_string());
             // Cube output is always flat: the composed per-level plans
             // project their keys deep, so structured key nodes must
             // materialize their whole subtree here too.
             add_basis_children(
+                dict,
                 &mut tree,
                 root,
                 &input[acc.basis_tree],
@@ -294,7 +314,7 @@ fn accumulate_cube_shard(
                 &basis[..level],
                 true,
             );
-            tree.add_elem_with_content(tree.root(), new_tag, format_value(v));
+            tree.add_elem_with_content(dict, tree.root(), new_tag, format_value(v));
             out.push((level, first_seq, tree));
         }
     }
@@ -634,14 +654,14 @@ mod tests {
             ("WebDB", "2001", vec!["John"], "Hack HTML", "7"),
             ("TODS", "1999", vec!["Jack"], "Typing XML", "21"),
         ] {
-            let mut t = Tree::new_elem("article");
-            t.add_elem_with_content(t.root(), "title", title.to_owned());
-            t.add_elem_with_content(t.root(), "journal", journal.to_owned());
-            t.add_elem_with_content(t.root(), "year", year.to_owned());
+            let mut t = Tree::new_elem(s.dict(), "article");
+            t.add_elem_with_content(s.dict(), t.root(), "title", title);
+            t.add_elem_with_content(s.dict(), t.root(), "journal", journal);
+            t.add_elem_with_content(s.dict(), t.root(), "year", year);
             for a in authors {
-                t.add_elem_with_content(t.root(), "author", a.to_owned());
+                t.add_elem_with_content(s.dict(), t.root(), "author", a);
             }
-            t.add_elem_with_content(t.root(), "pages", pages.to_owned());
+            t.add_elem_with_content(s.dict(), t.root(), "pages", pages);
             arena.push(t);
         }
         let (p, basis) = lattice();

@@ -120,8 +120,8 @@ mod tests {
     fn unmatched_trees_pass_through() {
         let s = store();
         let input = vec![
-            crate::tree::Tree::new_elem("odd"),
-            crate::tree::Tree::new_elem("odd"),
+            crate::tree::Tree::new_elem(s.dict(), "odd"),
+            crate::tree::Tree::new_elem(s.dict(), "odd"),
         ];
         let p = PatternTree::with_root(Pred::tag("author"));
         let out = dup_elim(&s, input, &p, p.root()).unwrap();

@@ -28,15 +28,17 @@
 //!   before sorting. Kept as the ablation baseline (experiment X4).
 
 use crate::error::Result;
-use crate::exec::{fnv1a, par_map, par_map_owned, ExecOptions, ShardStats, FNV_SEED};
+use crate::exec::{par_map, par_map_owned, ExecOptions, ShardStats};
 use crate::matching::match_tree;
 use crate::matching::vnode::{VNode, VTree};
+use crate::ops::keyenc::{self, component};
 use crate::pattern::{PatternNodeId, PatternTree};
 use crate::tree::{Collection, Tree, TreeNodeKind};
 use crate::value::compare_opt_values;
 use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use xmlstore::DocumentStore;
+use xmlstore::{Dictionary, DocumentStore, Sym, NO_SYM};
 
 /// One item of the grouping basis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,9 +101,11 @@ pub struct GroupOrder {
     pub direction: Direction,
 }
 
-/// The grouping key: one value per basis item (`None` when the value is
-/// absent, e.g. a missing attribute).
-pub type Key = Vec<Option<String>>;
+/// The grouping key: one dictionary symbol per basis item
+/// ([`keyenc::ABSENT`] when the value is missing, e.g. an absent
+/// attribute). Fixed-width words, so hashing is a single FNV pass and
+/// equality is a flat word compare — see [`crate::ops::keyenc`].
+pub use crate::ops::keyenc::Key;
 
 struct Group {
     /// Basis values (for the basis children).
@@ -189,20 +193,26 @@ pub fn groupby_sharded(
     let per_tree: Vec<Vec<Witness>> = par_map(opts, input, |_, tree| {
         let vt = VTree::new(store, tree);
         let mut witnesses = Vec::new();
+        let dict = store.dict();
         for binding in match_tree(store, tree, pattern, false)? {
+            // Key values come from the columnar symbol region — no page
+            // access; the symbols *are* the key words.
             let mut key: Key = Vec::with_capacity(basis.len());
             for item in basis {
                 let v = binding[item.label];
-                let value = match &item.attr {
-                    Some(name) => vt.attr(v, name)?,
-                    None => vt.content(v)?,
-                };
-                key.push(value);
+                key.push(component(match &item.attr {
+                    Some(name) => vt.attr_sym(v, name),
+                    None => vt.content_sym(v),
+                }));
             }
+            // Ordering values resolve to text for the numeric-aware sort.
             let sort_key: Vec<Option<String>> = ordering
                 .iter()
-                .map(|o| vt.content(binding[o.label]))
-                .collect::<Result<_>>()?;
+                .map(|o| {
+                    vt.content_sym(binding[o.label])
+                        .map(|s| dict.resolve(s).to_string())
+                })
+                .collect();
             witnesses.push(Witness {
                 key,
                 sort_key,
@@ -240,7 +250,7 @@ pub fn groupby_sharded(
     let mut shards: Vec<Vec<(usize, usize, Witness)>> =
         (0..partitions).map(|_| Vec::new()).collect();
     for entry in stream {
-        let shard = shard_of(&entry.2.key, partitions);
+        let shard = keyenc::shard_of(&entry.2.key, partitions);
         shards[shard].push(entry);
     }
     let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
@@ -253,21 +263,6 @@ pub fn groupby_sharded(
         all.into_iter().map(|(_, t)| t).collect(),
         ShardStats { partitions, sizes },
     ))
-}
-
-/// The shard a grouping key belongs to: FNV-1a over a self-delimiting
-/// encoding of the key's values (absent values hash distinctly from
-/// empty strings). Shared with the rollup kernel so both sinks route a
-/// given key identically.
-pub(crate) fn shard_of(key: &[Option<String>], partitions: usize) -> usize {
-    let mut h = FNV_SEED;
-    for value in key {
-        h = match value {
-            None => fnv1a(h, &[0]),
-            Some(v) => fnv1a(fnv1a(h, &[1]), v.as_bytes()),
-        };
-    }
-    (h % partitions as u64) as usize
 }
 
 /// Group formation + tree building over one witness shard, witnesses in
@@ -287,15 +282,16 @@ fn form_and_build(
     shard: Vec<(usize, usize, Witness)>,
 ) -> Result<Vec<(usize, Tree)>> {
     let mut index: HashMap<Key, usize> = HashMap::new();
-    let mut groups: Vec<(Key, Group, usize)> = Vec::new();
+    let mut groups: Vec<(Group, usize)> = Vec::new();
     for (tree_idx, seq, w) in shard {
-        let gid = match index.get(&w.key) {
-            Some(&g) => g,
-            None => {
-                let g = groups.len();
-                index.insert(w.key.clone(), g);
+        let next = groups.len();
+        // The index is the key's only owner — no per-group key clone; the
+        // keys are scattered back out by group id once formation is done.
+        let gid = match index.entry(w.key) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                e.insert(next);
                 groups.push((
-                    w.key,
                     Group {
                         basis_nodes: w.basis_nodes,
                         basis_tree: tree_idx,
@@ -303,7 +299,7 @@ fn form_and_build(
                     },
                     seq,
                 ));
-                g
+                next
             }
         };
         // A source tree joins each of its witnesses' groups (Fig. 3's
@@ -312,13 +308,17 @@ fn form_and_build(
         // sharing an institution) do not replicate the member. The
         // global witness ordinal serves as the member's arrival rank:
         // it orders members exactly as a per-arrival counter would.
-        if groups[gid].1.members.last().map(|m| m.0) != Some(tree_idx) {
-            groups[gid].1.members.push((tree_idx, w.sort_key, seq));
+        if groups[gid].0.members.last().map(|m| m.0) != Some(tree_idx) {
+            groups[gid].0.members.push((tree_idx, w.sort_key, seq));
         }
     }
 
+    let mut keys: Vec<Key> = vec![Vec::new(); groups.len()];
+    for (key, gid) in index {
+        keys[gid] = key;
+    }
     let mut out = Vec::with_capacity(groups.len());
-    for (key, mut group, first_seq) in groups {
+    for ((mut group, first_seq), key) in groups.into_iter().zip(keys) {
         sort_members(&mut group.members, ordering);
         out.push((
             first_seq,
@@ -365,11 +365,10 @@ pub fn groupby_replicated(
             let mut basis_tags: Vec<String> = Vec::with_capacity(basis.len());
             for item in basis {
                 let v = binding[item.label];
-                let value = match &item.attr {
-                    Some(name) => vt.attr(v, name)?,
-                    None => vt.content(v)?,
-                };
-                key.push(value);
+                key.push(component(match &item.attr {
+                    Some(name) => vt.attr_sym(v, name),
+                    None => vt.content_sym(v),
+                }));
                 basis_tags.push(match &item.attr {
                     Some(name) => name.clone(),
                     None => vt.tag(v)?,
@@ -386,7 +385,7 @@ pub fn groupby_replicated(
             }
             last_source.insert(key.clone(), tree_idx);
             // Eager full materialization — the expensive step.
-            let materialized = Tree::from_element(&tree.materialize(store)?);
+            let materialized = Tree::from_element(store.dict(), &tree.materialize(store)?);
             let arrival = replicas.len();
             replicas.push(Replica {
                 key,
@@ -419,8 +418,9 @@ pub fn groupby_replicated(
             compare_sort_keys(&ra.sort_key, &rb.sort_key, ordering)
                 .then(ra.arrival.cmp(&rb.arrival))
         });
-        let mut tree = Tree::new_elem(crate::tags::GROUP_ROOT);
-        let basis_root = tree.add_elem(tree.root(), crate::tags::GROUPING_BASIS);
+        let dict = store.dict();
+        let mut tree = Tree::new_elem(dict, crate::tags::GROUP_ROOT);
+        let basis_root = tree.add_elem(dict, tree.root(), crate::tags::GROUPING_BASIS);
         let first = &replicas[member_ids[0]];
         for ((item, value), tag) in basis
             .iter()
@@ -428,14 +428,14 @@ pub fn groupby_replicated(
             .zip(first.basis_tags.iter())
         {
             let _ = item;
-            let node = tree.add_elem(basis_root, tag.clone());
-            if let Some(v) = value {
+            let node = tree.add_elem(dict, basis_root, tag);
+            if *value != NO_SYM {
                 if let TreeNodeKind::Elem { content, .. } = &mut tree.node_mut(node).kind {
-                    *content = Some(v.clone());
+                    *content = Some(Sym(*value));
                 }
             }
         }
-        let subroot = tree.add_elem(tree.root(), crate::tags::GROUP_SUBROOT);
+        let subroot = tree.add_elem(dict, tree.root(), crate::tags::GROUP_SUBROOT);
         for &mid in &member_ids {
             tree.append_subtree(subroot, &replicas[mid].tree, replicas[mid].tree.root());
         }
@@ -508,10 +508,11 @@ where
                 ord.then(a.2.cmp(&b.2))
             });
         }
-        let mut tree = Tree::new_elem(crate::tags::GROUP_ROOT);
-        let basis_root = tree.add_elem(tree.root(), crate::tags::GROUPING_BASIS);
-        tree.add_elem_with_content(basis_root, basis_tag, key);
-        let subroot = tree.add_elem(tree.root(), crate::tags::GROUP_SUBROOT);
+        let dict = store.dict();
+        let mut tree = Tree::new_elem(dict, crate::tags::GROUP_ROOT);
+        let basis_root = tree.add_elem(dict, tree.root(), crate::tags::GROUPING_BASIS);
+        tree.add_elem_with_content(dict, basis_root, basis_tag, key);
+        let subroot = tree.add_elem(dict, tree.root(), crate::tags::GROUP_SUBROOT);
         for (tree_idx, _, _) in &members {
             tree.append_subtree(subroot, &input[*tree_idx], input[*tree_idx].root());
         }
@@ -566,7 +567,7 @@ fn compare_sort_keys(
     Ordering::Equal
 }
 
-fn basis_child_tag(item: &BasisItem, _key: &Key) -> String {
+fn basis_child_tag(item: &BasisItem) -> String {
     match &item.attr {
         Some(name) => name.clone(),
         None => format!("basis_{}", item.label + 1),
@@ -586,6 +587,7 @@ fn basis_child_tag(item: &BasisItem, _key: &Key) -> String {
 /// grouped shape keeps the shallow copy; its downstream projection does
 /// the deep expansion itself.
 pub(crate) fn add_basis_children(
+    dict: &Dictionary,
     tree: &mut Tree,
     basis_root: usize,
     src_tree: &Tree,
@@ -599,10 +601,12 @@ pub(crate) fn add_basis_children(
         match item.attr {
             Some(_) => {
                 // $i.attr: a constructed child named after the attribute.
-                let node = tree.add_elem(basis_root, basis_child_tag(item, key));
-                if let Some(val) = value {
+                // The key word is already the value's symbol — it becomes
+                // the child's content without a dictionary round-trip.
+                let node = tree.add_elem(dict, basis_root, basis_child_tag(item));
+                if *value != NO_SYM {
                     if let TreeNodeKind::Elem { content, .. } = &mut tree.node_mut(node).kind {
-                        *content = Some(val.clone());
+                        *content = Some(Sym(*value));
                     }
                 }
             }
@@ -642,10 +646,10 @@ pub fn witness_keys(
             let mut key: Key = Vec::with_capacity(basis.len());
             for item in basis {
                 let v = binding[item.label];
-                key.push(match &item.attr {
-                    Some(name) => vt.attr(v, name)?,
-                    None => vt.content(v)?,
-                });
+                key.push(component(match &item.attr {
+                    Some(name) => vt.attr_sym(v, name),
+                    None => vt.content_sym(v),
+                }));
             }
             keys.push(key);
         }
@@ -655,17 +659,19 @@ pub fn witness_keys(
 }
 
 fn build_group_tree(
-    _store: &DocumentStore,
+    store: &DocumentStore,
     input: &Collection,
     key: &Key,
     group: &Group,
     basis: &[BasisItem],
     _replicate: bool,
 ) -> Result<Tree> {
-    let mut tree = Tree::new_elem(crate::tags::GROUP_ROOT);
-    let basis_root = tree.add_elem(tree.root(), crate::tags::GROUPING_BASIS);
+    let dict = store.dict();
+    let mut tree = Tree::new_elem(dict, crate::tags::GROUP_ROOT);
+    let basis_root = tree.add_elem(dict, tree.root(), crate::tags::GROUPING_BASIS);
     let src_tree = &input[group.basis_tree];
     add_basis_children(
+        dict,
         &mut tree,
         basis_root,
         src_tree,
@@ -674,7 +680,7 @@ fn build_group_tree(
         basis,
         false,
     );
-    let subroot = tree.add_elem(tree.root(), crate::tags::GROUP_SUBROOT);
+    let subroot = tree.add_elem(dict, tree.root(), crate::tags::GROUP_SUBROOT);
     for (tree_idx, _, _) in &group.members {
         tree.append_subtree(subroot, &input[*tree_idx], input[*tree_idx].root());
     }
@@ -1078,9 +1084,9 @@ mod tests {
         // A tree may belong to several groups (e.g. keyword grouping).
         let s = DocumentStore::from_xml("<bib/>", &StoreOptions::in_memory()).unwrap();
         let mk = |kws: &[&str]| -> Tree {
-            let mut t = Tree::new_elem("article");
+            let mut t = Tree::new_elem(s.dict(), "article");
             for k in kws {
-                t.add_elem_with_content(t.root(), "kw", *k);
+                t.add_elem_with_content(s.dict(), t.root(), "kw", *k);
             }
             t
         };

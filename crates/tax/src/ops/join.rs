@@ -8,9 +8,10 @@
 //! arguments back together on a shared key.
 
 use crate::error::Result;
-use crate::exec::{fnv1a, par_map, par_map_owned, ExecOptions, ShardStats, FNV_SEED};
+use crate::exec::{par_map, par_map_owned, ExecOptions, ShardStats};
 use crate::matching::vnode::VTree;
 use crate::matching::{match_db, match_tree, Binding};
+use crate::ops::keyenc;
 use crate::ops::select::witness_tree;
 use crate::pattern::{PatternNodeId, PatternTree};
 use crate::tree::{Collection, Tree};
@@ -111,7 +112,7 @@ pub fn left_outer_join_db_sharded(
     // (a data look-up per binding — part of the direct plan's cost).
     let right_bindings = match_db(store, right_pattern)?;
     let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
-    let probe_tree = Tree::new_elem("probe");
+    let probe_tree = Tree::new_elem(store.dict(), "probe");
     let vt_probe = VTree::new(store, &probe_tree);
     for (i, b) in right_bindings.iter().enumerate() {
         if let Some(v) = vt_probe.content(b[right_label])? {
@@ -147,11 +148,8 @@ pub fn left_outer_join_db_sharded(
 
     let mut shards: Vec<Vec<usize>> = (0..partitions).map(|_| Vec::new()).collect();
     for (li, key) in keys.iter().enumerate() {
-        let h = match key {
-            None => fnv1a(FNV_SEED, &[0]),
-            Some(v) => fnv1a(fnv1a(FNV_SEED, &[1]), v.as_bytes()),
-        };
-        shards[(h % partitions as u64) as usize].push(li);
+        let h = keyenc::hash_opt_str(key.as_deref());
+        shards[keyenc::shard(h, partitions)].push(li);
     }
     let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
     let per_shard: Vec<Vec<(usize, Vec<Tree>)>> = par_map_owned(opts, shards, |_, shard| {
@@ -194,13 +192,13 @@ fn join_one(
         .map(Vec::as_slice)
         .unwrap_or(&[]);
     if matches.is_empty() {
-        let mut prod = Tree::new_elem(crate::tags::PROD_ROOT);
+        let mut prod = Tree::new_elem(store.dict(), crate::tags::PROD_ROOT);
         prod.append_subtree(prod.root(), ltree, ltree.root());
         return Ok(vec![prod]);
     }
     let mut out = Vec::with_capacity(matches.len());
     for &ri in matches {
-        let mut prod = Tree::new_elem(crate::tags::PROD_ROOT);
+        let mut prod = Tree::new_elem(store.dict(), crate::tags::PROD_ROOT);
         prod.append_subtree(prod.root(), ltree, ltree.root());
         let w = witness_tree(store, None, right_pattern, &right_bindings[ri], right_sl)?;
         prod.append_subtree(prod.root(), &w, w.root());
@@ -247,7 +245,7 @@ pub fn full_outer_join(
                 if *rk == lk {
                     right_used[i] = true;
                     matched = true;
-                    let mut prod = Tree::new_elem(crate::tags::PROD_ROOT);
+                    let mut prod = Tree::new_elem(store.dict(), crate::tags::PROD_ROOT);
                     prod.append_subtree(prod.root(), l, l.root());
                     prod.append_subtree(prod.root(), &right[i], right[i].root());
                     out.push(prod);
@@ -255,14 +253,14 @@ pub fn full_outer_join(
             }
         }
         if !matched {
-            let mut prod = Tree::new_elem(crate::tags::PROD_ROOT);
+            let mut prod = Tree::new_elem(store.dict(), crate::tags::PROD_ROOT);
             prod.append_subtree(prod.root(), l, l.root());
             out.push(prod);
         }
     }
     for (i, used) in right_used.iter().enumerate() {
         if !used {
-            let mut prod = Tree::new_elem(crate::tags::PROD_ROOT);
+            let mut prod = Tree::new_elem(store.dict(), crate::tags::PROD_ROOT);
             prod.append_subtree(prod.root(), &right[i], right[i].root());
             out.push(prod);
         }
@@ -379,8 +377,8 @@ mod tests {
         // Left: author name trees; right: one tree sharing a key plus one
         // unmatched.
         let mk = |tag: &str, content: &str| -> Tree {
-            let mut t = Tree::new_elem("wrap");
-            t.add_elem_with_content(t.root(), tag, content);
+            let mut t = Tree::new_elem(s.dict(), "wrap");
+            t.add_elem_with_content(s.dict(), t.root(), tag, content);
             t
         };
         let left = vec![mk("author", "Jack"), mk("author", "Ghost")];

@@ -24,6 +24,7 @@ pub mod cube;
 pub mod dupelim;
 pub mod groupby;
 pub mod join;
+pub mod keyenc;
 pub mod project;
 pub mod rename;
 pub mod reorder;

@@ -240,7 +240,7 @@ fn new_tree_for(store: &DocumentStore, tree: &Tree, v: VNode, deep: bool) -> Res
     Ok(match kind_for(tree, v, deep) {
         TreeNodeKind::Ref { node, deep } => Tree::new_ref(node, deep),
         TreeNodeKind::Elem { tag, content } => {
-            let mut t = Tree::new_elem(tag);
+            let mut t = Tree::new_elem_sym(tag);
             if let Some(c) = content {
                 if let TreeNodeKind::Elem { content, .. } = &mut t.node_mut(0).kind {
                     *content = Some(c);
@@ -380,10 +380,10 @@ mod tests {
     #[test]
     fn projection_over_synthetic_trees() {
         let s = store();
-        let mut t = Tree::new_elem("wrapper");
-        let a = t.add_elem_with_content(t.root(), "keep", "yes");
-        let _ = t.add_elem_with_content(t.root(), "drop", "no");
-        t.add_elem_with_content(a, "inner", "deep");
+        let mut t = Tree::new_elem(s.dict(), "wrapper");
+        let a = t.add_elem_with_content(s.dict(), t.root(), "keep", "yes");
+        let _ = t.add_elem_with_content(s.dict(), t.root(), "drop", "no");
+        t.add_elem_with_content(s.dict(), a, "inner", "deep");
         let mut p = PatternTree::with_root(Pred::tag("wrapper"));
         let keep = p.add_child(p.root(), Axis::Child, Pred::tag("keep"));
         let pl = [ProjectItem::deep(keep)];

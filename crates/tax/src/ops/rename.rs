@@ -6,26 +6,26 @@
 
 use crate::error::Result;
 use crate::tree::{Collection, Tree, TreeNodeKind};
+use xmlstore::Dictionary;
 
-/// Rename the root of every tree to `new_tag`, in place.
+/// Rename the root of every tree to `new_tag`, in place. The tag is
+/// interned once, whatever the collection size.
 ///
 /// A constructed root keeps its content; a reference root is replaced by
 /// a constructed element whose children are the reference's arena
 /// children (for a deep reference the stored subtree's children are
 /// *not* pulled up — rename is meant for the dummy roots produced by
 /// joins, groupings, and constructors, which are always constructed).
-pub fn rename_root(mut input: Collection, new_tag: &str) -> Result<Collection> {
+pub fn rename_root(dict: &Dictionary, mut input: Collection, new_tag: &str) -> Result<Collection> {
+    let tag = dict.intern(new_tag);
     for t in &mut input {
         let root = t.root();
         let new_kind = match &t.node(root).kind {
             TreeNodeKind::Elem { content, .. } => TreeNodeKind::Elem {
-                tag: new_tag.to_owned(),
-                content: content.clone(),
+                tag,
+                content: *content,
             },
-            TreeNodeKind::Ref { .. } => TreeNodeKind::Elem {
-                tag: new_tag.to_owned(),
-                content: None,
-            },
+            TreeNodeKind::Ref { .. } => TreeNodeKind::Elem { tag, content: None },
         };
         t.node_mut(root).kind = new_kind;
     }
@@ -34,10 +34,11 @@ pub fn rename_root(mut input: Collection, new_tag: &str) -> Result<Collection> {
 
 /// Wrap each tree under a fresh constructed root named `tag` — the
 /// element-constructor step of a RETURN clause.
-pub fn wrap_root(input: Collection, tag: &str) -> Result<Collection> {
+pub fn wrap_root(dict: &Dictionary, input: Collection, tag: &str) -> Result<Collection> {
+    let tag = dict.intern(tag);
     let mut out = Vec::with_capacity(input.len());
     for tree in input {
-        let mut t = Tree::new_elem(tag);
+        let mut t = Tree::new_elem_sym(tag);
         t.append_subtree(t.root(), &tree, tree.root());
         out.push(t);
     }
@@ -56,9 +57,9 @@ mod tests {
     #[test]
     fn rename_constructed_root_keeps_children_and_content() {
         let s = store();
-        let mut t = Tree::new_elem(crate::tags::PROD_ROOT);
-        t.add_elem_with_content(t.root(), "author", "Jack");
-        let out = rename_root(vec![t], "authorpubs").unwrap();
+        let mut t = Tree::new_elem(s.dict(), crate::tags::PROD_ROOT);
+        t.add_elem_with_content(s.dict(), t.root(), "author", "Jack");
+        let out = rename_root(s.dict(), vec![t], "authorpubs").unwrap();
         let e = out[0].materialize(&s).unwrap();
         assert_eq!(e.name, "authorpubs");
         assert_eq!(e.child("author").unwrap().text(), "Jack");
@@ -70,7 +71,7 @@ mod tests {
         let a = s.tag_id("a").unwrap();
         let node = s.nodes_with_tag(a)[0];
         let t = Tree::new_ref(node, false);
-        let out = rename_root(vec![t], "renamed").unwrap();
+        let out = rename_root(s.dict(), vec![t], "renamed").unwrap();
         let e = out[0].materialize(&s).unwrap();
         assert_eq!(e.name, "renamed");
     }
@@ -78,9 +79,9 @@ mod tests {
     #[test]
     fn wrap_root_nests() {
         let s = store();
-        let mut t = Tree::new_elem("inner");
-        t.add_elem_with_content(t.root(), "x", "1");
-        let out = wrap_root(vec![t], "outer").unwrap();
+        let mut t = Tree::new_elem(s.dict(), "inner");
+        t.add_elem_with_content(s.dict(), t.root(), "x", "1");
+        let out = wrap_root(s.dict(), vec![t], "outer").unwrap();
         let e = out[0].materialize(&s).unwrap();
         assert_eq!(e.name, "outer");
         assert_eq!(e.child("inner").unwrap().child("x").unwrap().text(), "1");
@@ -88,7 +89,8 @@ mod tests {
 
     #[test]
     fn empty_collection_passthrough() {
-        assert!(rename_root(Vec::new(), "t").unwrap().is_empty());
-        assert!(wrap_root(Vec::new(), "t").unwrap().is_empty());
+        let s = store();
+        assert!(rename_root(s.dict(), Vec::new(), "t").unwrap().is_empty());
+        assert!(wrap_root(s.dict(), Vec::new(), "t").unwrap().is_empty());
     }
 }

@@ -155,8 +155,8 @@ mod tests {
     #[test]
     fn unmatched_trees_sort_first_stably() {
         let (s, mut arts, p, title, _) = setup();
-        arts.push(crate::tree::Tree::new_elem("odd"));
-        arts.push(crate::tree::Tree::new_elem("odd2"));
+        arts.push(crate::tree::Tree::new_elem(s.dict(), "odd"));
+        arts.push(crate::tree::Tree::new_elem(s.dict(), "odd2"));
         let sorted = reorder(
             &s,
             arts,

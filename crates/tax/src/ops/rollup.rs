@@ -41,11 +41,12 @@ use crate::exec::{par_map, par_map_owned, ExecOptions, ShardStats};
 use crate::matching::vnode::{VNode, VTree};
 use crate::matching::{match_db, match_tree};
 use crate::ops::aggregate::{format_value, AggFunc};
-use crate::ops::groupby::{add_basis_children, shard_of, validate, BasisItem, Key};
+use crate::ops::groupby::{add_basis_children, validate, BasisItem, Key};
+use crate::ops::keyenc::{self, component};
 use crate::pattern::{PatternNodeId, PatternTree};
 use crate::tree::{Collection, Tree, TreeNodeKind};
 use std::collections::HashMap;
-use xmlstore::{DocumentStore, NodeEntry};
+use xmlstore::{Dictionary, DocumentStore, NodeEntry};
 
 /// The output tree shape of a rollup run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -272,7 +273,16 @@ pub fn rollup_sharded(
     let partitions = partitions.max(1).min(stream.len().max(1));
     if partitions <= 1 {
         let n = stream.len();
-        let built = accumulate_shard(input, basis, &contributions, func, new_tag, shape, stream)?;
+        let built = accumulate_shard(
+            store.dict(),
+            input,
+            basis,
+            &contributions,
+            func,
+            new_tag,
+            shape,
+            stream,
+        )?;
         return Ok((
             built.into_iter().map(|(_, t)| t).collect(),
             ShardStats::serial(n),
@@ -281,12 +291,21 @@ pub fn rollup_sharded(
 
     let mut shards: Vec<Vec<StreamEntry>> = (0..partitions).map(|_| Vec::new()).collect();
     for entry in stream {
-        let shard = shard_of(&entry.2.key, partitions);
+        let shard = keyenc::shard_of(&entry.2.key, partitions);
         shards[shard].push(entry);
     }
     let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
     let built = par_map_owned(opts, shards, |_, shard| {
-        accumulate_shard(input, basis, &contributions, func, new_tag, shape, shard)
+        accumulate_shard(
+            store.dict(),
+            input,
+            basis,
+            &contributions,
+            func,
+            new_tag,
+            shape,
+            shard,
+        )
     })?;
     let mut all: Vec<(usize, Tree)> = built.into_iter().flatten().collect();
     all.sort_by_key(|&(first_seq, _)| first_seq);
@@ -371,10 +390,10 @@ pub(crate) fn extract_batched(
         let mut key: Key = Vec::with_capacity(basis.len());
         for item in basis {
             let v = binding[item.label];
-            key.push(match &item.attr {
-                Some(name) => vt.attr(v, name)?,
-                None => vt.content(v)?,
-            });
+            key.push(component(match &item.attr {
+                Some(name) => vt.attr_sym(v, name),
+                None => vt.content_sym(v),
+            }));
         }
         // Canonicalize a binding of the scope node itself to the tree's
         // arena root, exactly as the per-tree matcher does.
@@ -439,10 +458,10 @@ pub(crate) fn extract_tree(
         let mut key: Key = Vec::with_capacity(basis.len());
         for item in basis {
             let v = binding[item.label];
-            key.push(match &item.attr {
-                Some(name) => vt.attr(v, name)?,
-                None => vt.content(v)?,
-            });
+            key.push(component(match &item.attr {
+                Some(name) => vt.attr_sym(v, name),
+                None => vt.content_sym(v),
+            }));
         }
         witnesses.push(RollupWitness {
             key,
@@ -478,6 +497,7 @@ pub(crate) fn extract_tree(
 /// sharded paths run.
 #[allow(clippy::too_many_arguments)]
 fn accumulate_shard(
+    dict: &Dictionary,
     input: &Collection,
     basis: &[BasisItem],
     contributions: &[Contribution],
@@ -517,9 +537,9 @@ fn accumulate_shard(
         } else {
             None
         };
-        let mut tree = Tree::new_elem(crate::tags::GROUP_ROOT);
+        let mut tree = Tree::new_elem(dict, crate::tags::GROUP_ROOT);
         let basis_root = match shape {
-            RollupShape::Grouped => tree.add_elem(tree.root(), crate::tags::GROUPING_BASIS),
+            RollupShape::Grouped => tree.add_elem(dict, tree.root(), crate::tags::GROUPING_BASIS),
             RollupShape::Flat => {
                 if value.is_none() {
                     continue;
@@ -530,6 +550,7 @@ fn accumulate_shard(
         // The flat shape pre-applies the consumer's deep key projection,
         // so structured key nodes must materialize their whole subtree.
         add_basis_children(
+            dict,
             &mut tree,
             basis_root,
             &input[acc.basis_tree],
@@ -539,7 +560,7 @@ fn accumulate_shard(
             matches!(shape, RollupShape::Flat),
         );
         if let Some(v) = value {
-            tree.add_elem_with_content(tree.root(), new_tag, format_value(v));
+            tree.add_elem_with_content(dict, tree.root(), new_tag, format_value(v));
         }
         out.push((first_seq, tree));
     }
@@ -949,10 +970,10 @@ mod tests {
             (vec!["Jill", "Jack"], "XML and the Web"),
             (vec!["John"], "Hack HTML"),
         ] {
-            let mut t = Tree::new_elem("article");
-            t.add_elem_with_content(t.root(), "title", title.to_owned());
+            let mut t = Tree::new_elem(s.dict(), "article");
+            t.add_elem_with_content(s.dict(), t.root(), "title", title);
             for a in authors {
-                t.add_elem_with_content(t.root(), "author", a.to_owned());
+                t.add_elem_with_content(s.dict(), t.root(), "author", a);
             }
             arena.push(t);
         }

@@ -147,7 +147,7 @@ enum BoundKind {
 fn new_tree_with(kind: TreeNodeKind) -> Tree {
     match kind {
         TreeNodeKind::Elem { tag, content } => {
-            let mut t = Tree::new_elem(tag);
+            let mut t = Tree::new_elem_sym(tag);
             if let Some(c) = content {
                 if let TreeNodeKind::Elem { content, .. } = &mut t.node_mut(0).kind {
                     *content = Some(c);

@@ -14,16 +14,19 @@ use std::collections::HashSet;
 
 /// A cheap structural fingerprint of a tree: the pre-order sequence of
 /// node descriptors. Reference nodes use stored identity (id + deep
-/// flag), constructed nodes their tag/content.
-fn fingerprint(tree: &Tree) -> Vec<(u8, u32, String)> {
+/// flag); constructed nodes compare by their interned tag/content words
+/// ([`xmlstore::NO_SYM`] for absent content) — symbol equality is value
+/// equality, so no text is materialized.
+fn fingerprint(tree: &Tree) -> Vec<(u8, u32, u32, u32)> {
     tree.preorder()
         .into_iter()
         .map(|n| match &tree.node(n).kind {
-            TreeNodeKind::Ref { node, deep } => (u8::from(*deep), node.id.0, String::new()),
+            TreeNodeKind::Ref { node, deep } => (u8::from(*deep), node.id.0, 0, 0),
             TreeNodeKind::Elem { tag, content } => (
                 2,
                 tree.node(n).children.len() as u32,
-                format!("{tag}\u{0}{}", content.as_deref().unwrap_or("")),
+                tag.0,
+                content.map_or(xmlstore::NO_SYM, |c| c.0),
             ),
         })
         .collect()
@@ -134,9 +137,10 @@ mod tests {
 
     #[test]
     fn constructed_trees_compare_structurally() {
+        let s = store();
         let mk = |v: &str| -> Tree {
-            let mut t = Tree::new_elem("row");
-            t.add_elem_with_content(t.root(), "x", v);
+            let mut t = Tree::new_elem(s.dict(), "row");
+            t.add_elem_with_content(s.dict(), t.root(), "x", v);
             t
         };
         let left = vec![mk("1"), mk("2")];

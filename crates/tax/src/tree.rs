@@ -7,9 +7,17 @@
 //! processing" of Sec. 5.3: witness trees and group trees circulate as
 //! identifiers, and data pages are touched only for the values an operator
 //! actually needs.
+//!
+//! Constructed nodes carry dictionary [`Sym`]s, not strings: tags like
+//! `TAX_group_root` and computed values are interned once into the
+//! store's unified dictionary and resolved back to text only at
+//! serialization. Tree payloads are therefore fixed-width and `Clone` is
+//! a flat memcpy of arena vectors — every clone is counted in a global
+//! counter so the executor can surface tree-copy traffic per operator.
 
 use crate::error::Result;
-use xmlstore::{DocumentStore, NodeEntry, NodeKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use xmlstore::{Dictionary, DocumentStore, NodeEntry, NodeKind, Sym};
 
 /// A collection of data trees — what every TAX operator consumes and
 /// produces.
@@ -18,15 +26,29 @@ pub type Collection = Vec<Tree>;
 /// Arena index of a node within a [`Tree`].
 pub type TreeNodeId = usize;
 
+/// Global count of [`Tree`] clones since process start (or the last
+/// [`reset_tree_clones`]) — the executor's clone-budget metric.
+static TREE_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of tree clones performed so far.
+pub fn tree_clones() -> u64 {
+    TREE_CLONES.load(Ordering::Relaxed)
+}
+
+/// Reset the global tree-clone counter (tests and benchmarks).
+pub fn reset_tree_clones() {
+    TREE_CLONES.store(0, Ordering::Relaxed);
+}
+
 /// What a tree node is.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TreeNodeKind {
     /// A constructed element, e.g. `TAX_group_root`.
     Elem {
-        /// Tag name.
-        tag: String,
-        /// Optional character content.
-        content: Option<String>,
+        /// Interned tag name.
+        tag: Sym,
+        /// Optional interned character content.
+        content: Option<Sym>,
     },
     /// A reference to a stored node. With `deep == true` the node stands
     /// for the whole stored subtree; otherwise just for the node itself
@@ -54,20 +76,32 @@ pub struct TreeNode {
 }
 
 /// An ordered, labelled data tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Tree {
     nodes: Vec<TreeNode>,
 }
 
+impl Clone for Tree {
+    fn clone(&self) -> Self {
+        TREE_CLONES.fetch_add(1, Ordering::Relaxed);
+        Tree {
+            nodes: self.nodes.clone(),
+        }
+    }
+}
+
 impl Tree {
     /// A tree whose root is a constructed element.
-    pub fn new_elem(tag: impl Into<String>) -> Self {
+    pub fn new_elem(dict: &Dictionary, tag: impl AsRef<str>) -> Self {
+        Self::new_elem_sym(dict.intern(tag.as_ref()))
+    }
+
+    /// A tree whose root is a constructed element with an already-interned
+    /// tag.
+    pub fn new_elem_sym(tag: Sym) -> Self {
         Tree {
             nodes: vec![TreeNode {
-                kind: TreeNodeKind::Elem {
-                    tag: tag.into(),
-                    content: None,
-                },
+                kind: TreeNodeKind::Elem { tag, content: None },
                 parent: None,
                 children: Vec::new(),
             }],
@@ -89,19 +123,24 @@ impl Tree {
     /// children become the node's content, mixed-content text becomes
     /// `#text` children, attributes are dropped (TAX trees address
     /// attributes through predicates, not as children).
-    pub fn from_element(elem: &xmlparse::Element) -> Self {
-        let mut t = Tree::new_elem(&elem.name);
-        Self::fill_from_element(&mut t, 0, elem);
+    pub fn from_element(dict: &Dictionary, elem: &xmlparse::Element) -> Self {
+        let mut t = Tree::new_elem(dict, &elem.name);
+        Self::fill_from_element(dict, &mut t, 0, elem);
         t
     }
 
-    fn fill_from_element(t: &mut Tree, node: TreeNodeId, elem: &xmlparse::Element) {
+    fn fill_from_element(
+        dict: &Dictionary,
+        t: &mut Tree,
+        node: TreeNodeId,
+        elem: &xmlparse::Element,
+    ) {
         let has_elem_children = elem.children.iter().any(|c| c.as_element().is_some());
         if !has_elem_children {
             let text = elem.text();
             if !text.is_empty() {
                 if let TreeNodeKind::Elem { content, .. } = &mut t.node_mut(node).kind {
-                    *content = Some(text);
+                    *content = Some(dict.intern(&text));
                 }
             }
             return;
@@ -109,12 +148,12 @@ impl Tree {
         for child in &elem.children {
             match child {
                 xmlparse::XmlNode::Element(e) => {
-                    let id = t.add_elem(node, &e.name);
-                    Self::fill_from_element(t, id, e);
+                    let id = t.add_elem(dict, node, &e.name);
+                    Self::fill_from_element(dict, t, id, e);
                 }
                 xmlparse::XmlNode::Text(s) => {
                     if !s.trim().is_empty() {
-                        t.add_elem_with_content(node, "#text", s.clone());
+                        t.add_elem_with_content(dict, node, "#text", s);
                     }
                 }
                 xmlparse::XmlNode::Comment(_) => {}
@@ -160,28 +199,47 @@ impl Tree {
     }
 
     /// Append a constructed element under `parent`.
-    pub fn add_elem(&mut self, parent: TreeNodeId, tag: impl Into<String>) -> TreeNodeId {
-        self.add_node(
-            parent,
-            TreeNodeKind::Elem {
-                tag: tag.into(),
-                content: None,
-            },
-        )
+    pub fn add_elem(
+        &mut self,
+        dict: &Dictionary,
+        parent: TreeNodeId,
+        tag: impl AsRef<str>,
+    ) -> TreeNodeId {
+        self.add_elem_sym(parent, dict.intern(tag.as_ref()))
+    }
+
+    /// Append a constructed element with an already-interned tag.
+    pub fn add_elem_sym(&mut self, parent: TreeNodeId, tag: Sym) -> TreeNodeId {
+        self.add_node(parent, TreeNodeKind::Elem { tag, content: None })
     }
 
     /// Append a constructed element with content under `parent`.
     pub fn add_elem_with_content(
         &mut self,
+        dict: &Dictionary,
         parent: TreeNodeId,
-        tag: impl Into<String>,
-        content: impl Into<String>,
+        tag: impl AsRef<str>,
+        content: impl AsRef<str>,
+    ) -> TreeNodeId {
+        self.add_elem_with_content_sym(
+            parent,
+            dict.intern(tag.as_ref()),
+            dict.intern(content.as_ref()),
+        )
+    }
+
+    /// Append a constructed element with already-interned tag and content.
+    pub fn add_elem_with_content_sym(
+        &mut self,
+        parent: TreeNodeId,
+        tag: Sym,
+        content: Sym,
     ) -> TreeNodeId {
         self.add_node(
             parent,
             TreeNodeKind::Elem {
-                tag: tag.into(),
-                content: Some(content.into()),
+                tag,
+                content: Some(content),
             },
         )
     }
@@ -250,14 +308,23 @@ impl Tree {
         false
     }
 
+    /// The interned tag of an arena node. For references this reads the
+    /// columnar label region — no page access.
+    pub fn tag_sym_of(&self, store: &DocumentStore, id: TreeNodeId) -> Sym {
+        match &self.nodes[id].kind {
+            TreeNodeKind::Elem { tag, .. } => *tag,
+            TreeNodeKind::Ref { node, .. } => Sym(store.columns().tag[node.id.0 as usize]),
+        }
+    }
+
     /// The tag of an arena node. For references this reads the stored
     /// record (one page access).
     pub fn tag_of(&self, store: &DocumentStore, id: TreeNodeId) -> Result<String> {
         match &self.nodes[id].kind {
-            TreeNodeKind::Elem { tag, .. } => Ok(tag.clone()),
+            TreeNodeKind::Elem { tag, .. } => Ok(store.dict().resolve(*tag).to_string()),
             TreeNodeKind::Ref { node, .. } => {
                 let rec = store.record(node.id)?;
-                Ok(store.tag_name(rec.tag).to_owned())
+                Ok(store.tag_name(rec.tag).to_string())
             }
         }
     }
@@ -265,7 +332,9 @@ impl Tree {
     /// The content of an arena node (a data-value look-up for references).
     pub fn content_of(&self, store: &DocumentStore, id: TreeNodeId) -> Result<Option<String>> {
         match &self.nodes[id].kind {
-            TreeNodeKind::Elem { content, .. } => Ok(content.clone()),
+            TreeNodeKind::Elem { content, .. } => {
+                Ok(content.map(|c| store.dict().resolve(c).to_string()))
+            }
             TreeNodeKind::Ref { node, .. } => Ok(store.content(node.id)?),
         }
     }
@@ -285,9 +354,10 @@ impl Tree {
         let node = &self.nodes[id];
         let mut elem = match &node.kind {
             TreeNodeKind::Elem { tag, content } => {
-                let mut e = xmlparse::Element::new(tag.clone());
+                let mut e = xmlparse::Element::new(&*store.dict().resolve(*tag));
                 if let Some(c) = content {
-                    e.children.push(xmlparse::XmlNode::Text(c.clone()));
+                    e.children
+                        .push(xmlparse::XmlNode::Text(store.dict().resolve(*c).to_string()));
                 }
                 e
             }
@@ -298,7 +368,7 @@ impl Tree {
                     // Shallow: tag, attributes and content only; arena
                     // children are appended below.
                     let rec = store.record(nid.id)?;
-                    let mut e = xmlparse::Element::new(store.tag_name(rec.tag));
+                    let mut e = xmlparse::Element::new(&*store.tag_name(rec.tag));
                     for child in store.children(nid.id)? {
                         let crec = store.record(child)?;
                         if crec.kind == NodeKind::Attribute {
@@ -337,9 +407,11 @@ mod tests {
 
     #[test]
     fn build_and_navigate() {
-        let mut t = Tree::new_elem("root");
-        let a = t.add_elem(t.root(), "a");
-        let b = t.add_elem_with_content(a, "b", "text");
+        let s = store();
+        let d = s.dict();
+        let mut t = Tree::new_elem(d, "root");
+        let a = t.add_elem(d, t.root(), "a");
+        let b = t.add_elem_with_content(d, a, "b", "text");
         assert_eq!(t.len(), 3);
         assert_eq!(t.node(a).parent, Some(t.root()));
         assert_eq!(t.node(t.root()).children, vec![a]);
@@ -351,15 +423,17 @@ mod tests {
 
     #[test]
     fn preorder_order() {
-        let mut t = Tree::new_elem("r");
-        let a = t.add_elem(t.root(), "a");
-        let _a1 = t.add_elem(a, "a1");
-        let _b = t.add_elem(t.root(), "b");
+        let s = store();
+        let d = s.dict();
+        let mut t = Tree::new_elem(d, "r");
+        let a = t.add_elem(d, t.root(), "a");
+        let _a1 = t.add_elem(d, a, "a1");
+        let _b = t.add_elem(d, t.root(), "b");
         let order: Vec<String> = t
             .preorder()
             .iter()
             .map(|&n| match &t.node(n).kind {
-                TreeNodeKind::Elem { tag, .. } => tag.clone(),
+                TreeNodeKind::Elem { tag, .. } => d.resolve(*tag).to_string(),
                 _ => unreachable!(),
             })
             .collect();
@@ -368,14 +442,16 @@ mod tests {
 
     #[test]
     fn insert_node_at_position() {
-        let mut t = Tree::new_elem("r");
-        let a = t.add_elem(t.root(), "a");
-        let c = t.add_elem(t.root(), "c");
+        let s = store();
+        let d = s.dict();
+        let mut t = Tree::new_elem(d, "r");
+        let a = t.add_elem(d, t.root(), "a");
+        let c = t.add_elem(d, t.root(), "c");
         let b = t.insert_node(
             t.root(),
             1,
             TreeNodeKind::Elem {
-                tag: "b".into(),
+                tag: d.intern("b"),
                 content: None,
             },
         );
@@ -384,14 +460,15 @@ mod tests {
 
     #[test]
     fn append_subtree_copies_deeply() {
-        let mut src = Tree::new_elem("s");
-        let x = src.add_elem(src.root(), "x");
-        src.add_elem_with_content(x, "y", "v");
+        let s = store();
+        let d = s.dict();
+        let mut src = Tree::new_elem(d, "s");
+        let x = src.add_elem(d, src.root(), "x");
+        src.add_elem_with_content(d, x, "y", "v");
 
-        let mut dst = Tree::new_elem("d");
+        let mut dst = Tree::new_elem(d, "d");
         let copied = dst.append_subtree(dst.root(), &src, x);
         assert_eq!(dst.len(), 3);
-        let s = store();
         let elem = dst.materialize_node(&s, copied).unwrap();
         assert_eq!(elem.name, "x");
         assert_eq!(elem.child("y").unwrap().text(), "v");
@@ -434,6 +511,7 @@ mod tests {
         let node = s.nodes_with_tag(title)[0];
         let t = Tree::new_ref(node, false);
         assert_eq!(t.tag_of(&s, t.root()).unwrap(), "title");
+        assert_eq!(t.tag_sym_of(&s, t.root()), title);
         assert_eq!(
             t.content_of(&s, t.root()).unwrap().as_deref(),
             Some("Querying XML")
@@ -443,9 +521,19 @@ mod tests {
     #[test]
     fn elem_content_materializes_as_text() {
         let s = store();
-        let mut t = Tree::new_elem("authorpubs");
-        t.add_elem_with_content(t.root(), "author", "Jack");
+        let mut t = Tree::new_elem(s.dict(), "authorpubs");
+        t.add_elem_with_content(s.dict(), t.root(), "author", "Jack");
         let e = t.materialize(&s).unwrap();
         assert_eq!(e.child("author").unwrap().text(), "Jack");
+    }
+
+    #[test]
+    fn clones_are_counted() {
+        let s = store();
+        let t = Tree::new_elem(s.dict(), "r");
+        let before = tree_clones();
+        let _c1 = t.clone();
+        let _c2 = t.clone();
+        assert_eq!(tree_clones() - before, 2);
     }
 }

@@ -2,7 +2,8 @@
 
 use crate::error::Result;
 use std::collections::HashMap;
-use tax::exec::{fnv1a, par_map, par_map_owned, ExecOptions, ShardStats, FNV_SEED};
+use tax::exec::{par_map, par_map_owned, ExecOptions, ShardStats};
+use tax::ops::keyenc;
 use tax::matching::match_tree;
 use tax::matching::vnode::{VNode, VTree};
 use tax::ops;
@@ -140,7 +141,7 @@ pub fn eval_with(store: &DocumentStore, plan: &Plan, opts: &ExecOptions) -> Resu
         }
         Plan::Rename { input, tag } => {
             let c = eval_with(store, input, opts)?;
-            ops::rename::rename_root(c, tag)?
+            ops::rename::rename_root(store.dict(), c, tag)?
         }
         Plan::StitchConstruct {
             outer,
@@ -288,6 +289,7 @@ fn extract_parts(
 /// node followed by its matched parts (or their aggregate). Pure — safe
 /// to run per-shard once the parts table is frozen.
 fn construct_one(
+    dict: &xmlstore::Dictionary,
     tree: &Tree,
     bound: VNode,
     key: Option<&str>,
@@ -295,7 +297,7 @@ fn construct_one(
     agg: Option<(tax::ops::aggregate::AggFunc, &str)>,
     tag: &str,
 ) -> Tree {
-    let mut result = Tree::new_elem(tag);
+    let mut result = Tree::new_elem(dict, tag);
     // `{$a}` — the outer bound node, with its subtree.
     let root = result.root();
     append_part(&mut result, root, tree, bound, true);
@@ -311,7 +313,7 @@ fn construct_one(
             .filter_map(|c| c.trim().parse::<f64>().ok())
             .collect();
         if let Some(v) = tax::ops::aggregate::compute(func, matched.len(), &values) {
-            result.add_elem_with_content(root, agg_tag, tax::ops::aggregate::format_value(v));
+            result.add_elem_with_content(dict, root, agg_tag, tax::ops::aggregate::format_value(v));
         }
     } else {
         for part in matched {
@@ -422,6 +424,7 @@ pub(crate) fn stitch_sharded(
         for (oi, entry) in keys.iter().enumerate() {
             let Some((bound, key)) = entry else { continue };
             out.push(construct_one(
+                store.dict(),
                 &outer[oi],
                 *bound,
                 key.as_deref(),
@@ -437,11 +440,8 @@ pub(crate) fn stitch_sharded(
     let mut shards: Vec<Vec<usize>> = (0..partitions).map(|_| Vec::new()).collect();
     for (oi, entry) in keys.iter().enumerate() {
         let Some((_, key)) = entry else { continue };
-        let h = match key {
-            None => fnv1a(FNV_SEED, &[0]),
-            Some(v) => fnv1a(fnv1a(FNV_SEED, &[1]), v.as_bytes()),
-        };
-        shards[(h % partitions as u64) as usize].push(oi);
+        let h = keyenc::hash_opt_str(key.as_deref());
+        shards[keyenc::shard(h, partitions)].push(oi);
     }
     let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
     let per_shard: Vec<Vec<(usize, Tree)>> = par_map_owned(opts, shards, |_, shard| {
@@ -451,7 +451,7 @@ pub(crate) fn stitch_sharded(
                 let (bound, key) = keys[oi].as_ref()?;
                 Some((
                     oi,
-                    construct_one(&outer[oi], *bound, key.as_deref(), &parts, agg, tag),
+                    construct_one(store.dict(), &outer[oi], *bound, key.as_deref(), &parts, agg, tag),
                 ))
             })
             .collect())
@@ -476,10 +476,10 @@ fn part_tree(src: &Tree, v: VNode, deep: bool) -> Tree {
         VNode::Arena(i) => match &src.node(i).kind {
             TreeNodeKind::Ref { node, .. } => Tree::new_ref(*node, deep),
             TreeNodeKind::Elem { tag, content } => {
-                let mut t = Tree::new_elem(tag.clone());
+                let mut t = Tree::new_elem_sym(*tag);
                 if let Some(c) = content {
                     if let TreeNodeKind::Elem { content, .. } = &mut t.node_mut(0).kind {
-                        *content = Some(c.clone());
+                        *content = Some(*c);
                     }
                 }
                 if deep {

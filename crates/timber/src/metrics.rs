@@ -27,6 +27,10 @@ pub struct PlanMetrics {
     pub elapsed: Duration,
     /// Buffer/disk traffic attributable to this operator's own work.
     pub io: IoStats,
+    /// Deep `Tree` clones performed during this operator's own work (the
+    /// clone budget: the zero-copy data path keeps this near zero for
+    /// scan/group/aggregate pipelines).
+    pub tree_clones: u64,
     /// Hash-partition statistics of a sharded blocking sink (`None` for
     /// streaming operators): partition count and per-shard input sizes,
     /// from which the skew factor is derived.
@@ -47,7 +51,7 @@ impl PlanMetrics {
         let pad = "  ".repeat(depth);
         let _ = write!(
             out,
-            "{pad}{} | in={} out={} batches={} time={:.3?} pages={} disk_reads={}",
+            "{pad}{} | in={} out={} batches={} time={:.3?} pages={} disk_reads={} clones={}",
             self.op,
             self.trees_in,
             self.trees_out,
@@ -55,6 +59,7 @@ impl PlanMetrics {
             self.elapsed,
             self.io.page_requests(),
             self.io.disk.reads,
+            self.tree_clones,
         );
         if let Some(shards) = &self.shards {
             // A serial sink never split, and an empty input never
@@ -97,6 +102,16 @@ impl PlanMetrics {
                 .children
                 .iter()
                 .map(PlanMetrics::total_page_requests)
+                .sum::<u64>()
+    }
+
+    /// Sum of deep tree clones over this node and all descendants.
+    pub fn total_tree_clones(&self) -> u64 {
+        self.tree_clones
+            + self
+                .children
+                .iter()
+                .map(PlanMetrics::total_tree_clones)
                 .sum::<u64>()
     }
 

@@ -1,70 +1,19 @@
-//! The metadata manager's tag dictionary: interned tag names.
+//! The metadata manager's tag conventions.
 //!
+//! Tags are interned into the store's unified [`Dictionary`] — the
+//! historical `TagId` is now just the dictionary's [`Sym`] handle, so
+//! tags, attribute names, and content values share one symbol space.
 //! Attribute nodes are stored with tags of the form `@name`, and mixed-
 //! content text nodes with the reserved tag `#text`, so every stored node
-//! has a tag id and the tag index covers all of them uniformly.
+//! has a tag symbol and the tag index covers all of them uniformly.
+//!
+//! [`Dictionary`]: crate::dict::Dictionary
+//! [`Sym`]: crate::dict::Sym
 
-use std::collections::HashMap;
-
-/// Interned tag identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct TagId(pub u32);
+pub use crate::dict::Sym as TagId;
 
 /// Reserved tag for text nodes inside mixed content.
 pub const TEXT_TAG: &str = "#text";
-
-/// A two-way mapping between tag names and [`TagId`]s.
-#[derive(Debug, Default, Clone)]
-pub struct TagDict {
-    names: Vec<String>,
-    ids: HashMap<String, TagId>,
-}
-
-impl TagDict {
-    /// An empty dictionary.
-    pub fn new() -> Self {
-        TagDict::default()
-    }
-
-    /// Intern `name`, returning its id (existing or fresh).
-    pub fn intern(&mut self, name: &str) -> TagId {
-        if let Some(&id) = self.ids.get(name) {
-            return id;
-        }
-        let id = TagId(self.names.len() as u32);
-        self.names.push(name.to_owned());
-        self.ids.insert(name.to_owned(), id);
-        id
-    }
-
-    /// Look up an already-interned name.
-    pub fn get(&self, name: &str) -> Option<TagId> {
-        self.ids.get(name).copied()
-    }
-
-    /// The name for `id`. Panics on an id not produced by this dictionary.
-    pub fn name(&self, id: TagId) -> &str {
-        &self.names[id.0 as usize]
-    }
-
-    /// Number of distinct tags.
-    pub fn len(&self) -> usize {
-        self.names.len()
-    }
-
-    /// Whether the dictionary is empty.
-    pub fn is_empty(&self) -> bool {
-        self.names.is_empty()
-    }
-
-    /// Iterate over `(TagId, name)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (TagId(i as u32), n.as_str()))
-    }
-}
 
 /// The tag used to store an attribute named `name`.
 pub fn attr_tag_name(name: &str) -> String {
@@ -74,42 +23,21 @@ pub fn attr_tag_name(name: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn intern_is_idempotent() {
-        let mut d = TagDict::new();
-        let a = d.intern("article");
-        let b = d.intern("author");
-        let a2 = d.intern("article");
-        assert_eq!(a, a2);
-        assert_ne!(a, b);
-        assert_eq!(d.len(), 2);
-    }
-
-    #[test]
-    fn name_roundtrip() {
-        let mut d = TagDict::new();
-        let id = d.intern("title");
-        assert_eq!(d.name(id), "title");
-        assert_eq!(d.get("title"), Some(id));
-        assert_eq!(d.get("missing"), None);
-    }
+    use crate::dict::Dictionary;
 
     #[test]
     fn attr_tags_are_distinct_namespace() {
-        let mut d = TagDict::new();
+        let d = Dictionary::new();
         let elem = d.intern("year");
         let attr = d.intern(&attr_tag_name("year"));
         assert_ne!(elem, attr);
-        assert_eq!(d.name(attr), "@year");
+        assert_eq!(&*d.resolve(attr), "@year");
     }
 
     #[test]
-    fn iter_enumerates_in_order() {
-        let mut d = TagDict::new();
-        d.intern("a");
-        d.intern("b");
-        let v: Vec<_> = d.iter().map(|(_, n)| n.to_owned()).collect();
-        assert_eq!(v, ["a", "b"]);
+    fn tag_id_is_the_dictionary_sym() {
+        let d = Dictionary::new();
+        let id: TagId = d.intern("title");
+        assert_eq!(id, TagId(0));
     }
 }

@@ -1,0 +1,200 @@
+//! The columnar node-label region: parallel `start[]` / `end[]` /
+//! `level[]` / `tag[]` / `kind[]` / `content[]` arrays in global
+//! document order, indexed by global [`NodeId`].
+//!
+//! Node ids are preorder ordinals, so `start[]` is strictly increasing
+//! with id (past the synthetic root) and the descendant set of any node
+//! is one **contiguous id range** — structural work becomes binary
+//! searches and linear scans over dense arrays instead of per-node
+//! record fetches through the buffer pool. This is the paper's
+//! identifier-only processing (Sec. 5.3) taken to its storage-layout
+//! conclusion: the label region is rebuilt from the per-document aux
+//! state on every mutation and handed out behind an `Arc`, so scan
+//! batches borrow it without copying and keep a consistent snapshot even
+//! while the store mutates underneath.
+
+use crate::dict::NO_SYM;
+use crate::index::NodeEntry;
+use crate::node::{NodeId, NodeKind};
+
+/// The label columns of every visible node, in global id order (row 0 is
+/// the synthetic `doc_root`).
+#[derive(Debug, Clone, Default)]
+pub struct NodeColumns {
+    /// Pre-order region starts; strictly increasing for ids ≥ 1.
+    pub start: Vec<u32>,
+    /// Region ends.
+    pub end: Vec<u32>,
+    /// Depths (root = 0).
+    pub level: Vec<u16>,
+    /// Tag symbols (`Sym.0`).
+    pub tag: Vec<u32>,
+    /// Node kinds.
+    pub kind: Vec<NodeKind>,
+    /// Content symbols; [`NO_SYM`] when the node has no content.
+    pub content: Vec<u32>,
+}
+
+impl NodeColumns {
+    /// An empty region with room for `n` rows.
+    pub fn with_capacity(n: usize) -> Self {
+        NodeColumns {
+            start: Vec::with_capacity(n),
+            end: Vec::with_capacity(n),
+            level: Vec::with_capacity(n),
+            tag: Vec::with_capacity(n),
+            kind: Vec::with_capacity(n),
+            content: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of rows (== the store's node count).
+    pub fn len(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start.is_empty()
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, start: u32, end: u32, level: u16, tag: u32, kind: NodeKind, content: u32) {
+        self.start.push(start);
+        self.end.push(end);
+        self.level.push(level);
+        self.tag.push(tag);
+        self.kind.push(kind);
+        self.content.push(content);
+    }
+
+    /// The index-style entry of row `id`.
+    pub fn entry(&self, id: NodeId) -> NodeEntry {
+        let i = id.0 as usize;
+        NodeEntry {
+            id,
+            start: self.start[i],
+            end: self.end[i],
+            level: self.level[i],
+        }
+    }
+
+    /// The content symbol of row `id`, if it has content.
+    pub fn content_sym(&self, id: NodeId) -> Option<u32> {
+        match self.content[id.0 as usize] {
+            NO_SYM => None,
+            s => Some(s),
+        }
+    }
+
+    /// The contiguous id range of `id`'s proper descendants. Because ids
+    /// are preorder ordinals and `start[]` is increasing past the root,
+    /// this is a single binary search.
+    pub fn descendant_ids(&self, id: NodeId) -> std::ops::Range<u32> {
+        let i = id.0 as usize;
+        if i == 0 {
+            // Every other node descends from the synthetic root.
+            return 1..self.len() as u32;
+        }
+        let end = self.end[i];
+        let lo = id.0 + 1;
+        // Rows are sorted by start for ids ≥ 1; descendants are exactly
+        // the rows whose start precedes our end.
+        let hi = lo + self.start[lo as usize..].partition_point(|&s| s < end) as u32;
+        lo..hi
+    }
+
+    /// The child ids of `id` (all kinds, document order), skipping over
+    /// grandchild subtrees via their `end` labels.
+    pub fn child_ids(&self, id: NodeId) -> Vec<NodeId> {
+        let range = self.descendant_ids(id);
+        let mut out = Vec::new();
+        let mut j = range.start;
+        while j < range.end {
+            out.push(NodeId(j));
+            // Skip j's own subtree: the next sibling is the first row
+            // starting after j's end.
+            let next = j + 1
+                + self.start[(j + 1) as usize..range.end as usize]
+                    .partition_point(|&s| s < self.end[j as usize]) as u32;
+            j = next;
+        }
+        out
+    }
+
+    /// The attribute children of element `id`: loading lays them out
+    /// immediately after their element, so this is the leading run of
+    /// `Attribute` rows one level down.
+    pub fn attr_ids(&self, id: NodeId) -> std::ops::Range<u32> {
+        let range = self.descendant_ids(id);
+        let level = self.level[id.0 as usize] + 1;
+        let mut j = range.start;
+        while j < range.end
+            && self.kind[j as usize] == NodeKind::Attribute
+            && self.level[j as usize] == level
+        {
+            j += 1;
+        }
+        range.start..j
+    }
+
+    /// The value of attribute tag `attr_tag` on element `id`, as a
+    /// content symbol — no page access.
+    pub fn attr_sym(&self, id: NodeId, attr_tag: u32) -> Option<u32> {
+        let attrs = self.attr_ids(id);
+        for j in attrs {
+            if self.tag[j as usize] == attr_tag {
+                return self.content_sym(NodeId(j));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// doc_root > a(@x) > (b, c > d)
+    fn cols() -> NodeColumns {
+        let mut c = NodeColumns::default();
+        //        start end lvl tag kind            content
+        c.push(0, 11, 0, 0, NodeKind::Element, NO_SYM); // doc_root
+        c.push(1, 10, 1, 1, NodeKind::Element, NO_SYM); // a
+        c.push(2, 3, 2, 2, NodeKind::Attribute, 7); // @x
+        c.push(4, 5, 2, 3, NodeKind::Element, 8); // b
+        c.push(6, 9, 2, 4, NodeKind::Element, NO_SYM); // c
+        c.push(7, 8, 3, 5, NodeKind::Element, 9); // d
+        c
+    }
+
+    #[test]
+    fn descendants_are_contiguous() {
+        let c = cols();
+        assert_eq!(c.descendant_ids(NodeId(0)), 1..6);
+        assert_eq!(c.descendant_ids(NodeId(1)), 2..6);
+        assert_eq!(c.descendant_ids(NodeId(4)), 5..6);
+        assert_eq!(c.descendant_ids(NodeId(5)), 6..6);
+    }
+
+    #[test]
+    fn children_skip_subtrees() {
+        let c = cols();
+        let kids: Vec<u32> = c.child_ids(NodeId(1)).iter().map(|n| n.0).collect();
+        assert_eq!(kids, [2, 3, 4]);
+        let kids: Vec<u32> = c.child_ids(NodeId(4)).iter().map(|n| n.0).collect();
+        assert_eq!(kids, [5]);
+        assert!(c.child_ids(NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn attrs_and_content() {
+        let c = cols();
+        assert_eq!(c.attr_ids(NodeId(1)), 2..3);
+        assert_eq!(c.attr_sym(NodeId(1), 2), Some(7));
+        assert_eq!(c.attr_sym(NodeId(1), 9), None);
+        assert_eq!(c.content_sym(NodeId(3)), Some(8));
+        assert_eq!(c.content_sym(NodeId(1)), None);
+        assert_eq!(c.entry(NodeId(4)).end, 9);
+    }
+}

@@ -29,7 +29,9 @@
 //! resurrecting whatever document previously occupied them.
 
 use crate::buffer::{BufferPool, BufferStats};
-use crate::catalog::{attr_tag_name, TagDict, TagId, TEXT_TAG};
+use crate::catalog::{attr_tag_name, TagId, TEXT_TAG};
+use crate::columns::NodeColumns;
+use crate::dict::{Dictionary, Sym, NO_SYM};
 use crate::error::{Result, StoreError};
 use crate::fault::{FaultConfig, FaultInjector, FaultStats};
 use crate::heap::{read_content_via, HeapBuilder};
@@ -44,7 +46,7 @@ use crate::wal::{self, BeforeImage, Lsn, TxnId, Wal, WalHandle, WalRecord, WalSt
 use std::collections::{BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// Maximum number of buffer-pool shards per store. Page ids are striped
 /// across shards (`pid % nshards`), so concurrent readers touching
@@ -286,7 +288,10 @@ struct DocMeta {
 /// free list, global projection) is derived from it plus the pages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct StoreMeta {
-    /// Tag names in `TagId` order; `tags[0]` is always `doc_root`.
+    /// The full dictionary snapshot in `Sym` order — tag names *and*
+    /// interned content values; `tags[0]` is always `doc_root`. Logging
+    /// the whole table with every commit is what lets recovery re-intern
+    /// the identical `name → Sym` assignment the crashed session used.
     tags: Vec<String>,
     docs: Vec<DocMeta>,
     next_doc: DocId,
@@ -294,7 +299,9 @@ struct StoreMeta {
 }
 
 const META_MAGIC: u32 = 0x544d_4254; // "TBMT"
-const META_VERSION: u32 = 1;
+/// v2: `tags` carries the unified dictionary (values included), not just
+/// element tags.
+const META_VERSION: u32 = 2;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -426,23 +433,28 @@ struct LocalDoc {
     heap_pages: Vec<Box<[u8; PAGE_SIZE]>>,
     node_pages: Vec<Box<[u8; PAGE_SIZE]>>,
     values: Option<Vec<(u32, String)>>,
+    /// Per-record content symbol ([`NO_SYM`] when the record has none),
+    /// parallel to `records`.
+    content_syms: Vec<u32>,
     span: u32,
 }
 
 fn build_local(
     doc: &xmlparse::Document,
-    tags: &mut TagDict,
+    tags: &Dictionary,
     strip_whitespace: bool,
     want_values: bool,
 ) -> Result<LocalDoc> {
     let mut heap = HeapBuilder::new();
     let mut records: Vec<NodeRecord> = Vec::new();
+    let mut content_syms: Vec<u32> = Vec::new();
     let mut counter: u32 = 0;
     let mut values: Vec<(usize, String)> = Vec::new();
     let mut loader = Loader {
         tags,
         heap: &mut heap,
         records: &mut records,
+        content_syms: &mut content_syms,
         counter: &mut counter,
         strip_whitespace,
         values: if want_values { Some(&mut values) } else { None },
@@ -465,20 +477,28 @@ fn build_local(
         heap_pages,
         node_pages,
         values: want_values.then(|| values.into_iter().map(|(i, s)| (i as u32, s)).collect()),
+        content_syms,
         span,
     })
 }
 
 /// In-memory acceleration state for one stored document, rebuilt from
 /// its pages on open: the local tag-index entries (indexed by local node
-/// id) and, when the value index is on, the local content strings.
+/// id), node kinds and content symbols for the columnar projection, and,
+/// when the value index is on, the local content strings.
 struct DocAux {
     entries: Vec<(TagId, NodeEntry)>,
+    kinds: Vec<NodeKind>,
+    content_syms: Vec<u32>,
     values: Option<Vec<(u32, String)>>,
 }
 
 impl DocAux {
-    fn new(records: &[NodeRecord], values: Option<Vec<(u32, String)>>) -> Self {
+    fn new(
+        records: &[NodeRecord],
+        content_syms: Vec<u32>,
+        values: Option<Vec<(u32, String)>>,
+    ) -> Self {
         DocAux {
             entries: records
                 .iter()
@@ -495,6 +515,8 @@ impl DocAux {
                     )
                 })
                 .collect(),
+            kinds: records.iter().map(|r| r.kind).collect(),
+            content_syms,
             values,
         }
     }
@@ -536,9 +558,13 @@ fn flush_commit(wal: &WalHandle, lsn: Lsn) -> Result<()> {
 /// [`insert_document`]: DocumentStore::insert_document
 /// [`delete_document`]: DocumentStore::delete_document
 pub struct DocumentStore {
-    tags: TagDict,
+    tags: Dictionary,
     doc_root_tag: TagId,
     index: TagIndex,
+    /// The columnar label region, rebuilt (as a fresh `Arc`) on every
+    /// mutation; readers that cloned the handle keep a consistent
+    /// snapshot.
+    columns: Arc<NodeColumns>,
     value_index: Option<ValueIndex>,
     meta: StoreMeta,
     aux: Vec<DocAux>,
@@ -594,7 +620,7 @@ impl DocumentStore {
 
     /// Create an empty store.
     pub fn create(opts: &StoreOptions) -> Result<Self> {
-        let mut tags = TagDict::new();
+        let tags = Dictionary::new();
         let doc_root_tag = tags.intern(DOC_ROOT_TAG);
         let disk = if opts.on_disk {
             match &opts.path {
@@ -631,6 +657,7 @@ impl DocumentStore {
             tags,
             doc_root_tag,
             index: TagIndex::new(),
+            columns: Arc::new(NodeColumns::default()),
             value_index: None,
             meta,
             aux: Vec::new(),
@@ -680,10 +707,7 @@ impl DocumentStore {
             encode_meta(&meta),
         )?));
 
-        let mut tags = TagDict::new();
-        for name in &meta.tags {
-            tags.intern(name);
-        }
+        let tags = Dictionary::from_names(&meta.tags);
         let doc_root_tag = tags.get(DOC_ROOT_TAG).ok_or_else(bad_meta)?;
 
         let mut free: BTreeSet<u32> = (0..disk.num_pages()).collect();
@@ -701,6 +725,7 @@ impl DocumentStore {
             tags,
             doc_root_tag,
             index: TagIndex::new(),
+            columns: Arc::new(NodeColumns::default()),
             value_index: None,
             meta,
             aux: Vec::new(),
@@ -762,12 +787,7 @@ impl DocumentStore {
         if self.disk.crashed() {
             return Err(StoreError::SimulatedCrash);
         }
-        let local = build_local(
-            doc,
-            &mut self.tags,
-            self.strip_whitespace,
-            self.build_values,
-        )?;
+        let local = build_local(doc, &self.tags, self.strip_whitespace, self.build_values)?;
         let heap_run = self.alloc_run(local.heap_pages.len() as u32)?;
         let node_run = match self.alloc_run(local.node_pages.len() as u32) {
             Ok(r) => r,
@@ -783,7 +803,7 @@ impl DocumentStore {
         self.meta.next_txn += 1;
         let doc_id = self.meta.next_doc;
         let mut new_meta = self.meta.clone();
-        new_meta.tags = self.tags.iter().map(|(_, n)| n.to_owned()).collect();
+        new_meta.tags = self.tags.snapshot();
         new_meta.docs.push(DocMeta {
             doc_id,
             heap_base: heap_run.base,
@@ -802,6 +822,7 @@ impl DocumentStore {
             heap_pages,
             node_pages,
             values,
+            content_syms,
             ..
         } = local;
         let result = if heap_run.fresh && node_run.fresh {
@@ -826,7 +847,7 @@ impl DocumentStore {
         match result {
             Ok(()) => {
                 self.meta = new_meta;
-                self.aux.push(DocAux::new(&records, values));
+                self.aux.push(DocAux::new(&records, content_syms, values));
                 self.rebuild_projection();
                 if let Some(cache) = &self.header_cache {
                     cache.clear();
@@ -918,6 +939,11 @@ impl DocumentStore {
         }
         self.disk.lock().sync()?;
         if let Some(w) = &self.wal {
+            // Refresh the dictionary snapshot: symbols interned since the
+            // last commit (query-constructed tags and values) live only in
+            // the in-memory table, and the checkpoint is about to truncate
+            // the log that would otherwise be their last trace.
+            self.meta.tags = self.tags.snapshot();
             w.lock().checkpoint(encode_meta(&self.meta))?;
         }
         Ok(())
@@ -1137,6 +1163,15 @@ impl DocumentStore {
                 level: 0,
             },
         );
+        let mut columns = NodeColumns::with_capacity(self.node_count as usize);
+        columns.push(
+            0,
+            self.root_end,
+            0,
+            self.doc_root_tag.0,
+            NodeKind::Element,
+            NO_SYM,
+        );
         for (k, aux) in self.aux.iter().enumerate() {
             for (local, (tag, e)) in aux.entries.iter().enumerate() {
                 index.insert(
@@ -1148,9 +1183,18 @@ impl DocumentStore {
                         level: e.level,
                     },
                 );
+                columns.push(
+                    e.start + self.label_offsets[k],
+                    e.end + self.label_offsets[k],
+                    e.level,
+                    tag.0,
+                    aux.kinds[local],
+                    aux.content_syms[local],
+                );
             }
         }
         self.index = index;
+        self.columns = Arc::new(columns);
 
         self.value_index = self.build_values.then(|| {
             let mut vi = ValueIndex::new();
@@ -1188,23 +1232,29 @@ impl DocumentStore {
                 })?;
                 records.push(rec);
             }
-            let values = if self.build_values {
-                let mut vals = Vec::new();
-                for (i, rec) in records.iter().enumerate() {
-                    if rec.content.is_some() {
-                        let s = read_content_via(
-                            |pid, f| self.with_page(pid, |p| f(p)),
-                            d.heap_base,
-                            rec.content,
-                        )?;
+            // Re-intern every stored content string so the columnar
+            // region carries the same symbols the writing session used —
+            // the names are already in the recovered dictionary snapshot,
+            // so these lookups hit existing entries.
+            let mut content_syms = Vec::with_capacity(records.len());
+            let mut vals = Vec::new();
+            for (i, rec) in records.iter().enumerate() {
+                if rec.content.is_some() {
+                    let s = read_content_via(
+                        |pid, f| self.with_page(pid, |p| f(p)),
+                        d.heap_base,
+                        rec.content,
+                    )?;
+                    content_syms.push(self.tags.intern(&s).0);
+                    if self.build_values {
                         vals.push((i as u32, s));
                     }
+                } else {
+                    content_syms.push(NO_SYM);
                 }
-                Some(vals)
-            } else {
-                None
-            };
-            self.aux.push(DocAux::new(&records, values));
+            }
+            let values = self.build_values.then_some(vals);
+            self.aux.push(DocAux::new(&records, content_syms, values));
         }
         Ok(())
     }
@@ -1247,9 +1297,32 @@ impl DocumentStore {
         self.total_pages() as u64 * PAGE_SIZE as u64
     }
 
-    /// The tag dictionary.
-    pub fn tags(&self) -> &TagDict {
+    /// The unified symbol dictionary (tags *and* content values).
+    pub fn dict(&self) -> &Dictionary {
         &self.tags
+    }
+
+    /// The tag dictionary. Interning is concurrent (`&self`), so query
+    /// layers can intern constructed tags and computed values directly.
+    pub fn tags(&self) -> &Dictionary {
+        &self.tags
+    }
+
+    /// Intern a string (tag or value) into the store dictionary.
+    pub fn intern(&self, name: &str) -> Sym {
+        self.tags.intern(name)
+    }
+
+    /// A zero-copy handle on the columnar label region. The snapshot
+    /// stays valid (and unchanged) even if the store mutates afterwards;
+    /// mutations install a fresh region.
+    pub fn columns(&self) -> Arc<NodeColumns> {
+        Arc::clone(&self.columns)
+    }
+
+    /// The content symbol of `id`, from the columns — no page access.
+    pub fn content_sym(&self, id: NodeId) -> Option<Sym> {
+        self.columns.content_sym(id).map(Sym)
     }
 
     /// Id of an element tag name, if present in the store.
@@ -1270,9 +1343,9 @@ impl DocumentStore {
         found
     }
 
-    /// Name of a tag id.
-    pub fn tag_name(&self, id: TagId) -> &str {
-        self.tags.name(id)
+    /// Name of a tag id (a clone of the interned string).
+    pub fn tag_name(&self, id: TagId) -> Arc<str> {
+        self.tags.resolve(id)
     }
 
     // ---- index access (no data pages touched) -------------------------
@@ -1443,7 +1516,7 @@ impl DocumentStore {
     /// child.
     pub fn materialize(&self, id: NodeId) -> Result<xmlparse::Element> {
         let rec = self.record(id)?;
-        let mut elem = xmlparse::Element::new(self.tags.name(rec.tag));
+        let mut elem = xmlparse::Element::new(&*self.tags.resolve(rec.tag));
         if rec.content.is_some() {
             // Element content and attribute/text nodes materialized
             // directly both surface as a text child.
@@ -1454,7 +1527,11 @@ impl DocumentStore {
             let crec = self.record(child)?;
             match crec.kind {
                 NodeKind::Attribute => {
-                    let name = self.tags.name(crec.tag).trim_start_matches('@').to_owned();
+                    let name = self
+                        .tags
+                        .resolve(crec.tag)
+                        .trim_start_matches('@')
+                        .to_owned();
                     let value = self.content(child)?.unwrap_or_default();
                     elem.attributes.push((name, value));
                 }
@@ -1587,9 +1664,12 @@ impl DocumentStore {
 }
 
 struct Loader<'a> {
-    tags: &'a mut TagDict,
+    tags: &'a Dictionary,
     heap: &'a mut HeapBuilder,
     records: &'a mut Vec<NodeRecord>,
+    /// Parallel to `records`: the content symbol of each record
+    /// ([`NO_SYM`] when it has none).
+    content_syms: &'a mut Vec<u32>,
     counter: &'a mut u32,
     strip_whitespace: bool,
     /// When building a value index: `(record index, content)` pairs.
@@ -1612,6 +1692,7 @@ impl Loader<'_> {
             kind: NodeKind::Element,
             content: ContentPtr::NULL,
         });
+        self.content_syms.push(NO_SYM);
 
         // Attributes as leaf nodes.
         for (name, value) in &elem.attributes {
@@ -1633,6 +1714,7 @@ impl Loader<'_> {
                 kind: NodeKind::Attribute,
                 content,
             });
+            self.content_syms.push(self.tags.intern(value).0);
         }
 
         let has_element_children = elem
@@ -1669,6 +1751,7 @@ impl Loader<'_> {
                             kind: NodeKind::Text,
                             content,
                         });
+                        self.content_syms.push(self.tags.intern(t).0);
                     }
                     xmlparse::XmlNode::Comment(_) => {}
                 }
@@ -1679,6 +1762,7 @@ impl Loader<'_> {
             if !(text.is_empty() || (self.strip_whitespace && text.trim().is_empty())) {
                 let content = self.heap.append(&text)?;
                 self.records[id as usize].content = content;
+                self.content_syms[id as usize] = self.tags.intern(&text).0;
                 if let Some(values) = self.values.as_deref_mut() {
                     values.push((id as usize, text));
                 }
@@ -1740,7 +1824,7 @@ mod tests {
         let s = store();
         let root = s.root();
         assert_eq!(root.id, NodeId(0));
-        assert_eq!(s.tag_name(s.record(NodeId(0)).unwrap().tag), DOC_ROOT_TAG);
+        assert_eq!(&*s.tag_name(s.record(NodeId(0)).unwrap().tag), DOC_ROOT_TAG);
         // doc_root + bib + 2 articles + 1 attr + 2 titles + 3 authors = 10
         assert_eq!(s.node_count(), 10);
     }
@@ -1813,7 +1897,7 @@ mod tests {
         let t = s.nodes_with_tag(title)[0];
         let p = s.parent(t.id).unwrap().unwrap();
         let prec = s.record(p).unwrap();
-        assert_eq!(s.tag_name(prec.tag), "article");
+        assert_eq!(&*s.tag_name(prec.tag), "article");
         assert_eq!(s.parent(NodeId(0)).unwrap(), None);
     }
 
@@ -2103,7 +2187,7 @@ mod tests {
         assert_eq!(s.root().end, 1);
         assert!(s.documents().is_empty());
         assert!(s.children(NodeId(0)).unwrap().is_empty());
-        assert_eq!(s.tag_name(s.record(NodeId(0)).unwrap().tag), DOC_ROOT_TAG);
+        assert_eq!(&*s.tag_name(s.record(NodeId(0)).unwrap().tag), DOC_ROOT_TAG);
     }
 
     #[test]
@@ -2148,7 +2232,7 @@ mod tests {
         assert_eq!(s.content(authors[1].id).unwrap().as_deref(), Some("Jill"));
         // Parent chains stay within the right document.
         let p = s.parent(authors[1].id).unwrap().unwrap();
-        assert_eq!(s.tag_name(s.record(p).unwrap().tag), "article");
+        assert_eq!(&*s.tag_name(s.record(p).unwrap().tag), "article");
         // Subtree of doc_root covers everything.
         assert_eq!(s.subtree(NodeId(0)).unwrap().len() as u32, s.node_count());
     }

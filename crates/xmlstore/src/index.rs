@@ -141,6 +141,17 @@ impl TagIndex {
     pub fn total_entries(&self) -> usize {
         self.lists.iter().map(Vec::len).sum()
     }
+
+    /// Iterate the tags that actually index nodes, with their lists.
+    /// Value symbols share the tag id space but have no entries, so
+    /// they are skipped here.
+    pub fn tags_with_nodes(&self) -> impl Iterator<Item = (TagId, &[NodeEntry])> {
+        self.lists
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(i, l)| (TagId(i as u32), l.as_slice()))
+    }
 }
 
 #[cfg(test)]

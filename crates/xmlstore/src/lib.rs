@@ -16,7 +16,12 @@
 //!   a.start < d.start ∧ d.end < a.end* and *child* additionally requires
 //!   `d.level = a.level + 1`;
 //! * [`heap`] — a content heap holding element text and attribute values;
-//! * [`catalog::TagDict`] — the metadata manager's tag dictionary;
+//! * [`dict::Dictionary`] — the unified symbol dictionary: tags *and*
+//!   content values intern to dense `u32` [`dict::Sym`]s, snapshotted
+//!   into every WAL commit so recovery round-trips the assignment;
+//! * [`columns::NodeColumns`] — the columnar label region: parallel
+//!   `start`/`end`/`level`/`tag`/`kind`/`content` arrays in global
+//!   document order, shared out behind an `Arc` for zero-copy scans;
 //! * [`index::TagIndex`] — the tag-name index: for each tag, the document-
 //!   order list of `(id, start, end, level)` entries, so pattern-tree node
 //!   candidates are found **without any data-page access**, as Sec. 5.2 of
@@ -50,6 +55,8 @@
 pub mod buffer;
 pub mod catalog;
 pub mod checksum;
+pub mod columns;
+pub mod dict;
 pub mod document;
 pub mod error;
 pub mod fault;
@@ -60,7 +67,9 @@ pub mod page;
 pub mod storage;
 pub mod wal;
 
-pub use catalog::{TagDict, TagId};
+pub use catalog::TagId;
+pub use columns::NodeColumns;
+pub use dict::{Dictionary, Sym, NO_SYM};
 pub use document::{
     wal_path_for, CacheStats, DocId, DocumentStore, IoStats, RecoveryInfo, StoreOptions,
     DOC_ROOT_TAG,

@@ -27,9 +27,9 @@
 //! * [`opt`] — the rule-based optimizer and its single entry point
 //!   [`opt::optimize`]: the grouping rewrite of Sec. 4.1 (Phase 1
 //!   detection via the pattern-tree subset test, Phase 2 the `GROUPBY`
-//!   plan of Figs. 5, 9, 10, both implemented in [`mod@rewrite`]),
-//!   rollup fusion of grouped aggregates, projection pruning, and
-//!   select→project fusion, applied to a fixpoint with a firing trace.
+//!   plan of Figs. 5, 9, 10), rollup fusion of grouped aggregates,
+//!   projection pruning, and select→project fusion, applied to a
+//!   fixpoint with a firing trace.
 //!
 //! # Example
 //!
@@ -61,7 +61,6 @@ pub mod lexer;
 pub mod opt;
 pub mod parser;
 pub mod plan;
-pub mod rewrite;
 pub mod translate;
 
 pub use ast::Flwr;

@@ -1,7 +1,6 @@
 //! A rule-based plan optimizer.
 //!
-//! The single hardcoded grouping pass of [`crate::rewrite`] generalizes
-//! here into a small framework: a [`Rule`] inspects a plan node and
+//! A [`Rule`] inspects a plan node and
 //! optionally returns a replacement, and the [`Optimizer`] applies its
 //! rules over the whole plan tree to a fixpoint, recording every firing
 //! in an [`OptTrace`] (surfaced by `EXPLAIN` / `EXPLAIN ANALYZE` in the
@@ -10,8 +9,8 @@
 //! The standard rule set, in order:
 //!
 //! 1. [`GroupByRewriteRule`] — the paper's Sec. 4.1 grouping rewrite
-//!    (join pipeline → `GROUPBY` pipeline), ported from
-//!    [`crate::rewrite`]. It must run first: detection keys on the
+//!    (join pipeline → `GROUPBY` pipeline). It must run first:
+//!    detection keys on the
 //!    pristine `StitchConstruct`/`LeftOuterJoinDb` shape the naive
 //!    translation emits.
 //! 2. [`CubeFuseRule`] — collapses the `Union` of per-level
@@ -37,10 +36,9 @@
 //!    operators.
 
 use crate::plan::Plan;
-use crate::rewrite;
 use std::fmt::Write;
-use tax::ops::aggregate::UpdateSpec;
-use tax::ops::groupby::BasisItem;
+use tax::ops::aggregate::{AggFunc, UpdateSpec};
+use tax::ops::groupby::{BasisItem, Direction, GroupOrder};
 use tax::ops::project::ProjectItem;
 use tax::pattern::{Axis, PatternNodeId, PatternTree, Pred};
 use tax::tags;
@@ -324,9 +322,8 @@ fn map_children(plan: Plan, f: &mut impl FnMut(Plan) -> Plan) -> Plan {
 }
 
 /// The paper's grouping rewrite (Sec. 4.1) as a rule: detect the
-/// join-based naive plan shape and replace it with the `GROUPBY`
-/// pipeline. Detection and plan construction are shared with the legacy
-/// [`crate::rewrite`] entry point.
+/// join-based naive plan shape ([`detect`], Phase 1) and replace it
+/// with the `GROUPBY` pipeline ([`build_groupby_plan`], Phase 2).
 pub struct GroupByRewriteRule;
 
 impl Rule for GroupByRewriteRule {
@@ -335,8 +332,354 @@ impl Rule for GroupByRewriteRule {
     }
 
     fn apply(&self, plan: &Plan) -> Option<Plan> {
-        rewrite::detect(plan)
+        detect(plan)
     }
+}
+
+// === The grouping rewrite of Sec. 4.1 (Phases 1 and 2) ===
+//
+// **Phase 1 — detection.** A grouping query is recognized when
+//
+// 1. a left outer join is applied on the outcome of a previous selection
+//    and the database, and
+// 2. the left ("outer") pattern tree is a *subset* of the right
+//    ("inner") pattern tree under the closure-mark rule (`pc ⊆ ad`, not
+//    `ad ⊆ pc`) — see [`tax::pattern::PatternTree::subset_embedding`].
+//
+// **Phase 2 — rewrite.** The join pipeline is replaced by
+//
+// 1. a selection + projection producing the collection of bound-subject
+//    trees (the articles, Fig. 9);
+// 2. the `GROUPBY` operator whose pattern is the subject-rooted subtree
+//    of the inner pattern and whose grouping basis is the join value
+//    (`$2.content`, Fig. 5b/5c);
+// 3. (count variant) an aggregation inserting the member count;
+// 4. a final projection extracting the RETURN nodes from the group
+//    trees (Fig. 5d);
+// 5. a rename to the constructed tag.
+
+/// Phase 1: inspect the plan; on success build the Phase 2 plan.
+fn detect(plan: &Plan) -> Option<Plan> {
+    let Plan::StitchConstruct {
+        outer_pattern,
+        outer_label,
+        inner: Some(inner),
+        inner_extract,
+        agg,
+        tag,
+        ..
+    } = plan
+    else {
+        return None;
+    };
+    let Plan::LeftOuterJoinDb {
+        left,
+        left_pattern,
+        left_label,
+        right_pattern,
+        right_label,
+        right_sl,
+        right_extract,
+        order,
+    } = inner.as_ref()
+    else {
+        return None;
+    };
+
+    // Phase 1, step 1: the join's left side must be the outcome of a
+    // previous selection over the database.
+    if !is_selection_chain(left) {
+        return None;
+    }
+    // (Sanity: the stitch's outer and the join's left agree.)
+    if left_label != outer_label || left_pattern.len() != outer_pattern.len() {
+        return None;
+    }
+
+    // Phase 1, step 2: the outer pattern must be a subset of the inner.
+    let mapping = left_pattern.subset_embedding(right_pattern)?;
+    let join_node = *right_label;
+    // The join value must be the outer bound variable's image.
+    if mapping[*left_label] != join_node {
+        return None;
+    }
+
+    // The grouping subject: the adorned bound variable of the inner FOR
+    // (from the join's selection list), falling back to the lowest
+    // common ancestor of the join node and the extract paths.
+    let subject = right_sl.first().copied().or_else(|| {
+        lca(
+            right_pattern,
+            join_node,
+            extract_source(right_pattern, inner_extract),
+        )
+    })?;
+    if !right_pattern.is_ancestor(subject, join_node) {
+        return None;
+    }
+
+    if !right_pattern.is_ancestor(subject, *right_extract) {
+        return None;
+    }
+    Some(build_groupby_plan(
+        right_pattern,
+        subject,
+        join_node,
+        *right_extract,
+        agg.clone(),
+        *order,
+        tag,
+    ))
+}
+
+/// Is this plan a `SelectDb` possibly wrapped in projections / duplicate
+/// eliminations — "the outcome of a previous selection"?
+fn is_selection_chain(plan: &Plan) -> bool {
+    match plan {
+        Plan::SelectDb { .. } | Plan::SelectProject { .. } => true,
+        Plan::Project { input, .. } | Plan::DupElim { input, .. } => is_selection_chain(input),
+        _ => false,
+    }
+}
+
+/// Phase 2: the GROUPBY plan.
+#[allow(clippy::too_many_arguments)]
+fn build_groupby_plan(
+    right_pattern: &PatternTree,
+    subject: PatternNodeId,
+    join_node: PatternNodeId,
+    extract: PatternNodeId,
+    agg: Option<(AggFunc, String)>,
+    order: Option<(PatternNodeId, Direction)>,
+    tag: &str,
+) -> Plan {
+    // Step 1: the initial pattern tree — the bound variable with its path
+    // from the document root (Fig. 5a). Selection with SL = subject,
+    // projection with PL = subject*.
+    let (subject_path, path_map) = prefix_path_pattern(right_pattern, subject);
+    let subject_in_path = path_map[subject];
+    let input_plan = Plan::Project {
+        input: Box::new(Plan::SelectDb {
+            pattern: subject_path.clone(),
+            sl: vec![subject_in_path],
+        }),
+        pattern: subject_path,
+        pl: vec![ProjectItem::deep(subject_in_path)],
+        anchor_root: true,
+    };
+
+    // Step 2: the GROUPBY input pattern — the subject-rooted subtree of
+    // the inner pattern restricted to the join path (Fig. 5b), plus the
+    // ordering path when the user requested sorting; grouping basis = the
+    // join value's content.
+    let mut gb_pattern = PatternTree::with_root(right_pattern.node(subject).pred.clone());
+    let mut gb_map: Vec<Option<PatternNodeId>> = vec![None; right_pattern.len()];
+    gb_map[subject] = Some(gb_pattern.root());
+    let basis_node = graft_into(
+        &mut gb_pattern,
+        right_pattern,
+        subject,
+        join_node,
+        &mut gb_map,
+    );
+    let ordering: Vec<GroupOrder> = match order {
+        None => vec![],
+        Some((onode, dir)) => {
+            let label = graft_into(&mut gb_pattern, right_pattern, subject, onode, &mut gb_map);
+            vec![GroupOrder {
+                label,
+                direction: dir,
+            }]
+        }
+    };
+    let group_plan = Plan::GroupBy {
+        input: Box::new(input_plan),
+        pattern: gb_pattern,
+        basis: vec![BasisItem::content(basis_node)],
+        ordering,
+    };
+
+    // Step 3/4: the final projection over group trees (Fig. 5d); for the
+    // count variant, an aggregation first inserts the member count.
+    let subject_tag = right_pattern
+        .node(subject)
+        .pred
+        .required_tag()
+        .unwrap_or("*")
+        .to_owned();
+    let join_tag = right_pattern
+        .node(join_node)
+        .pred
+        .required_tag()
+        .unwrap_or("*")
+        .to_owned();
+
+    let mut fp = PatternTree::with_root(Pred::tag(tax::tags::GROUP_ROOT));
+    let basis = fp.add_child(fp.root(), Axis::Child, Pred::tag(tax::tags::GROUPING_BASIS));
+    let key = fp.add_child(basis, Axis::Child, Pred::tag(join_tag));
+    let pl = vec![ProjectItem::shallow(fp.root()), ProjectItem::deep(key)];
+
+    let (plan_before_project, fp, pl) = if let Some((func, agg_tag)) = agg {
+        // Aggregate over the extracted values within each group:
+        // TAX_group_root / subroot / subject / … / extract.
+        let mut agg_pattern = PatternTree::with_root(Pred::tag(tax::tags::GROUP_ROOT));
+        let subroot = agg_pattern.add_child(
+            agg_pattern.root(),
+            Axis::Child,
+            Pred::tag(tax::tags::GROUP_SUBROOT),
+        );
+        let member = agg_pattern.add_child(subroot, Axis::Child, Pred::tag(subject_tag));
+        let mut prev = member;
+        for pid in path_between(right_pattern, subject, extract) {
+            prev = agg_pattern.add_child(
+                prev,
+                right_pattern.node(pid).axis,
+                right_pattern.node(pid).pred.clone(),
+            );
+        }
+        let agg_plan = Plan::Aggregate {
+            input: Box::new(group_plan),
+            pattern: agg_pattern,
+            func,
+            of: prev,
+            new_tag: agg_tag.clone(),
+            spec: UpdateSpec::AfterLastChild(0),
+        };
+        let mut fp = fp;
+        let agg_node = fp.add_child(fp.root(), Axis::Child, Pred::tag(agg_tag));
+        let mut pl = pl;
+        pl.push(ProjectItem::deep(agg_node));
+        (agg_plan, fp, pl)
+    } else {
+        // Extract the RETURN node from inside the group members:
+        // subroot -pc-> subject -…-> extract.
+        let mut fp = fp;
+        let subroot = fp.add_child(fp.root(), Axis::Child, Pred::tag(tax::tags::GROUP_SUBROOT));
+        let member = fp.add_child(subroot, Axis::Child, Pred::tag(subject_tag));
+        let mut pl = pl;
+        let mut prev = member;
+        for pid in path_between(right_pattern, subject, extract) {
+            prev = fp.add_child(
+                prev,
+                right_pattern.node(pid).axis,
+                right_pattern.node(pid).pred.clone(),
+            );
+        }
+        pl.push(ProjectItem::deep(prev));
+        (group_plan, fp, pl)
+    };
+
+    Plan::Rename {
+        input: Box::new(Plan::Project {
+            input: Box::new(plan_before_project),
+            pattern: fp,
+            pl,
+            anchor_root: true,
+        }),
+        tag: tag.to_owned(),
+    }
+}
+
+/// The pattern consisting of the path root → … → `target` only, plus the
+/// node mapping.
+fn prefix_path_pattern(
+    pattern: &PatternTree,
+    target: PatternNodeId,
+) -> (PatternTree, Vec<PatternNodeId>) {
+    let mut chain = vec![target];
+    let mut cur = target;
+    while let Some(parent) = pattern.node(cur).parent {
+        chain.push(parent);
+        cur = parent;
+    }
+    chain.reverse();
+    let mut out = PatternTree::with_root(pattern.node(chain[0]).pred.clone());
+    let mut mapping = vec![usize::MAX; pattern.len()];
+    mapping[chain[0]] = out.root();
+    let mut prev = out.root();
+    for &pid in &chain[1..] {
+        prev = out.add_child(prev, pattern.node(pid).axis, pattern.node(pid).pred.clone());
+        mapping[pid] = prev;
+    }
+    (out, mapping)
+}
+
+/// Node ids strictly between `from` (exclusive) and `to` (inclusive),
+/// walking parent links from `to`.
+fn path_between(
+    pattern: &PatternTree,
+    from: PatternNodeId,
+    to: PatternNodeId,
+) -> Vec<PatternNodeId> {
+    let mut path = vec![to];
+    let mut cur = to;
+    while let Some(parent) = pattern.node(cur).parent {
+        if parent == from {
+            path.reverse();
+            return path;
+        }
+        path.push(parent);
+        cur = parent;
+    }
+    // `from` is not an ancestor; return just `to` (callers guard this).
+    vec![to]
+}
+
+/// Graft the `from`→`to` path of `src` into `dst` (which mirrors the
+/// subtree rooted at `from`), reusing already-grafted nodes via `map`.
+/// Returns `to`'s node in `dst`.
+fn graft_into(
+    dst: &mut PatternTree,
+    src: &PatternTree,
+    from: PatternNodeId,
+    to: PatternNodeId,
+    map: &mut [Option<PatternNodeId>],
+) -> PatternNodeId {
+    let mut last = map[from].expect("root mapped");
+    let mut prev = last;
+    for pid in path_between(src, from, to) {
+        let node = match map[pid] {
+            Some(n) => n,
+            None => {
+                let n = dst.add_child(prev, src.node(pid).axis, src.node(pid).pred.clone());
+                map[pid] = Some(n);
+                n
+            }
+        };
+        prev = node;
+        last = node;
+    }
+    last
+}
+
+/// First extract node's id in the right pattern (used by the LCA
+/// fallback). The stitch extract ids index the *stitch* pattern, so the
+/// fallback conservatively picks the right pattern's last leaf.
+fn extract_source(pattern: &PatternTree, _extract: &[(PatternNodeId, bool)]) -> PatternNodeId {
+    pattern
+        .iter()
+        .filter(|(_, n)| n.children.is_empty())
+        .map(|(id, _)| id)
+        .last()
+        .unwrap_or(0)
+}
+
+/// Lowest common ancestor of two pattern nodes.
+fn lca(pattern: &PatternTree, a: PatternNodeId, b: PatternNodeId) -> Option<PatternNodeId> {
+    let mut ancestors = std::collections::HashSet::new();
+    let mut cur = Some(a);
+    while let Some(n) = cur {
+        ancestors.insert(n);
+        cur = pattern.node(n).parent;
+    }
+    let mut cur = Some(b);
+    while let Some(n) = cur {
+        if ancestors.contains(&n) {
+            return Some(n);
+        }
+        cur = pattern.node(n).parent;
+    }
+    None
 }
 
 /// Rollup fusion: an `Aggregate` whose only input is a `GroupBy`, with
@@ -1238,5 +1581,116 @@ mod tests {
         assert_eq!(after.explain(), before);
         assert!(trace.firings.is_empty());
         assert_eq!(trace.passes, 1);
+    }
+
+    // === Grouping-rewrite (Sec. 4.1) detection and plan shape ===
+
+    /// Run only the grouping rewrite, asserting it fires.
+    fn grouping_rewritten(q: &str) -> Plan {
+        let (plan, trace) =
+            Optimizer::with_rules(vec![Box::new(GroupByRewriteRule)]).optimize(naive(q));
+        assert!(trace.fired("groupby-rewrite"), "rewrite must fire for {q}");
+        plan
+    }
+
+    const QUERY2: &str = r#"
+        FOR $a IN distinct-values(document("bib.xml")//author)
+        LET $t := document("bib.xml")//article[author = $a]/title
+        RETURN <authorpubs> {$a} {$t} </authorpubs>
+    "#;
+
+    #[test]
+    fn query1_rewrites_to_groupby() {
+        let plan = grouping_rewritten(QUERY1);
+        assert!(plan.uses_groupby());
+        assert!(!plan.uses_join(), "the join must be eliminated");
+        let text = plan.explain();
+        assert!(text.contains("Rename to <authorpubs>"), "{text}");
+        assert!(text.contains("GroupBy"), "{text}");
+        // Only one database selection remains.
+        assert_eq!(text.matches("SelectDb").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn query1_groupby_matches_fig5b() {
+        let plan = grouping_rewritten(QUERY1);
+        fn find_groupby(p: &Plan) -> Option<&Plan> {
+            match p {
+                Plan::GroupBy { .. } => Some(p),
+                Plan::Project { input, .. }
+                | Plan::DupElim { input, .. }
+                | Plan::Aggregate { input, .. }
+                | Plan::Rename { input, .. } => find_groupby(input),
+                _ => None,
+            }
+        }
+        let Some(Plan::GroupBy { pattern, basis, .. }) = find_groupby(&plan) else {
+            panic!("no GroupBy found");
+        };
+        let s = crate::plan::pattern_summary(pattern);
+        // Fig. 5b: article -pc-> author.
+        assert_eq!(s, "[$1:article, $1-pc->$2:author]");
+        assert_eq!(basis.len(), 1);
+        assert_eq!(basis[0], tax::ops::groupby::BasisItem::content(1));
+    }
+
+    #[test]
+    fn query2_same_groupby_as_query1() {
+        // Sec. 4.2: after the rewrite, the GROUPBY obtained is identical
+        // in the nested and unnested formulations.
+        let p1 = grouping_rewritten(QUERY1).explain();
+        let p2 = grouping_rewritten(QUERY2).explain();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn projection_only_query_is_not_rewritten() {
+        let q = r#"
+            FOR $a IN distinct-values(document("bib.xml")//author)
+            RETURN <row> {$a} </row>
+        "#;
+        let (_, trace) =
+            Optimizer::with_rules(vec![Box::new(GroupByRewriteRule)]).optimize(naive(q));
+        assert!(!trace.fired("groupby-rewrite"));
+    }
+
+    #[test]
+    fn institution_query_rewrites() {
+        let q = r#"
+            FOR $i IN distinct-values(document("bib.xml")//institution)
+            RETURN <instpubs>
+              {$i}
+              { FOR $b IN document("bib.xml")//article
+                WHERE $i = $b/author/institution
+                RETURN $b/title }
+            </instpubs>
+        "#;
+        let plan = grouping_rewritten(q);
+        let text = plan.explain();
+        assert!(text.contains("GroupBy"), "{text}");
+        // Basis is the institution ($3 in the grouping pattern
+        // article -pc-> author -pc-> institution).
+        assert!(text.contains("$3.content"), "{text}");
+    }
+
+    #[test]
+    fn subset_violation_blocks_rewrite() {
+        // Outer binds editors, inner joins on authors: the outer pattern
+        // does not embed into the inner pattern, so no rewrite.
+        let q = r#"
+            FOR $a IN distinct-values(document("bib.xml")//editor)
+            RETURN <x>
+              {$a}
+              { FOR $b IN document("bib.xml")//article
+                WHERE $a = $b/author
+                RETURN $b/title }
+            </x>
+        "#;
+        let (_, trace) =
+            Optimizer::with_rules(vec![Box::new(GroupByRewriteRule)]).optimize(naive(q));
+        assert!(
+            !trace.fired("groupby-rewrite"),
+            "editor is not in the inner pattern; no rewrite"
+        );
     }
 }

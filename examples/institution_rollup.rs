@@ -109,6 +109,7 @@ fn main() {
 
         // Re-wrap the member articles as a collection.
         let members: Vec<tax::Tree> = {
+            let subroot_sym = store.dict().intern(tags::GROUP_SUBROOT);
             let subroot = group
                 .node(group.root())
                 .children
@@ -117,7 +118,7 @@ fn main() {
                 .find(|&c| {
                     matches!(
                         &group.node(c).kind,
-                        tax::TreeNodeKind::Elem { tag, .. } if tag == tags::GROUP_SUBROOT
+                        tax::TreeNodeKind::Elem { tag, .. } if *tag == subroot_sym
                     )
                 })
                 .expect("subroot");
@@ -126,7 +127,7 @@ fn main() {
                 .children
                 .iter()
                 .map(|&c| {
-                    let mut t = tax::Tree::new_elem("tmp");
+                    let mut t = tax::Tree::new_elem(store.dict(), "tmp");
                     let copied = t.append_subtree(t.root(), group, c);
                     extract_subtree(&t, copied)
                 })
@@ -153,10 +154,10 @@ fn main() {
 fn extract_subtree(t: &tax::Tree, n: usize) -> tax::Tree {
     let mut out = match &t.node(n).kind {
         tax::TreeNodeKind::Elem { tag, content } => {
-            let mut o = tax::Tree::new_elem(tag.clone());
+            let mut o = tax::Tree::new_elem_sym(*tag);
             if let Some(c) = content {
                 if let tax::TreeNodeKind::Elem { content, .. } = &mut o.node_mut(0).kind {
-                    *content = Some(c.clone());
+                    *content = Some(*c);
                 }
             }
             o

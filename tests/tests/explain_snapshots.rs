@@ -104,12 +104,42 @@ fn explain_analyze_structural_snapshot() {
     let metric_lines: Vec<&str> = text.lines().filter(|l| l.contains(" | in=")).collect();
     assert_eq!(metric_lines.len(), 4, "{text}");
     for line in &metric_lines {
-        for field in ["out=", "batches=", "time=", "pages=", "disk_reads="] {
+        for field in ["out=", "batches=", "time=", "pages=", "disk_reads=", "clones="] {
             assert!(line.contains(field), "{line}");
         }
     }
     assert!(text.trim_end().ends_with("disk reads"), "{text}");
     assert!(text.contains("3 trees in "), "{text}");
+}
+
+#[test]
+fn grouped_plans_stay_inside_clone_and_io_budget() {
+    // The clone budget of the symbol-clean data path: the grouped plans
+    // answer tag tests, grouping keys, and counts from the columnar
+    // label region (zero buffer-pool page requests) and move trees by
+    // reference (zero deep `Tree` clones). Any regression — a stray
+    // `.clone()` on a batch, or a kernel falling back to record reads —
+    // shows up here as a nonzero counter.
+    let db = fig6_db();
+    for (query, mode) in [
+        (QUERY1, PlanMode::GroupByRewrite),
+        (QUERY_COUNT, PlanMode::GroupByRewrite),
+    ] {
+        let a = db.explain_analyze(query, mode).unwrap();
+        let m = &a.metrics;
+        assert_eq!(
+            m.total_page_requests(),
+            0,
+            "grouped plan touched data pages for {query:?}:\n{}",
+            m.render()
+        );
+        assert_eq!(
+            m.total_tree_clones(),
+            0,
+            "grouped plan deep-cloned trees for {query:?}:\n{}",
+            m.render()
+        );
+    }
 }
 
 #[test]
